@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Reproduces Table 6.1: the application binning into the three classes
+ * of Fig. 3.1, from measured footprint and LLC visibility.
+ */
+
+#include "harness/report.hh"
+
+int
+main()
+{
+    refrint::printBinning();
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared setup for the figure-reproduction benches: build the paper's
+ * sweep spec (honouring REFRINT_REFS / REFRINT_APPS / REFRINT_CACHE
+ * environment overrides) and run-or-load the shared result cache.
+ */
+
+#ifndef REFRINT_BENCH_BENCH_COMMON_HH
+#define REFRINT_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/report.hh"
+#include "harness/sweep.hh"
+
+namespace refrint::bench
+{
+
+/** Default refs/core for the figure benches (overridable via env). */
+inline std::uint64_t
+defaultRefs()
+{
+    if (const char *r = std::getenv("REFRINT_REFS"))
+        return static_cast<std::uint64_t>(std::atoll(r));
+    return 120'000;
+}
+
+/** Run (or load) the paper sweep shared by the figure benches. */
+inline SweepResult
+paperSweep()
+{
+    SweepSpec spec;
+    spec.sim.refsPerCore = defaultRefs();
+    return runSweep(std::move(spec));
+}
+
+} // namespace refrint::bench
+
+#endif // REFRINT_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Reproduces Fig. 6.1: memory energy as the sum of L1, L2, L3 and DRAM
+ * energies (normalized to the full-SRAM memory energy), averaged over
+ * all applications, for the full Table 5.4 sweep.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace refrint;
+    const SweepResult s = bench::paperSweep();
+    printFig61(s);
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Reproduces Fig. 6.2: on-chip dynamic, leakage, refresh and DRAM
+ * energy (normalized to full-SRAM memory energy), per application
+ * class and averaged over all applications.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace refrint;
+    const SweepResult s = bench::paperSweep();
+    for (int cls : {1, 2, 3, 0})
+        printFig62(s, cls);
+    return 0;
+}

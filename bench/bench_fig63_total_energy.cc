@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Reproduces Fig. 6.3: normalized total system energy (cores, caches,
+ * network, DRAM) for Class 1 applications and for all applications.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace refrint;
+    const SweepResult s = bench::paperSweep();
+    for (int cls : {1, 0})
+        printFig63(s, cls);
+    return 0;
+}

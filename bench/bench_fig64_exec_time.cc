@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Reproduces Fig. 6.4: normalized execution time for Class 1
+ * applications and for all applications.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace refrint;
+    const SweepResult s = bench::paperSweep();
+    for (int cls : {1, 0})
+        printFig64(s, cls);
+    return 0;
+}

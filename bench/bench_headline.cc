@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Reproduces the paper's headline comparison (abstract / §6): at 50 us
+ * retention, the naive eDRAM baseline (Periodic All) vs Refrint
+ * WB(32,32), both against the full-SRAM machine.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace refrint;
+    const SweepResult s = bench::paperSweep();
+    printHeadline(s);
+    return 0;
+}

@@ -1,0 +1,766 @@
+#include "coherence/hierarchy.hh"
+
+#include <string>
+
+#include "common/log.hh"
+#include "edram/refresh_engine.hh"
+
+namespace refrint
+{
+
+const char *
+cellTechName(CellTech t)
+{
+    return t == CellTech::Sram ? "SRAM" : "eDRAM";
+}
+
+HierarchyConfig
+HierarchyConfig::scaledDown(std::uint32_t factor) const
+{
+    HierarchyConfig c = *this;
+    c.il1.sizeBytes /= factor;
+    c.dl1.sizeBytes /= factor;
+    c.l2.sizeBytes /= factor;
+    c.l3Bank.sizeBytes /= factor;
+    return c;
+}
+
+HierarchyConfig
+HierarchyConfig::paperSram()
+{
+    HierarchyConfig c;
+    c.tech = CellTech::Sram;
+    return c;
+}
+
+HierarchyConfig
+HierarchyConfig::paperSramDecay(Tick interval)
+{
+    HierarchyConfig c;
+    c.tech = CellTech::Sram;
+    c.decay.enabled = true;
+    c.decay.interval = interval;
+    return c;
+}
+
+HierarchyConfig
+HierarchyConfig::paperEdram(const RefreshPolicy &policy, Tick retention)
+{
+    HierarchyConfig c;
+    c.tech = CellTech::Edram;
+    c.l3Policy = policy;
+    c.retention.cellRetention = retention;
+    return c;
+}
+
+/**
+ * Adapter binding a refresh engine to one cache unit within the
+ * hierarchy.  Heavy actions (write-back, invalidation) route back into
+ * the hierarchy so coherence and inclusion stay correct.
+ */
+struct Hierarchy::TargetAdapter : public RefreshTarget
+{
+    enum class Level
+    {
+        L1,
+        L2,
+        L3
+    };
+
+    TargetAdapter(Hierarchy &h, CacheUnit &u, Level lvl, std::uint32_t id,
+                  std::string nm)
+        : hier(h), unit(u), level(lvl), unitId(id), label(std::move(nm))
+    {
+    }
+
+    CacheArray &array() override { return unit.array; }
+
+    void
+    refreshLine(std::uint32_t idx, Tick now) override
+    {
+        (void)idx;
+        (void)now;
+        // Energy is charged from the engine's line_refreshes counter;
+        // nothing else changes for a plain refresh.
+    }
+
+    void
+    writebackLine(std::uint32_t idx, Tick now) override
+    {
+        switch (level) {
+          case Level::L3:
+            hier.l3RefreshWriteback(unitId, idx, now);
+            break;
+          case Level::L2:
+            hier.l2RefreshWriteback(static_cast<CoreId>(unitId), idx, now);
+            break;
+          case Level::L1:
+            panic("%s: L1 lines are never dirty (DL1 is write-through)",
+                  label.c_str());
+        }
+    }
+
+    void
+    invalidateLine(std::uint32_t idx, Tick now) override
+    {
+        switch (level) {
+          case Level::L3:
+            hier.l3RefreshInvalidate(unitId, idx, now);
+            break;
+          case Level::L2:
+          case Level::L1:
+            hier.upperRefreshInvalidate(unit, static_cast<CoreId>(
+                                                  unitId % hier.cfg_.numCores),
+                                        idx, now);
+            break;
+        }
+    }
+
+    void
+    addBusy(Tick now, Tick cycles) override
+    {
+        unit.addBusy(now, cycles);
+    }
+
+    const char *name() const override { return label.c_str(); }
+
+    Hierarchy &hier;
+    CacheUnit &unit;
+    Level level;
+    std::uint32_t unitId;
+    std::string label;
+};
+
+Hierarchy::Hierarchy(const HierarchyConfig &cfg, EventQueue &eq)
+    : cfg_(cfg),
+      eq_(eq),
+      net_(cfg.torusDim, cfg.hopLatency, cfg.dataSerialization, netStats_),
+      dram_(cfg.dramLatency, cfg.dramMinGap, dramStats_)
+{
+    panicIf(cfg_.numCores > 16, "directory bitmask limited to 16 cores");
+    panicIf(cfg_.torusDim * cfg_.torusDim != cfg_.numBanks,
+            "banks must tile the torus");
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        il1s_.push_back(
+            std::make_unique<CacheUnit>("il1", cfg_.il1, il1Stats_));
+        dl1s_.push_back(
+            std::make_unique<CacheUnit>("dl1", cfg_.dl1, dl1Stats_));
+        l2s_.push_back(std::make_unique<CacheUnit>("l2", cfg_.l2,
+                                                   l2Stats_));
+    }
+    for (std::uint32_t b = 0; b < cfg_.numBanks; ++b) {
+        l3s_.push_back(std::make_unique<CacheUnit>("l3", cfg_.l3Bank,
+                                                   l3Stats_));
+    }
+    if (cfg_.refreshEnabled())
+        buildRefreshEngines();
+    else if (cfg_.decay.enabled)
+        buildDecayEngines();
+}
+
+Hierarchy::~Hierarchy() = default;
+
+void
+Hierarchy::buildRefreshEngines()
+{
+    const RefreshPolicy upper = cfg_.upperPolicy();
+    auto build = [&](CacheUnit &u, TargetAdapter::Level lvl,
+                     std::uint32_t id, const char *nm,
+                     const RefreshPolicy &pol, const EngineGeometry &geom,
+                     StatGroup &sg) {
+        targets_.push_back(
+            std::make_unique<TargetAdapter>(*this, u, lvl, id, nm));
+        engines_.push_back(makeRefreshEngine(*targets_.back(), pol,
+                                             cfg_.retention, geom, eq_,
+                                             sg));
+        u.engine = engines_.back().get();
+    };
+
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        build(*il1s_[c], TargetAdapter::Level::L1, c, "il1", upper,
+              cfg_.l1Engine, refreshL1Stats_);
+        build(*dl1s_[c], TargetAdapter::Level::L1, c + cfg_.numCores,
+              "dl1", upper, cfg_.l1Engine, refreshL1Stats_);
+        build(*l2s_[c], TargetAdapter::Level::L2, c, "l2", upper,
+              cfg_.l2Engine, refreshL2Stats_);
+    }
+    for (std::uint32_t b = 0; b < cfg_.numBanks; ++b) {
+        build(*l3s_[b], TargetAdapter::Level::L3, b, "l3", cfg_.l3Policy,
+              cfg_.l3Engine, refreshL3Stats_);
+    }
+}
+
+void
+Hierarchy::buildDecayEngines()
+{
+    auto build = [&](CacheUnit &u, TargetAdapter::Level lvl,
+                     std::uint32_t id, const char *nm, StatGroup &sg) {
+        targets_.push_back(
+            std::make_unique<TargetAdapter>(*this, u, lvl, id, nm));
+        engines_.push_back(std::make_unique<DecayEngine>(
+            *targets_.back(), cfg_.decay, eq_, sg));
+        u.engine = engines_.back().get();
+    };
+
+    if (cfg_.decay.atL2) {
+        for (CoreId c = 0; c < cfg_.numCores; ++c)
+            build(*l2s_[c], TargetAdapter::Level::L2, c, "l2",
+                  refreshL2Stats_);
+    }
+    if (cfg_.decay.atL3) {
+        for (std::uint32_t b = 0; b < cfg_.numBanks; ++b)
+            build(*l3s_[b], TargetAdapter::Level::L3, b, "l3",
+                  refreshL3Stats_);
+    }
+}
+
+void
+Hierarchy::start(Tick now)
+{
+    for (auto &e : engines_)
+        e->start(now);
+}
+
+void
+Hierarchy::finishEngines(Tick now)
+{
+    for (auto &e : engines_)
+        e->finish(now);
+}
+
+// ---------------------------------------------------------------------
+// Demand access path
+// ---------------------------------------------------------------------
+
+Tick
+Hierarchy::access(CoreId c, Addr a, AccessType type, Tick now,
+                  std::uint32_t blocks)
+{
+    panicIf(c >= cfg_.numCores, "core id out of range");
+    a = cfg_.l3Bank.lineAddr(a);
+
+    const bool isStore = type == AccessType::Store;
+    CacheUnit &l1 = type == AccessType::Fetch ? *il1s_[c] : *dl1s_[c];
+
+    // ---- L1 ----
+    Tick t = l1.admit(now) + l1.latency;
+    if (isStore)
+        l1.writes->inc();
+    else
+        l1.reads->inc(blocks);
+    CacheLine *l1Line = l1.array.lookup(a);
+    if (l1Line != nullptr)
+        l1.touchLine(*l1Line, t);
+    else
+        l1.misses->inc();
+
+    if (l1Line != nullptr && !isStore)
+        return t; // load/fetch hit: done
+
+    // ---- L2 (loads on L1 miss; every store — DL1 is write-through) ----
+    CacheUnit &l2u = *l2s_[c];
+    t = l2u.admit(t) + l2u.latency;
+    if (isStore)
+        l2u.writes->inc();
+    else
+        l2u.reads->inc();
+    CacheLine *l2Line = l2u.array.lookup(a);
+
+    if (l2Line != nullptr && !isStore) {
+        l2u.touchLine(*l2Line, t);
+        l1Fill(l1, a, t);
+        return t;
+    }
+    if (l2Line != nullptr && isStore) {
+        if (l2Line->state == Mesi::Modified) {
+            l2u.touchLine(*l2Line, t);
+            return t;
+        }
+        if (l2Line->state == Mesi::Exclusive) {
+            // Silent E->M upgrade; the directory already records this
+            // core as the owner.
+            l2Line->state = Mesi::Modified;
+            l2Line->dirty = true;
+            l2u.touchLine(*l2Line, t);
+            return t;
+        }
+        // Shared: fall through to the directory for an upgrade.
+    }
+    if (l2Line == nullptr)
+        l2u.misses->inc();
+
+    // ---- L3 home bank / directory ----
+    const std::uint32_t bank = bankOf(a);
+    t += net_.traverse(c, bank, MsgClass::Control);
+    CacheUnit &l3u = *l3s_[bank];
+    t = l3u.admit(t) + l3u.latency;
+    l3u.reads->inc();
+    CacheLine *line = l3u.array.lookup(a);
+
+    if (line == nullptr) {
+        l3u.misses->inc();
+        line = l3MissFill(bank, a, t);
+    } else {
+        if (line->owner >= 0 && static_cast<CoreId>(line->owner) != c)
+            t += ownerIntervention(bank, *line, t, /*invalidate=*/isStore);
+        l3u.touchLine(*line, t);
+    }
+
+    if (isStore) {
+        // Request for ownership: every other copy must go.
+        t += invalidateSharers(bank, *line, c, t);
+        line->sharers = static_cast<std::uint16_t>(1u << c);
+        line->owner = static_cast<std::int8_t>(c);
+    } else {
+        line->sharers |= static_cast<std::uint16_t>(1u << c);
+        if (line->sharers == (1u << c) && line->owner < 0)
+            line->owner = static_cast<std::int8_t>(c); // grant Exclusive
+    }
+
+    // Data (or ownership grant) back to the requester.
+    t += net_.traverse(bank, c, MsgClass::Data);
+
+    // Fill the private hierarchy.
+    if (isStore) {
+        if (l2Line != nullptr) {
+            // S -> M upgrade in place.
+            l2Line->state = Mesi::Modified;
+            l2Line->dirty = true;
+            l2u.touchLine(*l2Line, t);
+        } else {
+            l2Fill(c, a, Mesi::Modified, t);
+        }
+        // DL1 is no-write-allocate: update only an existing L1 copy
+        // (already touched above if present).
+    } else {
+        const Mesi grant =
+            (line->owner >= 0 && static_cast<CoreId>(line->owner) == c)
+                ? Mesi::Exclusive
+                : Mesi::Shared;
+        l2Fill(c, a, grant, t);
+        l1Fill(l1, a, t);
+    }
+    return t;
+}
+
+// ---------------------------------------------------------------------
+// Fills, evictions, directory actions
+// ---------------------------------------------------------------------
+
+CacheLine *
+Hierarchy::l3MissFill(std::uint32_t bank, Addr a, Tick &t)
+{
+    CacheUnit &l3u = *l3s_[bank];
+    VictimRef v = l3u.array.pickVictim(a);
+    if (v.line->valid()) {
+        l3u.evictions->inc();
+        dropL3Line(bank, *v.line, t, /*refreshCaused=*/false);
+    }
+    t = dram_.read(t);
+    l3u.array.install(v, a, t);
+    CacheLine &line = *v.line;
+    line.state = Mesi::Shared; // "valid" marker at L3
+    line.dirty = false;
+    l3u.writes->inc(); // the fill writes the data array
+    l3u.fills->inc();
+    l3u.installLine(line, t);
+    return &line;
+}
+
+void
+Hierarchy::dropL3Line(std::uint32_t bank, CacheLine &line, Tick now,
+                      bool refreshCaused)
+{
+    const Addr a = line.tag;
+    bool dataToDram = line.dirty;
+
+    if (line.owner >= 0) {
+        // The owner may hold newer (Modified) data; rescue it.
+        const auto o = static_cast<CoreId>(line.owner);
+        net_.traverse(bank, o, MsgClass::Control);
+        CacheLine *ol = l2s_[o]->array.lookup(a);
+        if (ol != nullptr && ol->state == Mesi::Modified) {
+            net_.traverse(o, bank, MsgClass::Data);
+            dataToDram = true;
+        } else {
+            net_.traverse(o, bank, MsgClass::Control); // ack
+        }
+    }
+    // Invalidate every private copy (inclusive hierarchy, §3.1).
+    for (CoreId s = 0; s < cfg_.numCores; ++s) {
+        if (!hasSharer(line, s))
+            continue;
+        if (line.owner < 0 || static_cast<CoreId>(line.owner) != s)
+            net_.traverse(bank, s, MsgClass::Control);
+        invalidatePrivateCopies(s, a, /*countBackInval=*/true);
+    }
+    if (dataToDram)
+        dram_.write(now);
+    (void)refreshCaused;
+    line.invalidate();
+}
+
+Tick
+Hierarchy::ownerIntervention(std::uint32_t bank, CacheLine &line, Tick t,
+                             bool invalidateOwner)
+{
+    const auto o = static_cast<CoreId>(line.owner);
+    CacheUnit &l3u = *l3s_[bank];
+    CacheUnit &ol2 = *l2s_[o];
+
+    Tick lat = net_.traverse(bank, o, MsgClass::Control);
+    Tick ot = ol2.admit(t + lat) + ol2.latency;
+    ol2.reads->inc();
+
+    CacheLine *ol = ol2.array.lookup(line.tag);
+    panicIf(ol == nullptr, "directory owner lost its line");
+    const bool wasModified = ol->state == Mesi::Modified;
+
+    if (wasModified) {
+        // Data flows back to the L3 (and becomes the L3's dirty copy).
+        lat = (ot - t) + net_.traverse(o, bank, MsgClass::Data);
+        line.dirty = true;
+        l3u.writes->inc();
+    } else {
+        lat = (ot - t) + net_.traverse(o, bank, MsgClass::Control);
+    }
+
+    if (invalidateOwner) {
+        invalidatePrivateCopies(o, line.tag, /*countBackInval=*/false);
+        line.sharers &= static_cast<std::uint16_t>(~(1u << o));
+    } else {
+        // Downgrade to Shared; owner keeps a clean copy.
+        ol->state = Mesi::Shared;
+        ol->dirty = false;
+    }
+    line.owner = -1;
+    return lat;
+}
+
+Tick
+Hierarchy::invalidateSharers(std::uint32_t bank, CacheLine &line,
+                             CoreId except, Tick t)
+{
+    Tick maxLat = 0;
+    for (CoreId s = 0; s < cfg_.numCores; ++s) {
+        if (s == except || !hasSharer(line, s))
+            continue;
+        const Tick out = net_.traverse(bank, s, MsgClass::Control);
+        const Tick back = net_.traverse(s, bank, MsgClass::Control);
+        invalidatePrivateCopies(s, line.tag, /*countBackInval=*/false);
+        maxLat = std::max(maxLat, out + back);
+    }
+    (void)t;
+    return maxLat;
+}
+
+void
+Hierarchy::invalidatePrivateCopies(CoreId c, Addr a, bool countBackInval)
+{
+    CacheLine *l2l = l2s_[c]->array.lookup(a);
+    if (l2l != nullptr) {
+        l2l->invalidate();
+        if (countBackInval)
+            l2s_[c]->backInvals->inc();
+    }
+    if (CacheLine *l = dl1s_[c]->array.lookup(a)) {
+        l->invalidate();
+        if (countBackInval)
+            dl1s_[c]->backInvals->inc();
+    }
+    if (CacheLine *l = il1s_[c]->array.lookup(a)) {
+        l->invalidate();
+        if (countBackInval)
+            il1s_[c]->backInvals->inc();
+    }
+}
+
+CacheLine *
+Hierarchy::l2Fill(CoreId c, Addr a, Mesi st, Tick now)
+{
+    CacheUnit &l2u = *l2s_[c];
+    VictimRef v = l2u.array.pickVictim(a);
+    if (v.line->valid()) {
+        l2u.evictions->inc();
+        evictL2Victim(c, *v.line, now);
+    }
+    l2u.array.install(v, a, now);
+    CacheLine &line = *v.line;
+    line.state = st;
+    line.dirty = st == Mesi::Modified;
+    l2u.writes->inc(); // fill write
+    l2u.fills->inc();
+    l2u.installLine(line, now);
+    return &line;
+}
+
+void
+Hierarchy::l1Fill(CacheUnit &l1, Addr a, Tick now)
+{
+    if (l1.array.lookup(a) != nullptr)
+        return; // e.g. a store left the line behind
+    VictimRef v = l1.array.pickVictim(a);
+    if (v.line->valid())
+        l1.evictions->inc(); // L1 lines are clean: silent drop
+    l1.array.install(v, a, now);
+    v.line->state = Mesi::Shared;
+    l1.writes->inc();
+    l1.fills->inc();
+    l1.installLine(*v.line, now);
+}
+
+void
+Hierarchy::evictL2Victim(CoreId c, CacheLine &victim, Tick now)
+{
+    const Addr a = victim.tag;
+    const std::uint32_t bank = bankOf(a);
+    CacheUnit &l3u = *l3s_[bank];
+    CacheLine *l3l = l3u.array.lookup(a);
+    panicIf(l3l == nullptr, "inclusion violated: L2 line missing in L3");
+
+    if (victim.state == Mesi::Modified) {
+        // Dirty write-back to the L3: the L3 copy becomes dirty and the
+        // access refreshes the L3 line.  This is the "visibility" the
+        // paper's Class 1/2 applications give the last-level cache.
+        net_.traverse(c, bank, MsgClass::Data);
+        l3u.writes->inc();
+        l3l->dirty = true;
+        l3u.touchLine(*l3l, now);
+    } else {
+        // Clean eviction: notify the directory so its sharer list stays
+        // exact (control message only).
+        net_.traverse(c, bank, MsgClass::Control);
+    }
+    if (l3l->owner >= 0 && static_cast<CoreId>(l3l->owner) == c)
+        l3l->owner = -1;
+    l3l->sharers &= static_cast<std::uint16_t>(~(1u << c));
+
+    // Inclusion: L1 copies go with the L2 line.
+    if (CacheLine *l = dl1s_[c]->array.lookup(a))
+        l->invalidate();
+    if (CacheLine *l = il1s_[c]->array.lookup(a))
+        l->invalidate();
+    victim.invalidate();
+}
+
+// ---------------------------------------------------------------------
+// Refresh-triggered actions
+// ---------------------------------------------------------------------
+
+void
+Hierarchy::l3RefreshWriteback(std::uint32_t bank, std::uint32_t idx,
+                              Tick now)
+{
+    CacheUnit &l3u = *l3s_[bank];
+    CacheLine &line = l3u.array.lineAt(idx);
+    panicIf(!line.valid() || !line.dirty,
+            "refresh write-back of a non-dirty line");
+    // Read the line out and post it to DRAM; it stays Valid-Clean.
+    l3u.reads->inc();
+    dram_.write(now);
+    line.dirty = false;
+}
+
+void
+Hierarchy::l3RefreshInvalidate(std::uint32_t bank, std::uint32_t idx,
+                               Tick now)
+{
+    CacheUnit &l3u = *l3s_[bank];
+    CacheLine &line = l3u.array.lineAt(idx);
+    panicIf(!line.valid(), "refresh invalidation of an invalid line");
+    dropL3Line(bank, line, now, /*refreshCaused=*/true);
+}
+
+void
+Hierarchy::l2RefreshWriteback(CoreId c, std::uint32_t idx, Tick now)
+{
+    CacheUnit &l2u = *l2s_[c];
+    CacheLine &line = l2u.array.lineAt(idx);
+    panicIf(!line.valid() || line.state != Mesi::Modified,
+            "L2 refresh write-back of a non-Modified line");
+    const Addr a = line.tag;
+    const std::uint32_t bank = bankOf(a);
+    CacheUnit &l3u = *l3s_[bank];
+    CacheLine *l3l = l3u.array.lookup(a);
+    panicIf(l3l == nullptr, "inclusion violated on L2 refresh WB");
+    net_.traverse(c, bank, MsgClass::Data);
+    l3u.writes->inc();
+    l3l->dirty = true;
+    l3u.touchLine(*l3l, now);
+    // The line stays resident, now clean: M -> E (the directory still
+    // records this core as owner, which covers both E and M).
+    line.state = Mesi::Exclusive;
+    line.dirty = false;
+}
+
+void
+Hierarchy::upperRefreshInvalidate(CacheUnit &unit, CoreId c,
+                                  std::uint32_t idx, Tick now)
+{
+    CacheLine &line = unit.array.lineAt(idx);
+    panicIf(!line.valid(), "refresh invalidation of an invalid line");
+    const Addr a = line.tag;
+
+    const bool isL2 = &unit == l2s_[c].get();
+    if (isL2) {
+        if (line.state == Mesi::Modified)
+            l2RefreshWriteback(c, idx, now);
+        // Notify the directory and drop the whole private subtree.
+        const std::uint32_t bank = bankOf(a);
+        CacheLine *l3l = l3s_[bank]->array.lookup(a);
+        if (l3l != nullptr) {
+            if (l3l->owner >= 0 && static_cast<CoreId>(l3l->owner) == c)
+                l3l->owner = -1;
+            l3l->sharers &= static_cast<std::uint16_t>(~(1u << c));
+        }
+        net_.traverse(c, bankOf(a), MsgClass::Control);
+        if (CacheLine *l = dl1s_[c]->array.lookup(a))
+            l->invalidate();
+        if (CacheLine *l = il1s_[c]->array.lookup(a))
+            l->invalidate();
+    }
+    line.invalidate();
+}
+
+// ---------------------------------------------------------------------
+// End-of-run + verification
+// ---------------------------------------------------------------------
+
+void
+Hierarchy::flushDirty()
+{
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        l2s_[c]->array.forEachLine([&](std::uint32_t, CacheLine &l) {
+            if (l.valid() && l.state == Mesi::Modified)
+                dram_.accountUntimedWrite();
+        });
+    }
+    for (auto &bank : l3s_) {
+        bank->array.forEachLine([&](std::uint32_t, CacheLine &l) {
+            if (l.valid() && l.dirty)
+                dram_.accountUntimedWrite();
+        });
+    }
+}
+
+void
+Hierarchy::checkInvariants(Tick now) const
+{
+    auto &self = const_cast<Hierarchy &>(*this);
+    // L1 subset-of L2; L2 subset-of L3; directory exactness.
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        for (CacheUnit *l1 : {self.il1s_[c].get(), self.dl1s_[c].get()}) {
+            l1->array.forEachLine([&](std::uint32_t, CacheLine &l) {
+                if (!l.valid())
+                    return;
+                panicIf(self.l2s_[c]->array.lookup(l.tag) == nullptr,
+                        "L1 line not present in L2 (inclusion)");
+            });
+        }
+        self.l2s_[c]->array.forEachLine([&](std::uint32_t, CacheLine &l) {
+            if (!l.valid())
+                return;
+            CacheLine *l3l =
+                self.l3s_[self.bankOf(l.tag)]->array.lookup(l.tag);
+            panicIf(l3l == nullptr, "L2 line not present in L3");
+            panicIf(!hasSharer(*l3l, c),
+                    "directory lost a sharer");
+            if (l.state == Mesi::Modified || l.state == Mesi::Exclusive) {
+                panicIf(l3l->owner != static_cast<std::int8_t>(c),
+                        "directory owner mismatch");
+            }
+            panicIf(l.dirty != (l.state == Mesi::Modified),
+                    "dirty flag out of sync with MESI state");
+        });
+    }
+    for (std::uint32_t b = 0; b < cfg_.numBanks; ++b) {
+        self.l3s_[b]->array.forEachLine([&](std::uint32_t, CacheLine &l) {
+            if (!l.valid()) {
+                panicIf(l.sharers != 0 || l.owner >= 0,
+                        "invalid L3 line with directory residue");
+                return;
+            }
+            if (l.owner >= 0) {
+                const auto o = static_cast<CoreId>(l.owner);
+                panicIf(!hasSharer(l, o), "owner missing from sharers");
+                CacheLine *ol = self.l2s_[o]->array.lookup(l.tag);
+                panicIf(ol == nullptr, "owner L2 lost the line");
+                panicIf(ol->state != Mesi::Modified &&
+                            ol->state != Mesi::Exclusive,
+                        "owner L2 not in E/M");
+            }
+            for (CoreId s = 0; s < cfg_.numCores; ++s) {
+                if (!hasSharer(l, s))
+                    continue;
+                panicIf(self.l2s_[s]->array.lookup(l.tag) == nullptr,
+                        "directory sharer without an L2 copy");
+            }
+            if (cfg_.refreshEnabled()) {
+                // 256-tick slack: see kWalkLookaheadSlack in cache_unit.
+                panicIf(l.dataExpiry + 256 < now,
+                        "valid L3 line past its retention deadline");
+            }
+        });
+    }
+}
+
+HierarchyCounts
+Hierarchy::counts() const
+{
+    HierarchyCounts n;
+    std::map<std::string, double> m;
+    dumpStats(m);
+    auto get = [&](const char *k) {
+        auto it = m.find(k);
+        return it == m.end() ? 0ull
+                             : static_cast<std::uint64_t>(it->second);
+    };
+    n.l1Reads = get("il1.reads") + get("dl1.reads");
+    n.l1Writes = get("il1.writes") + get("dl1.writes");
+    n.l2Reads = get("l2.reads");
+    n.l2Writes = get("l2.writes");
+    n.l3Reads = get("l3.reads");
+    n.l3Writes = get("l3.writes");
+    n.l1Refreshes = get("refresh.l1.line_refreshes");
+    n.l2Refreshes = get("refresh.l2.line_refreshes");
+    n.l3Refreshes = get("refresh.l3.line_refreshes");
+    n.dramAccesses = get("dram.reads") + get("dram.writes");
+    n.netHops = get("net.hops");
+    n.netDataMsgs = get("net.data_msgs");
+    n.netCtrlMsgs = get("net.ctrl_msgs");
+    n.l3Misses = get("l3.misses");
+    n.l2Misses = get("l2.misses");
+    n.dl1Misses = get("dl1.misses");
+    n.refreshWritebacks = get("refresh.l1.refresh_writebacks") +
+                          get("refresh.l2.refresh_writebacks") +
+                          get("refresh.l3.refresh_writebacks");
+    n.refreshInvalidations =
+        get("refresh.l1.refresh_invalidations") +
+        get("refresh.l2.refresh_invalidations") +
+        get("refresh.l3.refresh_invalidations");
+    n.decayedHits = get("il1.decayed_hits") + get("dl1.decayed_hits") +
+                    get("l2.decayed_hits") + get("l3.decayed_hits");
+    auto getd = [&](const char *k) {
+        auto it = m.find(k);
+        return it == m.end() ? 0.0 : it->second;
+    };
+    n.l2OffLineTicks = getd("refresh.l2.off_line_ticks");
+    n.l3OffLineTicks = getd("refresh.l3.off_line_ticks");
+    return n;
+}
+
+void
+Hierarchy::dumpStats(std::map<std::string, double> &out) const
+{
+    il1Stats_.dump(out);
+    dl1Stats_.dump(out);
+    l2Stats_.dump(out);
+    l3Stats_.dump(out);
+    netStats_.dump(out);
+    dramStats_.dump(out);
+    refreshL1Stats_.dump(out);
+    refreshL2Stats_.dump(out);
+    refreshL3Stats_.dump(out);
+}
+
+} // namespace refrint

@@ -1,0 +1,25 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace refrint
+{
+namespace detail
+{
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+void
+abortMsg(const char *tag, const std::string &msg)
+{
+    emit(tag, msg);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace refrint

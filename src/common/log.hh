@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error reporting helpers in the gem5 spirit.
+ *
+ * panic()  — an internal simulator invariant was violated; aborts.
+ * fatal()  — the user supplied an impossible configuration; exits.
+ * warn()   — something is suspicious but the simulation can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef REFRINT_COMMON_LOG_HH
+#define REFRINT_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace refrint
+{
+
+namespace detail
+{
+/** Emit a tagged message to stderr; defined out of line. */
+void emit(const char *tag, const std::string &msg);
+[[noreturn]] void abortMsg(const char *tag, const std::string &msg);
+} // namespace detail
+
+/** Report an internal invariant violation and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    char buf[1024];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    detail::abortMsg("panic", buf);
+}
+
+inline void
+panicIf(bool cond, const char *msg)
+{
+    if (cond)
+        detail::abortMsg("panic", msg);
+}
+
+/** Report an unusable user configuration and exit with an error code. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    char buf[1024];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    detail::emit("fatal", buf);
+    std::exit(1);
+}
+
+/** Warn about behaviour that might be wrong but is survivable. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    char buf[1024];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    detail::emit("warn", buf);
+}
+
+/** Plain, non-alarming status message. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    char buf[1024];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    detail::emit("info", buf);
+}
+
+} // namespace refrint
+
+#endif // REFRINT_COMMON_LOG_HH

@@ -1,0 +1,36 @@
+#include "common/stats.hh"
+
+namespace refrint
+{
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Accum &
+StatGroup::accum(const std::string &name)
+{
+    return accums_[name];
+}
+
+void
+StatGroup::dump(std::map<std::string, double> &out) const
+{
+    for (const auto &[name, c] : counters_)
+        out[prefix_ + "." + name] = static_cast<double>(c.value());
+    for (const auto &[name, a] : accums_)
+        out[prefix_ + "." + name] = a.value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c.reset();
+    for (auto &[name, a] : accums_)
+        a.reset();
+}
+
+} // namespace refrint

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Every simulator component owns a StatGroup; counters register themselves
+ * with a hierarchical name ("l3.bank0.refreshes") so the harness can dump
+ * a flat map at the end of a run.  Counters are plain uint64 adds on the
+ * hot path — no virtual dispatch, no locks (the simulator is
+ * single-threaded).
+ */
+
+#ifndef REFRINT_COMMON_STATS_HH
+#define REFRINT_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace refrint
+{
+
+class StatGroup;
+
+/** A single monotonically increasing counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    void set(std::uint64_t v) { value_ = v; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A double-valued accumulator (energies in joules, fractions, ...). */
+class Accum
+{
+  public:
+    Accum() = default;
+
+    void add(double by) { value_ += by; }
+    void set(double v) { value_ = v; }
+    void reset() { value_ = 0.0; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * A group of named statistics.
+ *
+ * Groups own their counters by value (stable addresses via deque-like
+ * storage) and can be nested by name prefix only — there is no parent
+ * pointer, keeping components decoupled.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string prefix) : prefix_(std::move(prefix)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register and return a counter named prefix.name. */
+    Counter &counter(const std::string &name);
+
+    /** Register and return an accumulator named prefix.name. */
+    Accum &accum(const std::string &name);
+
+    /** Flatten all registered stats into @p out (appends). */
+    void dump(std::map<std::string, double> &out) const;
+
+    /** Reset every stat in the group to zero. */
+    void resetAll();
+
+    const std::string &prefix() const { return prefix_; }
+
+  private:
+    std::string prefix_;
+    // std::map guarantees pointer stability of mapped values, which the
+    // components rely on: they cache Counter& across the run.
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Accum> accums_;
+};
+
+} // namespace refrint
+
+#endif // REFRINT_COMMON_STATS_HH

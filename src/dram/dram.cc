@@ -1,0 +1,45 @@
+#include "dram/dram.hh"
+
+namespace refrint
+{
+
+Dram::Dram(Tick accessLatency, Tick minGap, StatGroup &stats)
+    : accessLatency_(accessLatency), minGap_(minGap)
+{
+    reads_ = &stats.counter("reads");
+    writes_ = &stats.counter("writes");
+}
+
+Tick
+Dram::channelAdmit(Tick now)
+{
+    Tick start = now;
+    if (minGap_ > 0) {
+        if (channelFree_ > start)
+            start = channelFree_;
+        channelFree_ = start + minGap_;
+    }
+    return start;
+}
+
+Tick
+Dram::read(Tick now)
+{
+    reads_->inc();
+    return channelAdmit(now) + accessLatency_;
+}
+
+Tick
+Dram::write(Tick now)
+{
+    writes_->inc();
+    return channelAdmit(now);
+}
+
+void
+Dram::accountUntimedWrite()
+{
+    writes_->inc();
+}
+
+} // namespace refrint

@@ -1,0 +1,340 @@
+#include "edram/refresh_engine.hh"
+
+#include "common/log.hh"
+
+namespace refrint
+{
+
+RefreshEngine::RefreshEngine(RefreshTarget &target,
+                             const RefreshPolicy &policy,
+                             const RetentionParams &retention,
+                             const EngineGeometry &geom, EventQueue &eq,
+                             StatGroup &stats)
+    : target_(target), policy_(policy), geom_(geom), eq_(eq)
+{
+    const std::uint32_t lines = target.array().numLines();
+    cellRetention_ = retention.cellRetention;
+    sentryRetention_ = retention.sentryRetention(lines);
+    lineRetention_ = retention.drawLineRetentions(lines);
+
+    refreshes_ = &stats.counter("line_refreshes");
+    wbs_ = &stats.counter("refresh_writebacks");
+    invals_ = &stats.counter("refresh_invalidations");
+    skips_ = &stats.counter("refresh_skips");
+    visits_ = &stats.counter("refresh_visits");
+}
+
+bool
+RefreshEngine::visitLine(std::uint32_t idx, Tick now)
+{
+    CacheLine &line = target_.array().lineAt(idx);
+    visits_->inc();
+    const RefreshAction action = decideRefresh(policy_, line);
+    switch (action) {
+      case RefreshAction::Refresh:
+        refreshes_->inc();
+        target_.refreshLine(idx, now);
+        renewClocks(idx, line, now);
+        return true;
+
+      case RefreshAction::Writeback:
+        // The write-back reads the line out, which refreshes its cells;
+        // it stays resident as Valid-Clean (Fig. 4.1).
+        wbs_->inc();
+        target_.writebackLine(idx, now);
+        renewClocks(idx, line, now);
+        return true;
+
+      case RefreshAction::Invalidate:
+        invals_->inc();
+        target_.invalidateLine(idx, now);
+        return false;
+
+      case RefreshAction::Skip:
+        skips_->inc();
+        return false;
+    }
+    panic("unreachable refresh action");
+}
+
+// ---------------------------------------------------------------------
+// PeriodicEngine
+// ---------------------------------------------------------------------
+
+PeriodicEngine::PeriodicEngine(RefreshTarget &target,
+                               const RefreshPolicy &policy,
+                               const RetentionParams &retention,
+                               const EngineGeometry &geom, EventQueue &eq,
+                               StatGroup &stats)
+    : RefreshEngine(target, policy, retention, geom, eq, stats)
+{
+    // A periodic controller has no per-line retention knowledge: under
+    // process variation the whole cache must be cycled at the weakest
+    // line's period (§4.1 discussion; bench_ablation_variation).
+    if (!lineRetention_.empty()) {
+        Tick weakest = cellRetention_;
+        for (Tick r : lineRetention_)
+            weakest = std::min(weakest, r);
+        cellRetention_ = weakest;
+    }
+    const std::uint32_t lines = target.array().numLines();
+    const std::uint32_t groups = std::max(1u, geom_.periodicGroups);
+    const std::uint32_t perGroup = (lines + groups - 1) / groups;
+    linesPerBurst_ = std::min(std::max(1u, geom_.periodicBurstLines),
+                              perGroup);
+    const std::uint32_t burstsPerGroup =
+        (perGroup + linesPerBurst_ - 1) / linesPerBurst_;
+    numBursts_ = groups * burstsPerGroup;
+    // Bursts cover the line space contiguously; group boundaries are
+    // implicit since bursts are evenly staggered anyway.
+    numBursts_ = (lines + linesPerBurst_ - 1) / linesPerBurst_;
+    bursts_ = &stats.counter("periodic_bursts");
+}
+
+void
+PeriodicEngine::start(Tick now)
+{
+    // Stagger burst k at phase k * T / numBursts so that the refresh of
+    // the full cache is spread across an entire retention period (§3.2).
+    for (std::uint32_t k = 0; k < numBursts_; ++k) {
+        const Tick phase =
+            cellRetention_ * static_cast<Tick>(k) / numBursts_;
+        eq_.schedule(now + phase + 1, this, k);
+    }
+}
+
+void
+PeriodicEngine::onInstall(std::uint32_t idx, Tick now)
+{
+    CacheLine &line = target_.array().lineAt(idx);
+    // The fill writes the cells: full (per-line) retention from now.
+    // The periodic schedule guarantees a visit within one period.
+    line.dataExpiry = now + cellRetentionOf(idx);
+    noteAccess(policy_, line);
+}
+
+void
+PeriodicEngine::onAccess(std::uint32_t idx, Tick now)
+{
+    CacheLine &line = target_.array().lineAt(idx);
+    line.dataExpiry = now + cellRetentionOf(idx);
+    noteAccess(policy_, line);
+}
+
+void
+PeriodicEngine::fire(Tick now, std::uint64_t burstIdx)
+{
+    const std::uint32_t lines = target_.array().numLines();
+    const std::uint32_t lo =
+        static_cast<std::uint32_t>(burstIdx) * linesPerBurst_;
+    const std::uint32_t hi = std::min(lines, lo + linesPerBurst_);
+
+    std::uint32_t serviced = 0;
+    for (std::uint32_t idx = lo; idx < hi; ++idx) {
+        if (visitLine(idx, now))
+            ++serviced;
+        else if (policy_.data != DataPolicy::All) {
+            // Invalidated/skipped lines still occupied the pipeline for
+            // their tag+state read, but that is off the data array; we
+            // only block for actual line refreshes.
+        }
+    }
+    bursts_->inc();
+    // The bank is unavailable while the burst streams through the data
+    // array, one line per cycle (Table 5.2: refresh time = access time).
+    if (serviced > 0)
+        target_.addBusy(now, serviced);
+    eq_.schedule(now + cellRetention_, this, burstIdx);
+}
+
+// ---------------------------------------------------------------------
+// RefrintEngine
+// ---------------------------------------------------------------------
+
+RefrintEngine::RefrintEngine(RefreshTarget &target,
+                             const RefreshPolicy &policy,
+                             const RetentionParams &retention,
+                             const EngineGeometry &geom, EventQueue &eq,
+                             StatGroup &stats)
+    : RefreshEngine(target, policy, retention, geom, eq, stats)
+{
+    const std::uint32_t lines = target.array().numLines();
+    geom_.sentryGroupSize = std::max(1u, geom_.sentryGroupSize);
+    numGroups_ =
+        (lines + geom_.sentryGroupSize - 1) / geom_.sentryGroupSize;
+    groupStamp_.assign(numGroups_, 0);
+    groupArmed_.assign(numGroups_, false);
+    interrupts_ = &stats.counter("sentry_interrupts");
+}
+
+void
+RefrintEngine::start(Tick now)
+{
+    if (policy_.data != DataPolicy::All)
+        return; // groups arm lazily as lines are installed
+    // The All policy refreshes even invalid lines, so every sentry is
+    // live from power-on.  Stagger initial phases uniformly to model the
+    // steady state and avoid a synchronized interrupt storm.
+    CacheArray &arr = target_.array();
+    for (std::uint32_t g = 0; g < numGroups_; ++g) {
+        const Tick phase =
+            1 + sentryRetention_ * static_cast<Tick>(g) / numGroups_;
+        const std::uint32_t lo = groupBase(g);
+        const std::uint32_t hi =
+            std::min(arr.numLines(), lo + geom_.sentryGroupSize);
+        for (std::uint32_t idx = lo; idx < hi; ++idx) {
+            CacheLine &line = arr.lineAt(idx);
+            line.sentryExpiry = now + phase;
+            line.dataExpiry = now + phase + (cellRetention_ -
+                                             sentryRetention_);
+        }
+        armGroup(g, now + phase);
+    }
+    maybeSchedule();
+}
+
+Tick
+RefrintEngine::groupDeadline(std::uint32_t g) const
+{
+    CacheArray &arr = target_.array();
+    const std::uint32_t lo = g * geom_.sentryGroupSize;
+    const std::uint32_t hi =
+        std::min(arr.numLines(), lo + geom_.sentryGroupSize);
+    Tick dl = kTickNever;
+    for (std::uint32_t idx = lo; idx < hi; ++idx) {
+        const CacheLine &line = arr.lineAt(idx);
+        const bool relevant =
+            policy_.data == DataPolicy::All || line.valid();
+        if (relevant && line.sentryExpiry < dl)
+            dl = line.sentryExpiry;
+    }
+    return dl;
+}
+
+void
+RefrintEngine::armGroup(std::uint32_t g, Tick deadline)
+{
+    ++groupStamp_[g];
+    groupArmed_[g] = true;
+    heap_.push(HeapEntry{deadline, g, groupStamp_[g]});
+}
+
+void
+RefrintEngine::maybeSchedule()
+{
+    if (heap_.empty())
+        return;
+    const Tick top = heap_.top().expiry;
+    if (top < scheduledAt_) {
+        scheduledAt_ = top;
+        eq_.schedule(top, this, 0);
+    }
+}
+
+void
+RefrintEngine::onInstall(std::uint32_t idx, Tick now)
+{
+    CacheLine &line = target_.array().lineAt(idx);
+    renewClocks(idx, line, now);
+    noteAccess(policy_, line);
+    const std::uint32_t g = groupOf(idx);
+    if (!groupArmed_[g]) {
+        armGroup(g, line.sentryExpiry);
+        maybeSchedule();
+    }
+}
+
+void
+RefrintEngine::onAccess(std::uint32_t idx, Tick now)
+{
+    // Accessing a line automatically refreshes both the line and its
+    // sentry (§3.2) — just push the clocks out.  The live heap entry, if
+    // any, re-arms itself lazily when it pops.
+    CacheLine &line = target_.array().lineAt(idx);
+    renewClocks(idx, line, now);
+    noteAccess(policy_, line);
+    const std::uint32_t g = groupOf(idx);
+    if (!groupArmed_[g]) {
+        armGroup(g, line.sentryExpiry);
+        maybeSchedule();
+    }
+}
+
+void
+RefrintEngine::fire(Tick now, std::uint64_t)
+{
+    scheduledAt_ = kTickNever;
+    CacheArray &arr = target_.array();
+
+    while (!heap_.empty() && heap_.top().expiry <= now) {
+        const HeapEntry e = heap_.top();
+        heap_.pop();
+        if (e.stamp != groupStamp_[e.group])
+            continue; // superseded entry (lazy deletion)
+
+        // Accesses may have pushed the real deadline out since this
+        // entry was armed; if so, re-arm at the true deadline.
+        const Tick dl = groupDeadline(e.group);
+        if (dl == kTickNever) {
+            groupArmed_[e.group] = false;
+            continue;
+        }
+        if (dl > now) {
+            armGroup(e.group, dl);
+            continue;
+        }
+
+        // Genuine sentry interrupt: service every line in the group in
+        // a pipelined fashion (§4.2), with priority over plain R/W.
+        interrupts_->inc();
+        const std::uint32_t lo = groupBase(e.group);
+        const std::uint32_t hi =
+            std::min(arr.numLines(), lo + geom_.sentryGroupSize);
+        std::uint32_t serviced = 0;
+        bool anyAlive = false;
+        for (std::uint32_t idx = lo; idx < hi; ++idx) {
+            CacheLine &line = arr.lineAt(idx);
+            const bool relevant =
+                policy_.data == DataPolicy::All || line.valid();
+            if (!relevant)
+                continue;
+            if (visitLine(idx, now))
+                ++serviced;
+            anyAlive = anyAlive || line.valid() ||
+                       policy_.data == DataPolicy::All;
+        }
+        if (serviced > 0)
+            target_.addBusy(now, serviced);
+
+        const Tick next = groupDeadline(e.group);
+        if (next != kTickNever)
+            armGroup(e.group, next);
+        else
+            groupArmed_[e.group] = false;
+    }
+    maybeSchedule();
+}
+
+// ---------------------------------------------------------------------
+
+std::unique_ptr<RefreshEngine>
+makeRefreshEngine(RefreshTarget &target, const RefreshPolicy &policy,
+                  const RetentionParams &retention,
+                  const EngineGeometry &geom, EventQueue &eq,
+                  StatGroup &stats)
+{
+    switch (policy.time) {
+      case TimePolicy::Periodic:
+        return std::make_unique<PeriodicEngine>(target, policy, retention,
+                                                geom, eq, stats);
+      case TimePolicy::Refrint:
+        return std::make_unique<RefrintEngine>(target, policy, retention,
+                                               geom, eq, stats);
+      case TimePolicy::SmartRefresh:
+        return makeSmartRefreshEngine(target, policy, retention, geom, eq,
+                                      stats);
+    }
+    panic("unreachable time policy");
+}
+
+} // namespace refrint

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Refresh engines: the time-based half of a refresh policy.
+ *
+ * Both engines drive the shared data-policy decision of Fig. 4.1 against
+ * a cache's line array, but differ in *when* lines are visited:
+ *
+ *  - PeriodicEngine visits every line once per retention period, in
+ *    groups (one per CACTI sub-array, paper §5) staggered across the
+ *    period.  Servicing a burst blocks the bank — the availability cost
+ *    the paper attributes to periodic refresh.
+ *
+ *  - RefrintEngine arms a Sentry bit per line (grouped onto shared
+ *    interrupt wires, §4.1) and visits a group only when its earliest
+ *    sentry decays.  An access auto-refreshes line + sentry, so hot
+ *    lines are never explicitly refreshed.  Each serviced line steals a
+ *    single pipelined cycle with priority over plain R/W requests.
+ */
+
+#ifndef REFRINT_EDRAM_REFRESH_ENGINE_HH
+#define REFRINT_EDRAM_REFRESH_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "edram/refresh_policy.hh"
+#include "edram/retention.hh"
+#include "mem/cache_array.hh"
+#include "sim/event_queue.hh"
+
+namespace refrint
+{
+
+/**
+ * What a refresh engine needs from the cache it manages.  The cache
+ * level (via the coherence hierarchy) implements the heavyweight
+ * actions; the engine only makes decisions and keeps the clocks.
+ */
+class RefreshTarget
+{
+  public:
+    virtual ~RefreshTarget() = default;
+
+    virtual CacheArray &array() = 0;
+
+    /** Charge one line refresh (energy accounting). */
+    virtual void refreshLine(std::uint32_t idx, Tick now) = 0;
+
+    /** Write the (dirty) line back to the next level; make it clean. */
+    virtual void writebackLine(std::uint32_t idx, Tick now) = 0;
+
+    /** Invalidate the line, including upper-level copies. */
+    virtual void invalidateLine(std::uint32_t idx, Tick now) = 0;
+
+    /** Make the bank unavailable for @p cycles starting at @p now. */
+    virtual void addBusy(Tick now, Tick cycles) = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/** Tunables that are microarchitectural rather than policy choices. */
+struct EngineGeometry
+{
+    /** Refrint: sentry bits ganged per interrupt wire (1/4/16, §5). */
+    std::uint32_t sentryGroupSize = 1;
+
+    /** Periodic: number of refresh groups (CACTI sub-arrays, §5). */
+    std::uint32_t periodicGroups = 4;
+
+    /**
+     * Periodic: lines refreshed per contiguous bank-blocking burst.
+     * A group is served in ceil(group/burst) bursts spread evenly over
+     * the group's slot of the retention period.
+     */
+    std::uint32_t periodicBurstLines = 256;
+
+    /** SmartRefresh comparator: per-line timeout counter width k; the
+     *  phase clock ticks 2^k times per retention period. */
+    std::uint32_t smartCounterBits = 3;
+};
+
+/** Common interface + bookkeeping shared by the two engines. */
+class RefreshEngine : public EventClient
+{
+  public:
+    RefreshEngine(RefreshTarget &target, const RefreshPolicy &policy,
+                  const RetentionParams &retention,
+                  const EngineGeometry &geom, EventQueue &eq,
+                  StatGroup &stats);
+    ~RefreshEngine() override = default;
+
+    RefreshEngine(const RefreshEngine &) = delete;
+    RefreshEngine &operator=(const RefreshEngine &) = delete;
+
+    /** Begin operation (schedules the initial events). */
+    virtual void start(Tick now) = 0;
+
+    /** A line was filled into the cache at flat index @p idx. */
+    virtual void onInstall(std::uint32_t idx, Tick now) = 0;
+
+    /** A normal R/W access touched line @p idx (auto-refresh, §2). */
+    virtual void onAccess(std::uint32_t idx, Tick now) = 0;
+
+    /** End of the timed window: settle any open accounting (e.g. the
+     *  decay engine's line-OFF integration). */
+    virtual void finish(Tick now) { (void)now; }
+
+    const RefreshPolicy &policy() const { return policy_; }
+
+    std::uint64_t lineRefreshes() const { return refreshes_->value(); }
+    std::uint64_t writebacks() const { return wbs_->value(); }
+    std::uint64_t invalidations() const { return invals_->value(); }
+
+  protected:
+    /** Run the Fig. 4.1 decision for @p idx and apply the outcome.
+     *  @return true if the line remains alive (was refreshed / WB'd). */
+    bool visitLine(std::uint32_t idx, Tick now);
+
+    /** Line @p idx's own data retention (per-line under variation). */
+    Tick
+    cellRetentionOf(std::uint32_t idx) const
+    {
+        return lineRetention_.empty() ? cellRetention_
+                                      : lineRetention_[idx];
+    }
+
+    /** Line @p idx's sentry retention: its cell retention minus the
+     *  global firing margin (§4.1). */
+    Tick
+    sentryRetentionOf(std::uint32_t idx) const
+    {
+        const Tick margin = cellRetention_ - sentryRetention_;
+        const Tick cell = cellRetentionOf(idx);
+        return cell > margin ? cell - margin : 1;
+    }
+
+    /** Stamp fresh retention clocks on line @p idx. */
+    void
+    renewClocks(std::uint32_t idx, CacheLine &line, Tick now)
+    {
+        line.dataExpiry = now + cellRetentionOf(idx);
+        line.sentryExpiry = now + sentryRetentionOf(idx);
+    }
+
+    RefreshTarget &target_;
+    RefreshPolicy policy_;
+    EngineGeometry geom_;
+    EventQueue &eq_;
+
+    Tick cellRetention_;
+    Tick sentryRetention_;
+
+    /** Per-line retention draws; empty when variation is disabled. */
+    std::vector<Tick> lineRetention_;
+
+    Counter *refreshes_; ///< individual line refreshes performed
+    Counter *wbs_;       ///< refresh-triggered write-backs
+    Counter *invals_;    ///< refresh-triggered invalidations
+    Counter *skips_;     ///< deadline visits that did nothing
+    Counter *visits_;    ///< total line visits at deadlines
+};
+
+/** Trivial periodic time policy (baseline, Table 3.1). */
+class PeriodicEngine : public RefreshEngine
+{
+  public:
+    PeriodicEngine(RefreshTarget &target, const RefreshPolicy &policy,
+                   const RetentionParams &retention,
+                   const EngineGeometry &geom, EventQueue &eq,
+                   StatGroup &stats);
+
+    void start(Tick now) override;
+    void onInstall(std::uint32_t idx, Tick now) override;
+    void onAccess(std::uint32_t idx, Tick now) override;
+
+    void fire(Tick now, std::uint64_t burstIdx) override;
+
+    std::uint32_t numBursts() const { return numBursts_; }
+
+  private:
+    std::uint32_t linesPerBurst_;
+    std::uint32_t numBursts_;
+
+    Counter *bursts_;
+};
+
+/** Refrint sentry-interrupt time policy (the paper's proposal). */
+class RefrintEngine : public RefreshEngine
+{
+  public:
+    RefrintEngine(RefreshTarget &target, const RefreshPolicy &policy,
+                  const RetentionParams &retention,
+                  const EngineGeometry &geom, EventQueue &eq,
+                  StatGroup &stats);
+
+    void start(Tick now) override;
+    void onInstall(std::uint32_t idx, Tick now) override;
+    void onAccess(std::uint32_t idx, Tick now) override;
+
+    void fire(Tick now, std::uint64_t tag) override;
+
+    /** Number of sentry interrupt groups (priority-encoder inputs). */
+    std::uint32_t numGroups() const { return numGroups_; }
+
+  private:
+    struct HeapEntry
+    {
+        Tick expiry;
+        std::uint32_t group;
+        std::uint64_t stamp;
+
+        bool
+        operator>(const HeapEntry &o) const
+        {
+            return expiry > o.expiry;
+        }
+    };
+
+    /** First line of sentry group @p g. */
+    std::uint32_t
+    groupBase(std::uint32_t g) const
+    {
+        return g * geom_.sentryGroupSize;
+    }
+
+    std::uint32_t
+    groupOf(std::uint32_t idx) const
+    {
+        return idx / geom_.sentryGroupSize;
+    }
+
+    /**
+     * Earliest sentry expiry among the group's policy-relevant lines,
+     * or kTickNever if the group has nothing to watch.
+     */
+    Tick groupDeadline(std::uint32_t g) const;
+
+    /** Push a heap entry for group @p g at @p deadline. */
+    void armGroup(std::uint32_t g, Tick deadline);
+
+    /** Make sure an event is scheduled for the heap top. */
+    void maybeSchedule();
+
+    std::uint32_t numGroups_;
+    std::vector<std::uint64_t> groupStamp_; ///< live heap entry stamp
+    std::vector<bool> groupArmed_;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+        heap_;
+    Tick scheduledAt_ = kTickNever;
+
+    Counter *interrupts_; ///< sentry interrupts serviced (groups)
+};
+
+/** Factory covering every timing policy (including the SmartRefresh
+ *  comparator, which lives in related/smart_refresh.hh). */
+std::unique_ptr<RefreshEngine>
+makeRefreshEngine(RefreshTarget &target, const RefreshPolicy &policy,
+                  const RetentionParams &retention,
+                  const EngineGeometry &geom, EventQueue &eq,
+                  StatGroup &stats);
+
+/** Implemented in related/smart_refresh.cc; kept behind a factory so
+ *  the edram module does not include related/ headers. */
+std::unique_ptr<RefreshEngine>
+makeSmartRefreshEngine(RefreshTarget &target, const RefreshPolicy &policy,
+                       const RetentionParams &retention,
+                       const EngineGeometry &geom, EventQueue &eq,
+                       StatGroup &stats);
+
+} // namespace refrint
+
+#endif // REFRINT_EDRAM_REFRESH_ENGINE_HH

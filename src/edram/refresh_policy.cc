@@ -1,0 +1,156 @@
+#include "edram/refresh_policy.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace refrint
+{
+
+const char *
+timePolicyName(TimePolicy t)
+{
+    switch (t) {
+      case TimePolicy::Periodic:
+        return "P";
+      case TimePolicy::Refrint:
+        return "R";
+      case TimePolicy::SmartRefresh:
+        return "S";
+    }
+    return "?";
+}
+
+const char *
+dataPolicyName(DataPolicy d)
+{
+    switch (d) {
+      case DataPolicy::All:
+        return "all";
+      case DataPolicy::Valid:
+        return "valid";
+      case DataPolicy::Dirty:
+        return "dirty";
+      case DataPolicy::WB:
+        return "WB";
+    }
+    return "?";
+}
+
+const char *
+refreshActionName(RefreshAction a)
+{
+    switch (a) {
+      case RefreshAction::Refresh:
+        return "refresh";
+      case RefreshAction::Writeback:
+        return "writeback";
+      case RefreshAction::Invalidate:
+        return "invalidate";
+      case RefreshAction::Skip:
+        return "skip";
+    }
+    return "?";
+}
+
+std::string
+RefreshPolicy::name() const
+{
+    std::string s = timePolicyName(time);
+    s += ".";
+    if (data == DataPolicy::WB) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "WB(%u,%u)", n, m);
+        s += buf;
+    } else {
+        s += dataPolicyName(data);
+    }
+    return s;
+}
+
+RefreshPolicy
+RefreshPolicy::periodic(DataPolicy d, std::uint32_t n, std::uint32_t m)
+{
+    return RefreshPolicy{TimePolicy::Periodic, d, n, m};
+}
+
+RefreshPolicy
+RefreshPolicy::refrint(DataPolicy d, std::uint32_t n, std::uint32_t m)
+{
+    return RefreshPolicy{TimePolicy::Refrint, d, n, m};
+}
+
+RefreshAction
+decideRefresh(const RefreshPolicy &policy, CacheLine &line)
+{
+    switch (policy.data) {
+      case DataPolicy::All:
+        // Refresh every line, irrespective of validity (§3.2).
+        return RefreshAction::Refresh;
+
+      case DataPolicy::Valid:
+        return line.valid() ? RefreshAction::Refresh : RefreshAction::Skip;
+
+      case DataPolicy::Dirty:
+        // Refresh dirty lines; invalidate valid-clean ones; let the rest
+        // decay.  Equivalent to WB(inf, 0).
+        if (!line.valid())
+            return RefreshAction::Skip;
+        return line.dirty ? RefreshAction::Refresh
+                          : RefreshAction::Invalidate;
+
+      case DataPolicy::WB:
+        // Fig. 4.1.
+        if (!line.valid())
+            return RefreshAction::Skip;
+        if (line.count >= 1) {
+            --line.count;
+            return RefreshAction::Refresh;
+        }
+        if (line.dirty) {
+            // Write back; the write-back itself refreshes the line and
+            // it continues life as Valid-Clean with Count = m.
+            line.count = policy.m;
+            return RefreshAction::Writeback;
+        }
+        return RefreshAction::Invalidate;
+    }
+    panic("unreachable data policy");
+}
+
+void
+noteAccess(const RefreshPolicy &policy, CacheLine &line)
+{
+    if (policy.data == DataPolicy::WB)
+        line.count = line.dirty ? policy.n : policy.m;
+}
+
+RefreshPolicy
+parsePolicy(const std::string &s)
+{
+    RefreshPolicy p;
+    if (s.size() < 3 || (s[0] != 'P' && s[0] != 'R' && s[0] != 'S') ||
+        s[1] != '.')
+        fatal("cannot parse policy '%s'", s.c_str());
+    p.time = s[0] == 'P'   ? TimePolicy::Periodic
+             : s[0] == 'R' ? TimePolicy::Refrint
+                           : TimePolicy::SmartRefresh;
+    const std::string body = s.substr(2);
+    if (body == "all") {
+        p.data = DataPolicy::All;
+    } else if (body == "valid") {
+        p.data = DataPolicy::Valid;
+    } else if (body == "dirty") {
+        p.data = DataPolicy::Dirty;
+    } else {
+        unsigned n = 0, m = 0;
+        if (std::sscanf(body.c_str(), "WB(%u,%u)", &n, &m) != 2)
+            fatal("cannot parse policy '%s'", s.c_str());
+        p.data = DataPolicy::WB;
+        p.n = n;
+        p.m = m;
+    }
+    return p;
+}
+
+} // namespace refrint

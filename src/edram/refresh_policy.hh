@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Refrint refresh policies (paper Table 3.1) and the per-line decision
+ * algorithm of Fig. 4.1.
+ *
+ * A policy has a time-based component (when to refresh: Periodic or
+ * Refrint/sentry-interrupt) and a data-based component (what to refresh:
+ * All, Valid, Dirty, or WB(n,m)).  Either time policy combines with any
+ * data policy; the paper sweeps the full cross product (Table 5.4).
+ */
+
+#ifndef REFRINT_EDRAM_REFRESH_POLICY_HH
+#define REFRINT_EDRAM_REFRESH_POLICY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "mem/line_state.hh"
+
+namespace refrint
+{
+
+/** When to refresh (Table 3.1, top half, plus the related-work
+ *  comparator of §7). */
+enum class TimePolicy : std::uint8_t
+{
+    Periodic = 0, ///< refresh groups of lines on a fixed schedule
+    Refrint,      ///< refresh on Sentry-bit decay interrupts
+    /** SmartRefresh (Ghosh & Lee, MICRO'07): per-line timeout counters
+     *  polled at a coarse phase clock skip lines that a recent access
+     *  already refreshed.  Implemented in related/smart_refresh.hh;
+     *  evaluated as a comparator, not part of the paper's sweep. */
+    SmartRefresh,
+};
+
+/** What to refresh (Table 3.1, bottom half). */
+enum class DataPolicy : std::uint8_t
+{
+    All = 0, ///< every line, valid or not (reference policy)
+    Valid,   ///< only valid lines; everything else decays
+    Dirty,   ///< only dirty lines; clean valid lines are invalidated
+    WB,      ///< WB(n,m): n refreshes then write back; m then invalidate
+};
+
+const char *timePolicyName(TimePolicy t);
+const char *dataPolicyName(DataPolicy d);
+
+/** Full policy: time component, data component and the WB tuple. */
+struct RefreshPolicy
+{
+    TimePolicy time = TimePolicy::Refrint;
+    DataPolicy data = DataPolicy::Valid;
+    std::uint32_t n = 0; ///< WB: refreshes before write-back (dirty lines)
+    std::uint32_t m = 0; ///< WB: refreshes before invalidation (clean)
+
+    /** "R.WB(32,32)", "P.valid", ... matching the paper's bar labels. */
+    std::string name() const;
+
+    static RefreshPolicy periodic(DataPolicy d, std::uint32_t n = 0,
+                                  std::uint32_t m = 0);
+    static RefreshPolicy refrint(DataPolicy d, std::uint32_t n = 0,
+                                 std::uint32_t m = 0);
+};
+
+/** Outcome of a refresh-deadline decision for one line. */
+enum class RefreshAction : std::uint8_t
+{
+    Refresh = 0, ///< refresh line (and sentry bit)
+    Writeback,   ///< write dirty data down, keep line as Valid-Clean
+    Invalidate,  ///< drop the line (and upper-level copies)
+    Skip,        ///< do nothing; the line may decay
+};
+
+const char *refreshActionName(RefreshAction a);
+
+/**
+ * Decide what to do with @p line when its refresh deadline arrives
+ * (sentry interrupt for Refrint, scheduled visit for Periodic).
+ *
+ * Implements Fig. 4.1 for WB(n,m), including the Count decrement; for
+ * the Writeback outcome the caller must complete the state change
+ * (mark clean, reset Count to m) after performing the write-back, which
+ * this function anticipates by setting count = m.
+ *
+ * The line is identified as dirty via its local dirty flag — at the
+ * shared L3 this deliberately ignores Modified copies in upper levels,
+ * reproducing the visibility limitation discussed in §3.2.
+ */
+RefreshAction decideRefresh(const RefreshPolicy &policy, CacheLine &line);
+
+/**
+ * Reset the WB(n,m) Count on a normal (non-refresh) access, per §3.2:
+ * "On any normal, non-refresh access to the line, Count is reset to its
+ * reference value" — n if the line is dirty, m if clean.
+ */
+void noteAccess(const RefreshPolicy &policy, CacheLine &line);
+
+/** Parse "R.WB(32,32)" / "P.valid" style names (round-trips name()). */
+RefreshPolicy parsePolicy(const std::string &s);
+
+} // namespace refrint
+
+#endif // REFRINT_EDRAM_REFRESH_POLICY_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * eDRAM retention parameters and the Sentry-bit margin rule of §4.1.
+ *
+ * The Sentry bit is a deliberately weaker 1T-1C cell that decays before
+ * the data cells of its line and thereby acts as a canary.  It must lead
+ * the data cells by at least as many cycles as the maximum number of
+ * sentry bits that can fire together, so that the (pipelined, one line
+ * per cycle) interrupt service never lets a data cell expire.  The paper
+ * takes the most conservative bound: every sentry bit in the cache can
+ * fire in the same cycle, so margin = number of lines in the cache
+ * (16 us at 1 GHz for a 16K-line L3 bank).
+ */
+
+#ifndef REFRINT_EDRAM_RETENTION_HH
+#define REFRINT_EDRAM_RETENTION_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/prng.hh"
+#include "common/types.hh"
+
+namespace refrint
+{
+
+/**
+ * Process-variation model for the eDRAM retention time (§4.1 discusses
+ * variation but the paper's evaluation disables it; we expose it as an
+ * extension and study it in bench_ablation_variation).
+ *
+ * Each line draws a retention factor from a truncated normal around the
+ * nominal period.  Weak lines refresh more often; under the Periodic
+ * scheme the whole cache must be cycled at the *weakest* line's period
+ * (the controller has no per-line knowledge), whereas Refrint's
+ * per-line sentry naturally tracks each line's own retention.
+ */
+struct VariationParams
+{
+    bool enabled = false;
+
+    /** Relative standard deviation of the per-line retention factor. */
+    double sigma = 0.05;
+
+    /** Truncation floor, as a fraction of the nominal retention. */
+    double minFactor = 0.70;
+
+    /** Truncation ceiling (strong cells; capped because exploiting
+     *  longer-than-nominal retention needs post-silicon profiling). */
+    double maxFactor = 1.00;
+
+    std::uint64_t seed = 1;
+};
+
+/** Retention timing for one eDRAM cache. */
+struct RetentionParams
+{
+    /** Data-cell retention period, ticks (50/100/200 us in the sweep). */
+    Tick cellRetention = usToTicks(50.0);
+
+    /**
+     * How much earlier than the data cells the Sentry bit decays.
+     * kTickNever means "derive the conservative default" (= #lines).
+     */
+    Tick sentryMargin = kTickNever;
+
+    /** Per-line retention variation (disabled in the paper's sweep). */
+    VariationParams variation;
+
+    /** Resolve the margin for a cache with @p numLines lines. */
+    Tick
+    marginFor(std::uint32_t numLines) const
+    {
+        return sentryMargin == kTickNever ? Tick{numLines} : sentryMargin;
+    }
+
+    /** Sentry-bit retention period for a cache with @p numLines lines. */
+    Tick
+    sentryRetention(std::uint32_t numLines) const
+    {
+        const Tick margin = marginFor(numLines);
+        panicIf(margin >= cellRetention,
+                "sentry margin consumes the entire retention period");
+        return cellRetention - margin;
+    }
+
+    /**
+     * Draw the per-line retention periods of one cache under the
+     * variation model.  Returns an empty vector when variation is off
+     * (callers fall back to the scalar cellRetention).  Deterministic
+     * in (seed, numLines); a Box-Muller normal truncated to
+     * [minFactor, maxFactor] x nominal.
+     */
+    std::vector<Tick>
+    drawLineRetentions(std::uint32_t numLines) const
+    {
+        if (!variation.enabled)
+            return {};
+        panicIf(variation.minFactor <= 0.0 ||
+                    variation.minFactor > variation.maxFactor,
+                "bad variation truncation window");
+        std::vector<Tick> out(numLines);
+        Prng rng(variation.seed, /*stream=*/numLines);
+        for (std::uint32_t i = 0; i < numLines; ++i) {
+            const double u1 = std::max(rng.uniform(), 1e-12);
+            const double u2 = rng.uniform();
+            const double z = std::sqrt(-2.0 * std::log(u1)) *
+                             std::cos(2.0 * 3.14159265358979323846 * u2);
+            double f = 1.0 + variation.sigma * z;
+            f = std::min(std::max(f, variation.minFactor),
+                         variation.maxFactor);
+            out[i] = static_cast<Tick>(
+                static_cast<double>(cellRetention) * f);
+        }
+        return out;
+    }
+};
+
+} // namespace refrint
+
+#endif // REFRINT_EDRAM_RETENTION_HH

@@ -1,0 +1,67 @@
+#include "energy/energy_model.hh"
+
+namespace refrint
+{
+
+EnergyBreakdown
+computeEnergy(const EnergyParams &p, const HierarchyCounts &n,
+              const HierarchyConfig &cfg, Tick execTicks,
+              std::uint64_t totalInstrs)
+{
+    EnergyBreakdown e;
+    const double sec = ticksToSeconds(execTicks);
+    const double leakRatio =
+        cfg.tech == CellTech::Edram ? p.edramLeakRatio : 1.0;
+
+    // Per-level dynamic.
+    const double l1Dyn =
+        static_cast<double>(n.l1Reads + n.l1Writes) * p.eL1Access;
+    const double l2Dyn =
+        static_cast<double>(n.l2Reads + n.l2Writes) * p.eL2Access;
+    const double l3Dyn =
+        static_cast<double>(n.l3Reads + n.l3Writes) * p.eL3Access;
+
+    // Refresh energy = access energy per refreshed line (Table 5.2).
+    const double l1Ref = static_cast<double>(n.l1Refreshes) * p.eL1Access;
+    const double l2Ref = static_cast<double>(n.l2Refreshes) * p.eL2Access;
+    const double l3Ref = static_cast<double>(n.l3Refreshes) * p.eL3Access;
+
+    // Leakage scales with instance count and wall time.  The cache-decay
+    // comparator (related/decay.hh) gates idle lines off; its integrated
+    // line-OFF time discounts the leakage of the decayed level.
+    auto offFraction = [&](double offLineTicks, std::uint64_t lines) {
+        if (execTicks == 0 || lines == 0)
+            return 0.0;
+        const double denom = static_cast<double>(lines) *
+                             static_cast<double>(execTicks);
+        return std::min(1.0, offLineTicks / denom);
+    };
+    const std::uint64_t l2Lines =
+        std::uint64_t{cfg.l2.numLines()} * cfg.numCores;
+    const std::uint64_t l3Lines =
+        std::uint64_t{cfg.l3Bank.numLines()} * cfg.numBanks;
+
+    const double l1Leak =
+        p.leakL1 * 2.0 * cfg.numCores * leakRatio * sec;
+    const double l2Leak = p.leakL2 * cfg.numCores * leakRatio * sec *
+                          (1.0 - offFraction(n.l2OffLineTicks, l2Lines));
+    const double l3Leak = p.leakL3Bank * cfg.numBanks * leakRatio * sec *
+                          (1.0 - offFraction(n.l3OffLineTicks, l3Lines));
+
+    e.l1 = l1Dyn + l1Ref + l1Leak;
+    e.l2 = l2Dyn + l2Ref + l2Leak;
+    e.l3 = l3Dyn + l3Ref + l3Leak;
+    e.dram = static_cast<double>(n.dramAccesses) * p.eDramAccess;
+
+    e.dynamic = l1Dyn + l2Dyn + l3Dyn;
+    e.leakage = l1Leak + l2Leak + l3Leak;
+    e.refresh = l1Ref + l2Ref + l3Ref;
+
+    e.core = p.eCorePerInstr * static_cast<double>(totalInstrs) +
+             p.leakCore * cfg.numCores * sec;
+    e.net = p.eNetPerHop * static_cast<double>(n.netHops) +
+            p.eNetPerDataMsg * static_cast<double>(n.netDataMsgs);
+    return e;
+}
+
+} // namespace refrint

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Converts event counts + execution time into the paper's two energy
+ * decompositions: by level (L1/L2/L3/DRAM, Fig. 6.1) and by component
+ * (on-chip dynamic/leakage/refresh + DRAM, Fig. 6.2), plus the total
+ * system energy with cores and network (Fig. 6.3).
+ */
+
+#ifndef REFRINT_ENERGY_ENERGY_MODEL_HH
+#define REFRINT_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "coherence/hierarchy.hh"
+#include "common/types.hh"
+#include "energy/energy_params.hh"
+
+namespace refrint
+{
+
+/** Full energy decomposition of one run, joules. */
+struct EnergyBreakdown
+{
+    // by level (on-chip dynamic + leakage + refresh per level)
+    double l1 = 0, l2 = 0, l3 = 0, dram = 0;
+
+    // by component, on-chip memory only
+    double dynamic = 0, leakage = 0, refresh = 0;
+
+    // non-memory system energy (Fig. 6.3)
+    double core = 0, net = 0;
+
+    /** Memory hierarchy energy as the paper defines it (§6.1). */
+    double
+    memTotal() const
+    {
+        return l1 + l2 + l3 + dram;
+    }
+
+    /** Total system energy: cores + caches + network + DRAM. */
+    double
+    systemTotal() const
+    {
+        return memTotal() + core + net;
+    }
+};
+
+/**
+ * Compute the decomposition for a finished run.
+ *
+ * @param execTicks   Wall-clock simulated execution (leakage window).
+ * @param totalInstrs Instructions executed across all cores.
+ */
+EnergyBreakdown computeEnergy(const EnergyParams &p,
+                              const HierarchyCounts &n,
+                              const HierarchyConfig &cfg, Tick execTicks,
+                              std::uint64_t totalInstrs);
+
+} // namespace refrint
+
+#endif // REFRINT_ENERGY_ENERGY_MODEL_HH

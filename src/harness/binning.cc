@@ -1,0 +1,53 @@
+#include "harness/binning.hh"
+
+#include <map>
+#include <unordered_set>
+
+#include "harness/runner.hh"
+#include "system/cmp_system.hh"
+
+namespace refrint
+{
+
+BinningMeasurement
+measureBinning(const Workload &app, const BinningThresholds &thr)
+{
+    BinningMeasurement m;
+    const HierarchyConfig cfg = HierarchyConfig::paperSram();
+
+    // ---- Footprint: walk the streams, count unique lines ----
+    std::unordered_set<Addr> lines;
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        auto stream = app.makeStream(c, cfg.numCores, /*seed=*/1);
+        for (std::uint64_t i = 0; i < thr.footprintRefs; ++i)
+            lines.insert(stream->next().addr >> 6);
+    }
+    m.footprintBytes = static_cast<double>(lines.size()) * 64.0;
+    const double l3Bytes = static_cast<double>(cfg.l3Bank.sizeBytes) *
+                           cfg.numBanks;
+    m.largeFootprint = m.footprintBytes > thr.footprintFraction * l3Bytes;
+
+    // ---- Visibility: short SRAM run; count L3-bound write-backs ----
+    SimParams sim;
+    sim.refsPerCore = thr.visibilityRefs;
+    CmpSystem sys(cfg, app, sim);
+    sys.run();
+    std::map<std::string, double> stats;
+    sys.hierarchy().dumpStats(stats);
+    // L3 data writes that are not fills are dirty write-backs and owner
+    // interventions — exactly the activity the LLC can "see" (§3.3).
+    const double wb = stats["l3.writes"] - stats["l3.fills"];
+    const double kiloInstr =
+        static_cast<double>(sys.totalInstructions()) / 1000.0;
+    m.writebacksPerKiloInstr = kiloInstr > 0 ? wb / kiloInstr : 0.0;
+    m.highVisibility =
+        m.writebacksPerKiloInstr > thr.writebacksPerKiloInstr;
+
+    if (m.largeFootprint)
+        m.measuredClass = 1; // the paper finds no large/low-vis apps
+    else
+        m.measuredClass = m.highVisibility ? 2 : 3;
+    return m;
+}
+
+} // namespace refrint

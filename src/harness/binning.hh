@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Application binning (Table 6.1): classify an application along the
+ * two axes of Fig. 3.1 — data footprint relative to the last-level
+ * cache and LLC "visibility" of upper-level activity.
+ *
+ * Footprint is measured by walking the reference streams directly
+ * (unique lines touched); visibility by a short SRAM simulation that
+ * counts dirty write-backs and owner interventions arriving at L3.
+ */
+
+#ifndef REFRINT_HARNESS_BINNING_HH
+#define REFRINT_HARNESS_BINNING_HH
+
+#include <cstdint>
+
+#include "workload/workload.hh"
+
+namespace refrint
+{
+
+struct BinningMeasurement
+{
+    double footprintBytes = 0;
+    double writebacksPerKiloInstr = 0;
+    bool largeFootprint = false;
+    bool highVisibility = false;
+    int measuredClass = 0;
+};
+
+/** Classification thresholds (documented in DESIGN.md). */
+struct BinningThresholds
+{
+    /** Footprint is "large" above this fraction of total L3 bytes. */
+    double footprintFraction = 0.75;
+
+    /** Visibility is "high" above this many L3-bound write-backs per
+     *  thousand instructions.  Calibrated on the paper suite: the
+     *  low-visibility Class 3 apps measure 0.3-1.3, the sharing-heavy
+     *  Class 1/2 apps 5.7-28 — the threshold sits in the gap. */
+    double writebacksPerKiloInstr = 2.0;
+
+    /** Stream length per core for the footprint walk. */
+    std::uint64_t footprintRefs = 120'000;
+
+    /** Refs per core for the visibility simulation. */
+    std::uint64_t visibilityRefs = 30'000;
+};
+
+BinningMeasurement measureBinning(
+    const Workload &app, const BinningThresholds &thr = {});
+
+} // namespace refrint
+
+#endif // REFRINT_HARNESS_BINNING_HH

@@ -1,0 +1,197 @@
+#include "harness/report.hh"
+
+#include <unordered_set>
+
+#include "harness/binning.hh"
+
+namespace refrint
+{
+
+std::vector<std::string>
+classAppNames(int paperClass)
+{
+    std::vector<std::string> names;
+    if (paperClass == 0)
+        return names; // empty = all apps
+    for (const Workload *w : workloadsOfClass(paperClass))
+        names.emplace_back(w->name());
+    return names;
+}
+
+namespace
+{
+
+void
+printBarHeader(std::FILE *out)
+{
+    std::fprintf(out, "%-6s %-12s", "ret", "policy");
+}
+
+const char *
+classLabel(int classFilter)
+{
+    switch (classFilter) {
+      case 1:
+        return "class1";
+      case 2:
+        return "class2";
+      case 3:
+        return "class3";
+      default:
+        return "all";
+    }
+}
+
+template <typename RowFn>
+void
+printPolicyTable(const SweepResult &s, int classFilter, std::FILE *out,
+                 const char *cols, RowFn &&rowFn)
+{
+    (void)s;
+    const std::vector<std::string> apps = classAppNames(classFilter);
+    printBarHeader(out);
+    std::fprintf(out, " %s\n", cols);
+    for (Tick ret : paperRetentions()) {
+        const double retUs = static_cast<double>(ret) / 1e3;
+        for (const RefreshPolicy &pol : paperPolicySweep()) {
+            std::fprintf(out, "%-6.0f %-12s", retUs,
+                         pol.name().c_str());
+            rowFn(retUs, pol.name(), apps);
+            std::fprintf(out, "\n");
+        }
+    }
+}
+
+} // namespace
+
+void
+printFig61(const SweepResult &s, std::FILE *out)
+{
+    std::fprintf(out,
+                 "# Fig 6.1 — L1/L2/L3/DRAM energy, averaged over all "
+                 "apps (normalized to full-SRAM memory energy)\n");
+    printPolicyTable(
+        s, 0, out, "      L1      L2      L3    DRAM   total",
+        [&](double retUs, const std::string &cfg,
+            const std::vector<std::string> &apps) {
+            const double l1 =
+                s.average(retUs, cfg, apps, &NormalizedResult::l1);
+            const double l2 =
+                s.average(retUs, cfg, apps, &NormalizedResult::l2);
+            const double l3 =
+                s.average(retUs, cfg, apps, &NormalizedResult::l3);
+            const double dram =
+                s.average(retUs, cfg, apps, &NormalizedResult::dram);
+            std::fprintf(out, " %7.4f %7.4f %7.4f %7.4f %7.4f", l1, l2,
+                         l3, dram, l1 + l2 + l3 + dram);
+        });
+}
+
+void
+printFig62(const SweepResult &s, int classFilter, std::FILE *out)
+{
+    std::fprintf(out,
+                 "# Fig 6.2 [%s] — on-chip dynamic/leakage/refresh + "
+                 "DRAM energy (normalized to full-SRAM memory energy)\n",
+                 classLabel(classFilter));
+    printPolicyTable(
+        s, classFilter, out,
+        "     dyn    leak refresh    DRAM   total",
+        [&](double retUs, const std::string &cfg,
+            const std::vector<std::string> &apps) {
+            const double dyn =
+                s.average(retUs, cfg, apps, &NormalizedResult::dynamic);
+            const double leak =
+                s.average(retUs, cfg, apps, &NormalizedResult::leakage);
+            const double refr =
+                s.average(retUs, cfg, apps, &NormalizedResult::refresh);
+            const double dram =
+                s.average(retUs, cfg, apps, &NormalizedResult::dram);
+            std::fprintf(out, " %7.4f %7.4f %7.4f %7.4f %7.4f", dyn,
+                         leak, refr, dram, dyn + leak + refr + dram);
+        });
+}
+
+void
+printFig63(const SweepResult &s, int classFilter, std::FILE *out)
+{
+    std::fprintf(out,
+                 "# Fig 6.3 [%s] — total system energy "
+                 "(normalized to full-SRAM system energy)\n",
+                 classLabel(classFilter));
+    printPolicyTable(s, classFilter, out, "  energy",
+                     [&](double retUs, const std::string &cfg,
+                         const std::vector<std::string> &apps) {
+                         std::fprintf(
+                             out, " %7.4f",
+                             s.average(retUs, cfg, apps,
+                                       &NormalizedResult::sysEnergy));
+                     });
+}
+
+void
+printFig64(const SweepResult &s, int classFilter, std::FILE *out)
+{
+    std::fprintf(out,
+                 "# Fig 6.4 [%s] — execution time "
+                 "(normalized to full-SRAM execution time)\n",
+                 classLabel(classFilter));
+    printPolicyTable(s, classFilter, out, "    time",
+                     [&](double retUs, const std::string &cfg,
+                         const std::vector<std::string> &apps) {
+                         std::fprintf(
+                             out, " %7.4f",
+                             s.average(retUs, cfg, apps,
+                                       &NormalizedResult::time));
+                     });
+}
+
+void
+printBinning(std::FILE *out)
+{
+    std::fprintf(out,
+                 "# Table 6.1 — application binning "
+                 "(footprint vs LLC, visibility at LLC)\n");
+    std::fprintf(out, "%-14s %10s %12s %8s %8s %8s\n", "app",
+                 "footprintMB", "wb/kinst", "meas.", "paper", "match");
+    for (const Workload *w : paperWorkloads()) {
+        const BinningMeasurement m = measureBinning(*w);
+        std::fprintf(out, "%-14s %10.1f %12.2f %8d %8d %8s\n", w->name(),
+                     m.footprintBytes / (1024.0 * 1024.0),
+                     m.writebacksPerKiloInstr, m.measuredClass,
+                     w->paperClass(),
+                     m.measuredClass == w->paperClass() ? "yes" : "NO");
+    }
+}
+
+void
+printHeadline(const SweepResult &s, std::FILE *out)
+{
+    std::fprintf(out, "# Headline (paper abstract / §6, 50 us):\n");
+    const std::vector<std::string> all;
+    struct Row
+    {
+        const char *cfg;
+        double paperMem, paperSys, paperTime;
+    };
+    const Row rows[] = {
+        {"P.all", 0.50, 0.72, 1.18},
+        {"R.WB(32,32)", 0.36, 0.61, 1.02},
+    };
+    std::fprintf(out, "%-14s %10s %10s %10s %10s %10s %10s\n", "config",
+                 "mem", "paperMem", "sys", "paperSys", "time",
+                 "paperTime");
+    for (const Row &r : rows) {
+        std::fprintf(
+            out, "%-14s %10.3f %10.2f %10.3f %10.2f %10.3f %10.2f\n",
+            r.cfg,
+            s.average(50.0, r.cfg, all, &NormalizedResult::memEnergy),
+            r.paperMem,
+            s.average(50.0, r.cfg, all, &NormalizedResult::sysEnergy),
+            r.paperSys,
+            s.average(50.0, r.cfg, all, &NormalizedResult::time),
+            r.paperTime);
+    }
+}
+
+} // namespace refrint

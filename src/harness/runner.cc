@@ -1,0 +1,51 @@
+#include "harness/runner.hh"
+
+namespace refrint
+{
+
+RunResult
+runOnce(const HierarchyConfig &cfg, const Workload &app,
+        const SimParams &params, const EnergyParams &energy)
+{
+    CmpSystem sys(cfg, app, params);
+    sys.run();
+
+    RunResult r;
+    r.app = app.name();
+    r.config = cfg.tech == CellTech::Sram ? "SRAM" : cfg.l3Policy.name();
+    r.retentionUs = static_cast<double>(cfg.retention.cellRetention) / 1e3;
+    r.execTicks = sys.execTicks();
+    r.instructions = sys.totalInstructions();
+    r.counts = sys.hierarchy().counts();
+    r.energy = computeEnergy(energy, r.counts, cfg, r.execTicks,
+                             r.instructions);
+    return r;
+}
+
+NormalizedResult
+normalize(const RunResult &r, const RunResult &base)
+{
+    NormalizedResult n;
+    n.app = r.app;
+    n.config = r.config;
+    n.retentionUs = r.retentionUs;
+
+    const double baseMem = base.energy.memTotal();
+    const double baseSys = base.energy.systemTotal();
+    const double baseTime = static_cast<double>(base.execTicks);
+
+    n.time = static_cast<double>(r.execTicks) / baseTime;
+    n.memEnergy = r.energy.memTotal() / baseMem;
+    n.sysEnergy = r.energy.systemTotal() / baseSys;
+
+    n.l1 = r.energy.l1 / baseMem;
+    n.l2 = r.energy.l2 / baseMem;
+    n.l3 = r.energy.l3 / baseMem;
+    n.dram = r.energy.dram / baseMem;
+    n.dynamic = r.energy.dynamic / baseMem;
+    n.leakage = r.energy.leakage / baseMem;
+    n.refresh = r.energy.refresh / baseMem;
+    return n;
+}
+
+} // namespace refrint

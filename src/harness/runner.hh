@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Experiment runner: executes one (workload x machine configuration)
+ * run and collects everything the paper's tables and figures need.
+ */
+
+#ifndef REFRINT_HARNESS_RUNNER_HH
+#define REFRINT_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "coherence/hierarchy.hh"
+#include "energy/energy_model.hh"
+#include "system/cmp_system.hh"
+#include "workload/workload.hh"
+
+namespace refrint
+{
+
+/** Everything measured in one run. */
+struct RunResult
+{
+    std::string app;
+    std::string config; ///< "SRAM" or the policy name, e.g. "R.WB(32,32)"
+    double retentionUs = 0;
+
+    Tick execTicks = 0;
+    std::uint64_t instructions = 0;
+
+    EnergyBreakdown energy;
+    HierarchyCounts counts;
+};
+
+/** Normalized (to the full-SRAM run of the same app) view of a run. */
+struct NormalizedResult
+{
+    std::string app;
+    std::string config;
+    double retentionUs = 0;
+
+    double time = 1.0;      ///< exec time / SRAM exec time
+    double memEnergy = 1.0; ///< memory energy / SRAM memory energy
+    double sysEnergy = 1.0; ///< system energy / SRAM system energy
+
+    // Fractions of SRAM *memory* energy, stackable as in Figs. 6.1/6.2.
+    double l1 = 0, l2 = 0, l3 = 0, dram = 0;
+    double dynamic = 0, leakage = 0, refresh = 0;
+};
+
+/** Run @p app on @p cfg and collect the result. */
+RunResult runOnce(const HierarchyConfig &cfg, const Workload &app,
+                  const SimParams &params,
+                  const EnergyParams &energy = EnergyParams::calibrated());
+
+/** Normalize @p r against the matching SRAM baseline run @p base. */
+NormalizedResult normalize(const RunResult &r, const RunResult &base);
+
+} // namespace refrint
+
+#endif // REFRINT_HARNESS_RUNNER_HH

@@ -1,0 +1,330 @@
+#include "harness/sweep.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace refrint
+{
+
+std::vector<RefreshPolicy>
+paperDataPolicies(TimePolicy t)
+{
+    std::vector<RefreshPolicy> v;
+    auto mk = [&](DataPolicy d, std::uint32_t n = 0, std::uint32_t m = 0) {
+        RefreshPolicy p;
+        p.time = t;
+        p.data = d;
+        p.n = n;
+        p.m = m;
+        v.push_back(p);
+    };
+    mk(DataPolicy::All);
+    mk(DataPolicy::Valid);
+    mk(DataPolicy::Dirty);
+    mk(DataPolicy::WB, 4, 4);
+    mk(DataPolicy::WB, 8, 8);
+    mk(DataPolicy::WB, 16, 16);
+    mk(DataPolicy::WB, 32, 32);
+    return v;
+}
+
+std::vector<RefreshPolicy>
+paperPolicySweep()
+{
+    std::vector<RefreshPolicy> v = paperDataPolicies(TimePolicy::Periodic);
+    for (const auto &p : paperDataPolicies(TimePolicy::Refrint))
+        v.push_back(p);
+    return v;
+}
+
+std::vector<Tick>
+paperRetentions()
+{
+    return {usToTicks(50.0), usToTicks(100.0), usToTicks(200.0)};
+}
+
+std::string
+defaultCachePath()
+{
+    if (const char *p = std::getenv("REFRINT_CACHE"))
+        return p;
+    return "refrint_sweep_cache.csv";
+}
+
+void
+SweepSpec::finalize()
+{
+    if (apps.empty())
+        apps = paperWorkloads();
+    if (retentions.empty())
+        retentions = paperRetentions();
+    if (policies.empty())
+        policies = paperPolicySweep();
+    if (const char *r = std::getenv("REFRINT_REFS")) {
+        const long long v = std::atoll(r);
+        if (v > 0)
+            sim.refsPerCore = static_cast<std::uint64_t>(v);
+    }
+    if (const char *a = std::getenv("REFRINT_APPS")) {
+        // Comma-separated allow list, e.g. REFRINT_APPS=fft,lu
+        std::vector<const Workload *> keep;
+        std::stringstream ss(a);
+        std::string tok;
+        while (std::getline(ss, tok, ',')) {
+            if (const Workload *w = findWorkload(tok))
+                keep.push_back(w);
+            else
+                warn("REFRINT_APPS: unknown app '%s'", tok.c_str());
+        }
+        if (!keep.empty())
+            apps = keep;
+    }
+}
+
+namespace
+{
+
+/** Stable textual key identifying one run in the cache. */
+std::string
+runKey(const std::string &app, const std::string &config,
+       double retentionUs, const SimParams &sim)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%s|%s|%.1f|%llu|%llu", app.c_str(),
+                  config.c_str(), retentionUs,
+                  static_cast<unsigned long long>(sim.refsPerCore),
+                  static_cast<unsigned long long>(sim.seed));
+    return buf;
+}
+
+constexpr int kCacheVersion = 3;
+
+/** The numeric payload serialized per run. */
+struct CacheRow
+{
+    double execTicks, instructions;
+    double l1, l2, l3, dram, dynamic, leakage, refresh, core, net;
+    double dramAccesses, l3Misses, refreshes3, refWbs, refInvals;
+    double decayed;
+};
+
+CacheRow
+toRow(const RunResult &r)
+{
+    CacheRow c{};
+    c.execTicks = static_cast<double>(r.execTicks);
+    c.instructions = static_cast<double>(r.instructions);
+    c.l1 = r.energy.l1;
+    c.l2 = r.energy.l2;
+    c.l3 = r.energy.l3;
+    c.dram = r.energy.dram;
+    c.dynamic = r.energy.dynamic;
+    c.leakage = r.energy.leakage;
+    c.refresh = r.energy.refresh;
+    c.core = r.energy.core;
+    c.net = r.energy.net;
+    c.dramAccesses = static_cast<double>(r.counts.dramAccesses);
+    c.l3Misses = static_cast<double>(r.counts.l3Misses);
+    c.refreshes3 = static_cast<double>(r.counts.l3Refreshes);
+    c.refWbs = static_cast<double>(r.counts.refreshWritebacks);
+    c.refInvals = static_cast<double>(r.counts.refreshInvalidations);
+    c.decayed = static_cast<double>(r.counts.decayedHits);
+    return c;
+}
+
+RunResult
+fromRow(const std::string &app, const std::string &config,
+        double retentionUs, const CacheRow &c)
+{
+    RunResult r;
+    r.app = app;
+    r.config = config;
+    r.retentionUs = retentionUs;
+    r.execTicks = static_cast<Tick>(c.execTicks);
+    r.instructions = static_cast<std::uint64_t>(c.instructions);
+    r.energy.l1 = c.l1;
+    r.energy.l2 = c.l2;
+    r.energy.l3 = c.l3;
+    r.energy.dram = c.dram;
+    r.energy.dynamic = c.dynamic;
+    r.energy.leakage = c.leakage;
+    r.energy.refresh = c.refresh;
+    r.energy.core = c.core;
+    r.energy.net = c.net;
+    r.counts.dramAccesses = static_cast<std::uint64_t>(c.dramAccesses);
+    r.counts.l3Misses = static_cast<std::uint64_t>(c.l3Misses);
+    r.counts.l3Refreshes = static_cast<std::uint64_t>(c.refreshes3);
+    r.counts.refreshWritebacks = static_cast<std::uint64_t>(c.refWbs);
+    r.counts.refreshInvalidations =
+        static_cast<std::uint64_t>(c.refInvals);
+    r.counts.decayedHits = static_cast<std::uint64_t>(c.decayed);
+    return r;
+}
+
+class RunCache
+{
+  public:
+    explicit RunCache(std::string path) : path_(std::move(path))
+    {
+        if (path_.empty())
+            return;
+        std::ifstream in(path_);
+        if (!in)
+            return;
+        std::string line;
+        if (!std::getline(in, line) ||
+            line != "v" + std::to_string(kCacheVersion)) {
+            warn("ignoring sweep cache with stale version: %s",
+                 path_.c_str());
+            return;
+        }
+        while (std::getline(in, line)) {
+            const auto sep = line.find(';');
+            if (sep == std::string::npos)
+                continue;
+            const std::string key = line.substr(0, sep);
+            CacheRow c{};
+            double *f = reinterpret_cast<double *>(&c);
+            std::stringstream ss(line.substr(sep + 1));
+            std::string tok;
+            std::size_t i = 0;
+            const std::size_t nf = sizeof(CacheRow) / sizeof(double);
+            while (i < nf && std::getline(ss, tok, ','))
+                f[i++] = std::atof(tok.c_str());
+            if (i == nf)
+                rows_[key] = c;
+        }
+    }
+
+    bool
+    lookup(const std::string &key, CacheRow &out) const
+    {
+        auto it = rows_.find(key);
+        if (it == rows_.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    void
+    store(const std::string &key, const CacheRow &c)
+    {
+        rows_[key] = c;
+        if (path_.empty())
+            return;
+        std::ofstream out(path_, dirty_ ? std::ios::app : std::ios::trunc);
+        if (!dirty_) {
+            // Rewrite whole file once per process to refresh the header.
+            out << "v" << kCacheVersion << "\n";
+            for (const auto &[k, row] : rows_)
+                writeRow(out, k, row);
+            dirty_ = true;
+            return;
+        }
+        writeRow(out, key, c);
+    }
+
+  private:
+    static void
+    writeRow(std::ofstream &out, const std::string &key,
+             const CacheRow &c)
+    {
+        out << key << ";";
+        const double *f = reinterpret_cast<const double *>(&c);
+        const std::size_t nf = sizeof(CacheRow) / sizeof(double);
+        for (std::size_t i = 0; i < nf; ++i)
+            out << (i ? "," : "") << f[i];
+        out << "\n";
+    }
+
+    std::string path_;
+    std::map<std::string, CacheRow> rows_;
+    bool dirty_ = false;
+};
+
+} // namespace
+
+double
+SweepResult::average(double retentionUs, const std::string &config,
+                     const std::vector<std::string> &apps,
+                     double NormalizedResult::*field) const
+{
+    double sum = 0;
+    std::size_t n = 0;
+    for (const auto &r : normalized) {
+        if (r.config != config)
+            continue;
+        if (retentionUs > 0 && r.retentionUs != retentionUs)
+            continue;
+        if (!apps.empty()) {
+            bool found = false;
+            for (const auto &a : apps)
+                found = found || a == r.app;
+            if (!found)
+                continue;
+        }
+        sum += r.*field;
+        ++n;
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+const NormalizedResult *
+SweepResult::find(const std::string &app, double retentionUs,
+                  const std::string &config) const
+{
+    for (const auto &r : normalized) {
+        if (r.app == app && r.config == config &&
+            (retentionUs <= 0 || r.retentionUs == retentionUs))
+            return &r;
+    }
+    return nullptr;
+}
+
+SweepResult
+runSweep(SweepSpec spec, const std::string &cachePath)
+{
+    spec.finalize();
+    RunCache cache(cachePath);
+    SweepResult out;
+
+    auto obtain = [&](const HierarchyConfig &cfg, const Workload &app,
+                      double retentionUs,
+                      const std::string &config) -> RunResult {
+        const std::string key =
+            runKey(app.name(), config, retentionUs, spec.sim);
+        CacheRow row;
+        if (cache.lookup(key, row))
+            return fromRow(app.name(), config, retentionUs, row);
+        inform("simulating %s / %s @ %.0f us ...", app.name(),
+               config.c_str(), retentionUs);
+        RunResult r = runOnce(cfg, app, spec.sim, spec.energy);
+        cache.store(key, toRow(r));
+        return r;
+    };
+
+    for (const Workload *app : spec.apps) {
+        const RunResult base = obtain(HierarchyConfig::paperSram(), *app,
+                                      0.0, "SRAM");
+        out.raw.push_back(base);
+        for (Tick ret : spec.retentions) {
+            const double retUs = static_cast<double>(ret) / 1e3;
+            for (const RefreshPolicy &pol : spec.policies) {
+                HierarchyConfig cfg =
+                    HierarchyConfig::paperEdram(pol, ret);
+                RunResult r = obtain(cfg, *app, retUs, pol.name());
+                out.raw.push_back(r);
+                out.normalized.push_back(normalize(r, base));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace refrint

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The paper's full parameter sweep (Table 5.4): 3 retention times x
+ * {Periodic, Refrint} x {All, Valid, Dirty, WB(4,4), WB(8,8),
+ * WB(16,16), WB(32,32)} per application, plus one SRAM baseline run per
+ * application — 43 runs per app.
+ *
+ * A sweep is expensive (473 simulations at full size), so results are
+ * cached in a CSV file keyed by every parameter that affects them; all
+ * figure benches share the cache, and re-running a bench is free.
+ */
+
+#ifndef REFRINT_HARNESS_SWEEP_HH
+#define REFRINT_HARNESS_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace refrint
+{
+
+/** The paper's seven data policies for one timing policy. */
+std::vector<RefreshPolicy> paperDataPolicies(TimePolicy t);
+
+/** All 14 timing x data combinations, Periodic first (plot order). */
+std::vector<RefreshPolicy> paperPolicySweep();
+
+/** The paper's three retention times, in ticks. */
+std::vector<Tick> paperRetentions();
+
+struct SweepSpec
+{
+    std::vector<const Workload *> apps; ///< defaults to all 11
+    std::vector<Tick> retentions;       ///< defaults to 50/100/200 us
+    std::vector<RefreshPolicy> policies; ///< defaults to all 14
+    SimParams sim;
+    EnergyParams energy = EnergyParams::calibrated();
+
+    /** Fill any empty field with the paper defaults; read environment
+     *  overrides (REFRINT_REFS, REFRINT_APPS). */
+    void finalize();
+};
+
+/** One app's SRAM baseline plus all its policy runs, normalized. */
+struct SweepResult
+{
+    std::vector<RunResult> raw;             ///< includes SRAM baselines
+    std::vector<NormalizedResult> normalized;
+
+    /** Mean of @p pick over the normalized rows matching the filter
+     *  (retention in us; empty app list = all apps). */
+    double average(double retentionUs, const std::string &config,
+                   const std::vector<std::string> &apps,
+                   double NormalizedResult::*field) const;
+
+    const NormalizedResult *find(const std::string &app,
+                                 double retentionUs,
+                                 const std::string &config) const;
+};
+
+/** Cache location: $REFRINT_CACHE or ./refrint_sweep_cache.csv. */
+std::string defaultCachePath();
+
+/**
+ * Run (or load from cache) the sweep described by @p spec.
+ * @param cachePath  CSV cache location; empty disables caching.
+ */
+SweepResult runSweep(SweepSpec spec,
+                     const std::string &cachePath = defaultCachePath());
+
+} // namespace refrint
+
+#endif // REFRINT_HARNESS_SWEEP_HH

@@ -1,0 +1,88 @@
+#include "mem/cache_array.hh"
+
+namespace refrint
+{
+
+const char *
+mesiName(Mesi s)
+{
+    switch (s) {
+      case Mesi::Invalid:
+        return "I";
+      case Mesi::Shared:
+        return "S";
+      case Mesi::Exclusive:
+        return "E";
+      case Mesi::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+CacheArray::CacheArray(const CacheGeometry &geom, const char *name)
+    : geom_(geom), numLines_(geom.numLines()), lines_(geom.numLines())
+{
+    geom_.check(name);
+}
+
+CacheLine *
+CacheArray::lookup(Addr addr)
+{
+    const std::uint32_t set = geom_.setIndex(addr);
+    const Addr tag = geom_.tagOf(addr);
+    CacheLine *base = lines_.data() +
+                      static_cast<std::size_t>(set) * geom_.assoc;
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        CacheLine &l = base[w];
+        if (l.state != Mesi::Invalid && l.tag == tag)
+            return &l;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+CacheArray::lookup(Addr addr) const
+{
+    return const_cast<CacheArray *>(this)->lookup(addr);
+}
+
+VictimRef
+CacheArray::pickVictim(Addr addr)
+{
+    const std::uint32_t set = geom_.setIndex(addr);
+    const std::uint32_t base =
+        set * geom_.assoc;
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        CacheLine &l = lines_[base + w];
+        if (l.state == Mesi::Invalid)
+            return {&l, base + w};
+    }
+    // Otherwise evict true-LRU (earliest lastTouch; way order ties).
+    std::uint32_t best = base;
+    for (std::uint32_t w = 1; w < geom_.assoc; ++w) {
+        if (lines_[base + w].lastTouch < lines_[best].lastTouch)
+            best = base + w;
+    }
+    return {&lines_[best], best};
+}
+
+std::uint32_t
+CacheArray::countValid() const
+{
+    std::uint32_t n = 0;
+    for (const auto &l : lines_)
+        n += l.state != Mesi::Invalid ? 1 : 0;
+    return n;
+}
+
+std::uint32_t
+CacheArray::countDirty() const
+{
+    std::uint32_t n = 0;
+    for (const auto &l : lines_)
+        n += (l.state != Mesi::Invalid && l.dirty) ? 1 : 0;
+    return n;
+}
+
+} // namespace refrint

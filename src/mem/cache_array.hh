@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Set-associative tag/state array with LRU replacement.
+ *
+ * This is the storage substrate shared by all cache levels.  It is
+ * state-only (no data payloads — the simulator is state-accurate, not
+ * value-accurate) and exposes flat line indices so the eDRAM refresh
+ * engines can address lines the way the hardware's sentry wires do.
+ */
+
+#ifndef REFRINT_MEM_CACHE_ARRAY_HH
+#define REFRINT_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache_geometry.hh"
+#include "mem/line_state.hh"
+
+namespace refrint
+{
+
+/** Result of a victim search. */
+struct VictimRef
+{
+    CacheLine *line = nullptr;
+    std::uint32_t index = 0; ///< flat line index
+};
+
+class CacheArray
+{
+  public:
+    CacheArray(const CacheGeometry &geom, const char *name);
+
+    CacheArray(const CacheArray &) = delete;
+    CacheArray &operator=(const CacheArray &) = delete;
+
+    const CacheGeometry &geometry() const { return geom_; }
+    std::uint32_t numLines() const { return numLines_; }
+
+    /** Find the line holding @p addr, or nullptr on miss. */
+    CacheLine *lookup(Addr addr);
+    const CacheLine *lookup(Addr addr) const;
+
+    /** Flat index of @p line (must belong to this array). */
+    std::uint32_t
+    indexOf(const CacheLine *line) const
+    {
+        return static_cast<std::uint32_t>(line - lines_.data());
+    }
+
+    /** Line at flat index @p idx. */
+    CacheLine &lineAt(std::uint32_t idx) { return lines_[idx]; }
+    const CacheLine &lineAt(std::uint32_t idx) const { return lines_[idx]; }
+
+    /**
+     * Choose a victim way in @p addr's set: an invalid way if one
+     * exists, otherwise the LRU way.  Does not modify the line.
+     */
+    VictimRef pickVictim(Addr addr);
+
+    /**
+     * Install @p addr into @p v (caller already evicted the victim).
+     * Resets state to Invalid-like defaults; caller sets MESI state.
+     */
+    void
+    install(VictimRef v, Addr addr, Tick now)
+    {
+        CacheLine &l = *v.line;
+        l.tag = geom_.tagOf(addr);
+        l.state = Mesi::Invalid;
+        l.dirty = false;
+        l.sharers = 0;
+        l.owner = -1;
+        l.count = 0;
+        l.lastTouch = now;
+    }
+
+    /** Update LRU on an access. */
+    void touch(CacheLine &line, Tick now) { line.lastTouch = now; }
+
+    /** Count lines in a given validity predicate (tests/diagnostics). */
+    std::uint32_t countValid() const;
+    std::uint32_t countDirty() const;
+
+    /** Iterate every line (refresh engines, invariant checkers). */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn)
+    {
+        for (std::uint32_t i = 0; i < numLines_; ++i)
+            fn(i, lines_[i]);
+    }
+
+  private:
+    CacheGeometry geom_;
+    std::uint32_t numLines_;
+    std::vector<CacheLine> lines_;
+};
+
+} // namespace refrint
+
+#endif // REFRINT_MEM_CACHE_ARRAY_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * CacheUnit: one physical cache (an L1, a private L2, or one L3 bank)
+ * — the tag/state array plus port availability, access counters and the
+ * optional eDRAM refresh engine attached to it.
+ */
+
+#ifndef REFRINT_MEM_CACHE_UNIT_HH
+#define REFRINT_MEM_CACHE_UNIT_HH
+
+#include <algorithm>
+#include <memory>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache_array.hh"
+
+namespace refrint
+{
+
+class RefreshEngine;
+
+class CacheUnit
+{
+  public:
+    /**
+     * @param stats  Shared per-level stat group: all units of a level
+     *               aggregate into the same counters (the paper reports
+     *               per-level energy, never per-unit).
+     */
+    CacheUnit(const char *name, const CacheGeometry &geom,
+              StatGroup &stats)
+        : array(geom, name), latency(geom.latency)
+    {
+        reads = &stats.counter("reads");
+        writes = &stats.counter("writes");
+        misses = &stats.counter("misses");
+        fills = &stats.counter("fills");
+        evictions = &stats.counter("evictions");
+        backInvals = &stats.counter("back_invalidations");
+        decayed = &stats.counter("decayed_hits");
+    }
+
+    CacheUnit(const CacheUnit &) = delete;
+    CacheUnit &operator=(const CacheUnit &) = delete;
+
+    /** Earliest tick at which a request arriving at @p t is served —
+     *  refresh activity has priority over plain R/W requests (§4.2). */
+    Tick admit(Tick t) const { return std::max(t, busyUntil); }
+
+    /** Block the unit's port for @p cycles starting no earlier than
+     *  @p now (refresh bursts, sentry interrupt service). */
+    void
+    addBusy(Tick now, Tick cycles)
+    {
+        busyUntil = std::max(busyUntil, now) + cycles;
+    }
+
+    /** Record a demand access to a resident line: LRU, WB(n,m) Count
+     *  reset and the automatic line+sentry refresh. */
+    void touchLine(CacheLine &line, Tick now);
+
+    /** Record a fresh install of @p line. */
+    void installLine(CacheLine &line, Tick now);
+
+    CacheArray array;
+    Tick latency;
+    Tick busyUntil = 0;
+
+    /** Refresh engine for eDRAM configurations; null for SRAM. */
+    RefreshEngine *engine = nullptr;
+
+    Counter *reads;
+    Counter *writes;
+    Counter *misses;
+    Counter *fills;
+    Counter *evictions;
+    Counter *backInvals;
+    /** Accesses that found a line past its data retention — must stay 0;
+     *  a nonzero value indicates a refresh-engine bug. */
+    Counter *decayed;
+};
+
+} // namespace refrint
+
+#endif // REFRINT_MEM_CACHE_UNIT_HH

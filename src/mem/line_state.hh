@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Cache line state for the MESI hierarchy plus the eDRAM refresh
+ * metadata that Refrint attaches to every line.
+ */
+
+#ifndef REFRINT_MEM_LINE_STATE_HH
+#define REFRINT_MEM_LINE_STATE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace refrint
+{
+
+/** Classic MESI states as seen by a private cache. */
+enum class Mesi : std::uint8_t
+{
+    Invalid = 0,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** Printable name for a MESI state. */
+const char *mesiName(Mesi s);
+
+/**
+ * One cache line's bookkeeping.
+ *
+ * The same struct serves L1, L2 and L3; the directory fields (sharers /
+ * owner) are only meaningful at L3, and the refresh fields only when the
+ * enclosing cache is built from eDRAM.  Keeping one POD avoids a
+ * templated cache array at negligible memory cost for a simulator.
+ */
+struct CacheLine
+{
+    Addr tag = 0;
+    Mesi state = Mesi::Invalid;
+
+    /** Local data is newer than the next level (L2/L3 write-back). */
+    bool dirty = false;
+
+    /** LRU timestamp; ties broken by way order. */
+    Tick lastTouch = 0;
+
+    // ---- eDRAM refresh metadata (paper §3.2, §4.1) ----
+
+    /** Tick at which the Sentry bit decays and raises an interrupt. */
+    Tick sentryExpiry = kTickNever;
+
+    /** Tick at which the data cells themselves decay. */
+    Tick dataExpiry = kTickNever;
+
+    /** WB(n,m) Count field: refreshes remaining before WB/invalidate. */
+    std::uint32_t count = 0;
+
+    /** Lazy-deletion stamp for the per-bank sentry heap. */
+    std::uint64_t stamp = 0;
+
+    // ---- directory state (valid only at the shared L3) ----
+
+    /** Bitmask of cores whose private hierarchy may hold this line. */
+    std::uint16_t sharers = 0;
+
+    /** Core whose L2 holds the line Modified/Exclusive, or -1. */
+    std::int8_t owner = -1;
+
+    bool valid() const { return state != Mesi::Invalid; }
+
+    /** Reset everything except refresh clocks (used on invalidate). */
+    void
+    invalidate()
+    {
+        state = Mesi::Invalid;
+        dirty = false;
+        sharers = 0;
+        owner = -1;
+        count = 0;
+    }
+};
+
+} // namespace refrint
+
+#endif // REFRINT_MEM_LINE_STATE_HH

@@ -1,0 +1,51 @@
+#include "net/torus.hh"
+
+namespace refrint
+{
+
+TorusNetwork::TorusNetwork(std::uint32_t dim, Tick hopLatency,
+                           Tick dataSerial, StatGroup &stats)
+    : dim_(dim), hopLatency_(hopLatency), dataSerial_(dataSerial)
+{
+    panicIf(dim == 0, "torus dimension must be positive");
+    ctrlMsgs_ = &stats.counter("ctrl_msgs");
+    dataMsgs_ = &stats.counter("data_msgs");
+    hopsCtr_ = &stats.counter("hops");
+}
+
+std::uint32_t
+TorusNetwork::hops(std::uint32_t src, std::uint32_t dst) const
+{
+    panicIf(src >= numNodes() || dst >= numNodes(), "node out of range");
+    const std::uint32_t sx = src % dim_, sy = src / dim_;
+    const std::uint32_t dx = dst % dim_, dy = dst / dim_;
+    return axisHops(sx, dx) + axisHops(sy, dy);
+}
+
+Tick
+TorusNetwork::latencyOf(std::uint32_t src, std::uint32_t dst,
+                        MsgClass cls) const
+{
+    const std::uint32_t h = hops(src, dst);
+    Tick lat = static_cast<Tick>(h) * hopLatency_;
+    if (cls == MsgClass::Data)
+        lat += dataSerial_;
+    return lat;
+}
+
+Tick
+TorusNetwork::traverse(std::uint32_t src, std::uint32_t dst, MsgClass cls)
+{
+    const std::uint32_t h = hops(src, dst);
+    if (cls == MsgClass::Data)
+        dataMsgs_->inc();
+    else
+        ctrlMsgs_->inc();
+    hopsCtr_->inc(h);
+    Tick lat = static_cast<Tick>(h) * hopLatency_;
+    if (cls == MsgClass::Data)
+        lat += dataSerial_;
+    return lat;
+}
+
+} // namespace refrint

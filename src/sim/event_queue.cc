@@ -1,0 +1,37 @@
+#include "sim/event_queue.hh"
+
+namespace refrint
+{
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.when;
+    if (e.client != nullptr)
+        e.client->fire(now_, e.tag);
+    else
+        e.fn(now_);
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit)
+        step();
+    return now_;
+}
+
+void
+EventQueue::clear()
+{
+    heap_ = {};
+    now_ = 0;
+    seq_ = 0;
+}
+
+} // namespace refrint

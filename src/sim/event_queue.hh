@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global-ordered queue of (tick, sequence, callback) entries.
+ * Components either derive from EventClient and schedule themselves, or
+ * enqueue one-shot lambdas.  Sequence numbers break ties so simultaneous
+ * events fire in scheduling order, which makes runs fully deterministic.
+ */
+
+#ifndef REFRINT_SIM_EVENT_QUEUE_HH
+#define REFRINT_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace refrint
+{
+
+/** Interface for components that receive scheduled callbacks. */
+class EventClient
+{
+  public:
+    virtual ~EventClient() = default;
+
+    /**
+     * Called when a scheduled event fires.
+     * @param now   The current simulation tick.
+     * @param tag   The tag passed at schedule time (dispatch aid for
+     *              clients with several event kinds).
+     */
+    virtual void fire(Tick now, std::uint64_t tag) = 0;
+};
+
+/**
+ * The global event queue.  Not thread-safe by design: the entire
+ * simulation is a single deterministic thread.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Schedule @p client->fire(when, tag); @p when must be >= now(). */
+    void
+    schedule(Tick when, EventClient *client, std::uint64_t tag = 0)
+    {
+        panicIf(when < now_, "event scheduled in the past");
+        heap_.push(Entry{when, seq_++, client, tag, {}});
+    }
+
+    /** Schedule a one-shot callable. */
+    void
+    scheduleFn(Tick when, std::function<void(Tick)> fn)
+    {
+        panicIf(when < now_, "event scheduled in the past");
+        heap_.push(Entry{when, seq_++, nullptr, 0, std::move(fn)});
+    }
+
+    /** Current simulation time (last dispatched event's tick). */
+    Tick now() const { return now_; }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Dispatch the single earliest event.  @return false if empty. */
+    bool step();
+
+    /**
+     * Run until the queue drains or simulated time would pass @p limit.
+     * Events scheduled at exactly @p limit still fire.
+     * @return the final simulation time.
+     */
+    Tick run(Tick limit = kTickNever);
+
+    /** Drop all pending events (used between experiment runs). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventClient *client;
+        std::uint64_t tag;
+        std::function<void(Tick)> fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace refrint
+
+#endif // REFRINT_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CmpSystem assembles the evaluated machine (Table 5.1): event queue,
+ * coherent hierarchy with refresh engines, and 16 trace-driven cores
+ * replaying one workload.  One CmpSystem instance is one experiment run.
+ */
+
+#ifndef REFRINT_SYSTEM_CMP_SYSTEM_HH
+#define REFRINT_SYSTEM_CMP_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coherence/hierarchy.hh"
+#include "common/stats.hh"
+#include "core/core.hh"
+#include "sim/event_queue.hh"
+#include "workload/workload.hh"
+
+namespace refrint
+{
+
+/** Knobs of one simulation run (not of the simulated machine). */
+struct SimParams
+{
+    std::uint64_t refsPerCore = 200'000;
+    std::uint64_t seed = 1;
+
+    /** Safety net: abort the run after this much simulated time. */
+    Tick maxTicks = usToTicks(100'000.0);
+};
+
+class CmpSystem
+{
+  public:
+    CmpSystem(const HierarchyConfig &cfg, const Workload &app,
+              const SimParams &params);
+    ~CmpSystem();
+
+    CmpSystem(const CmpSystem &) = delete;
+    CmpSystem &operator=(const CmpSystem &) = delete;
+
+    /**
+     * Run the workload to completion (every core issues its refs),
+     * then charge the end-of-run dirty flush.
+     * @return execution time in ticks (latest core completion).
+     */
+    Tick run();
+
+    Tick execTicks() const { return execTicks_; }
+    std::uint64_t totalInstructions() const;
+
+    Hierarchy &hierarchy() { return *hier_; }
+    const Hierarchy &hierarchy() const { return *hier_; }
+    EventQueue &eventQueue() { return eq_; }
+    Core &core(CoreId c) { return *cores_[c]; }
+
+  private:
+    EventQueue eq_;
+    std::unique_ptr<Hierarchy> hier_;
+    StatGroup coreStats_{"core"};
+    std::vector<std::unique_ptr<Core>> cores_;
+    SimParams params_;
+    std::uint32_t doneCount_ = 0;
+    Tick execTicks_ = 0;
+};
+
+} // namespace refrint
+
+#endif // REFRINT_SYSTEM_CMP_SYSTEM_HH

@@ -1,0 +1,141 @@
+#include "trace/trace.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace refrint
+{
+
+std::uint64_t
+Trace::totalRefs() const
+{
+    std::uint64_t n = 0;
+    for (const auto &v : perCore)
+        n += v.size();
+    return n;
+}
+
+Trace
+recordTrace(const Workload &app, std::uint32_t numCores,
+            std::uint64_t refsPerCore, std::uint64_t seed)
+{
+    Trace t;
+    t.codeLines = app.codeLines();
+    t.perCore.resize(numCores);
+    for (CoreId c = 0; c < numCores; ++c) {
+        auto stream = app.makeStream(c, numCores, seed);
+        t.perCore[c].reserve(refsPerCore);
+        for (std::uint64_t i = 0; i < refsPerCore; ++i)
+            t.perCore[c].push_back(stream->next());
+    }
+    return t;
+}
+
+bool
+saveTrace(const Trace &t, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        warn("cannot open trace file '%s' for writing", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "refrint-trace v1 %u %u\n", t.numCores(),
+                 t.codeLines);
+    for (std::uint32_t c = 0; c < t.numCores(); ++c) {
+        std::fprintf(f, "c %u\n", c);
+        for (const MemRef &r : t.perCore[c]) {
+            std::fprintf(f, "%c %" PRIx64 " %u\n", r.write ? 'w' : 'r',
+                         r.addr, r.gap);
+        }
+    }
+    const bool ok = std::fclose(f) == 0;
+    if (!ok)
+        warn("error closing trace file '%s'", path.c_str());
+    return ok;
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        fatal("cannot open trace file '%s'", path.c_str());
+
+    unsigned cores = 0, codeLines = 128;
+    const int got =
+        std::fscanf(f, "refrint-trace v1 %u %u\n", &cores, &codeLines);
+    if (got < 1 || cores == 0 || cores > 1024)
+        fatal("'%s' is not a refrint-trace v1 file", path.c_str());
+
+    Trace t;
+    t.codeLines = got >= 2 ? codeLines : 128;
+    t.perCore.resize(cores);
+    std::uint32_t cur = 0;
+    char kind = 0;
+    while (std::fscanf(f, " %c", &kind) == 1) {
+        if (kind == 'c') {
+            if (std::fscanf(f, "%u", &cur) != 1 || cur >= cores)
+                fatal("bad core marker in '%s'", path.c_str());
+        } else if (kind == 'r' || kind == 'w') {
+            MemRef r;
+            std::uint64_t addr = 0;
+            unsigned gap = 0;
+            if (std::fscanf(f, "%" SCNx64 " %u", &addr, &gap) != 2)
+                fatal("bad reference line in '%s'", path.c_str());
+            r.addr = addr;
+            r.gap = gap;
+            r.write = kind == 'w';
+            t.perCore[cur].push_back(r);
+        } else {
+            fatal("unknown record '%c' in '%s'", kind, path.c_str());
+        }
+    }
+    std::fclose(f);
+    return t;
+}
+
+namespace
+{
+
+class TraceStream : public CoreStream
+{
+  public:
+    explicit TraceStream(const std::vector<MemRef> &refs) : refs_(refs) {}
+
+    MemRef
+    next() override
+    {
+        panicIf(refs_.empty(), "replaying an empty trace stream");
+        const MemRef r = refs_[pos_];
+        pos_ = (pos_ + 1) % refs_.size();
+        return r;
+    }
+
+  private:
+    const std::vector<MemRef> &refs_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+TraceWorkload::TraceWorkload(Trace trace, std::string name)
+    : trace_(std::move(trace)), name_(std::move(name))
+{
+    panicIf(trace_.numCores() == 0 || trace_.empty(),
+            "trace workload needs at least one non-empty core stream");
+}
+
+std::unique_ptr<CoreStream>
+TraceWorkload::makeStream(CoreId core, std::uint32_t numCores,
+                          std::uint64_t seed) const
+{
+    (void)numCores;
+    (void)seed; // a trace replays verbatim; seeds don't apply
+    const auto &refs = trace_.perCore[core % trace_.numCores()];
+    panicIf(refs.empty(), "trace has an empty stream for this core");
+    return std::make_unique<TraceStream>(refs);
+}
+
+} // namespace refrint

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Memory-reference trace capture and replay.
+ *
+ * The synthetic workload generators (workload/) are deterministic, but
+ * a trace file decouples experiments from generator versions: a trace
+ * recorded once can be replayed against any machine configuration — or
+ * shipped alongside results so others can reproduce a figure bit-for-
+ * bit.  Traces also let users plug their *own* reference streams into
+ * the simulator (e.g. converted from a PIN/DynamoRIO capture of a real
+ * SPLASH-2 run) without touching the workload code.
+ *
+ * Format (versioned, line-oriented text so traces diff and compress
+ * well):
+ *
+ *   refrint-trace v1 <numCores> <codeLines>
+ *   c <core>              -- switches the current core
+ *   r <hexAddr> <gap>     -- read reference
+ *   w <hexAddr> <gap>     -- write reference
+ *
+ * codeLines is the instruction footprint the fetch model uses; without
+ * it a replay would differ from the original run on the IL1 path.
+ */
+
+#ifndef REFRINT_TRACE_TRACE_HH
+#define REFRINT_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace refrint
+{
+
+/** An in-memory trace: one reference vector per core. */
+struct Trace
+{
+    std::vector<std::vector<MemRef>> perCore;
+
+    /** Instruction footprint (64B lines) for the fetch model. */
+    std::uint32_t codeLines = 128;
+
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(perCore.size());
+    }
+
+    std::uint64_t totalRefs() const;
+
+    bool
+    empty() const
+    {
+        for (const auto &v : perCore)
+            if (!v.empty())
+                return false;
+        return true;
+    }
+};
+
+/** Record @p refsPerCore references per core from @p app. */
+Trace recordTrace(const Workload &app, std::uint32_t numCores,
+                  std::uint64_t refsPerCore, std::uint64_t seed);
+
+/** Write @p t to @p path; returns false (and logs) on I/O failure. */
+bool saveTrace(const Trace &t, const std::string &path);
+
+/** Load a trace; fatal()s on a malformed file. */
+Trace loadTrace(const std::string &path);
+
+/**
+ * A Workload replaying a recorded trace.  Each core's stream wraps
+ * around when it exhausts its vector, so any refsPerCore works; cores
+ * beyond the trace's width reuse streams modulo numCores().
+ */
+class TraceWorkload : public Workload
+{
+  public:
+    explicit TraceWorkload(Trace trace, std::string name = "trace");
+
+    const char *name() const override { return name_.c_str(); }
+    int paperClass() const override { return 0; }
+    std::uint32_t codeLines() const override { return trace_.codeLines; }
+
+    std::unique_ptr<CoreStream>
+    makeStream(CoreId core, std::uint32_t numCores,
+               std::uint64_t seed) const override;
+
+    const Trace &trace() const { return trace_; }
+
+  private:
+    Trace trace_;
+    std::string name_;
+};
+
+} // namespace refrint
+
+#endif // REFRINT_TRACE_TRACE_HH

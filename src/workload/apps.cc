@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The paper's application set (Table 5.3) as synthetic profiles.
+ *
+ * Profiles are calibrated to land each application in its paper class
+ * (Table 6.1) along the two axes of Fig. 3.1:
+ *
+ *  - Class 1 (FFT, FMM, Cholesky, Fluidanimate): footprint well beyond
+ *    the 16 MB L3, streaming-heavy, with enough dirty eviction/sharing
+ *    traffic that the L3 has visibility.
+ *  - Class 2 (Barnes, LU, Radix, Radiosity): footprint below the L3 but
+ *    above the aggregate private L2s, with intense producer/consumer
+ *    sharing (high visibility).
+ *  - Class 3 (Blackscholes, Streamcluster, Raytrace): hot working sets
+ *    that live in L1/L2, read-mostly shared data, little sharing churn
+ *    (low visibility).
+ */
+
+#include "workload/workload.hh"
+
+#include "workload/synthetic.hh"
+
+namespace refrint
+{
+
+namespace
+{
+
+constexpr std::uint64_t KB = 1024;
+constexpr std::uint64_t MB = 1024 * 1024;
+
+// clang-format off
+const AppProfile kProfiles[] = {
+    // ---- SPLASH-2 ----
+    {.name = "fft", .paperClass = 1,
+     .privateBytes = 4 * MB, .sharedBytes = 2 * MB,
+     .hotFraction = 0.55, .sharedFraction = 0.06, .writeFraction = 0.35,
+     .seqFraction = 0.80, .seqRunLines = 128, .skew = 1.0,
+     .migratoryFraction = 0.40, .chunkLines = 64, .rotatePeriod = 2000,
+     .gapMin = 2, .gapMax = 5, .codeLines = 96},
+    {.name = "lu", .paperClass = 2,
+     .privateBytes = 64 * KB, .sharedBytes = 4 * MB,
+     .hotFraction = 0.60, .sharedFraction = 0.45, .writeFraction = 0.35,
+     .seqFraction = 0.40, .seqRunLines = 32, .skew = 2.0,
+     .migratoryFraction = 0.40, .chunkLines = 64, .rotatePeriod = 2500,
+     .gapMin = 2, .gapMax = 5, .codeLines = 112},
+    {.name = "radix", .paperClass = 2,
+     .privateBytes = 256 * KB, .sharedBytes = 8 * MB,
+     .hotFraction = 0.55, .sharedFraction = 0.50, .writeFraction = 0.50,
+     .seqFraction = 0.50, .seqRunLines = 64, .skew = 1.5,
+     .migratoryFraction = 0.70, .chunkLines = 64, .rotatePeriod = 1500,
+     .gapMin = 2, .gapMax = 4, .codeLines = 80},
+    {.name = "cholesky", .paperClass = 1,
+     .privateBytes = 3 * MB, .sharedBytes = 2 * MB,
+     .hotFraction = 0.55, .sharedFraction = 0.10, .writeFraction = 0.40,
+     .seqFraction = 0.60, .seqRunLines = 96, .skew = 1.5,
+     .migratoryFraction = 0.30, .chunkLines = 64, .rotatePeriod = 2000,
+     .gapMin = 2, .gapMax = 6, .codeLines = 160},
+    {.name = "barnes", .paperClass = 2,
+     .privateBytes = 128 * KB, .sharedBytes = 6 * MB,
+     .hotFraction = 0.60, .sharedFraction = 0.50, .writeFraction = 0.30,
+     .seqFraction = 0.10, .seqRunLines = 16, .skew = 2.0,
+     .migratoryFraction = 0.50, .chunkLines = 32, .rotatePeriod = 2000,
+     .gapMin = 3, .gapMax = 6, .codeLines = 192},
+    {.name = "fmm", .paperClass = 1,
+     .privateBytes = 2 * MB, .sharedBytes = 3 * MB,
+     .hotFraction = 0.55, .sharedFraction = 0.15, .writeFraction = 0.30,
+     .seqFraction = 0.50, .seqRunLines = 64, .skew = 1.5,
+     .migratoryFraction = 0.50, .chunkLines = 32, .rotatePeriod = 1800,
+     .gapMin = 3, .gapMax = 6, .codeLines = 224},
+    {.name = "radiosity", .paperClass = 2,
+     .privateBytes = 128 * KB, .sharedBytes = 5 * MB,
+     .hotFraction = 0.60, .sharedFraction = 0.55, .writeFraction = 0.30,
+     .seqFraction = 0.15, .seqRunLines = 24, .skew = 2.0,
+     .migratoryFraction = 0.50, .chunkLines = 32, .rotatePeriod = 2200,
+     .gapMin = 2, .gapMax = 5, .codeLines = 208},
+    {.name = "raytrace", .paperClass = 3,
+     .privateBytes = 64 * KB, .sharedBytes = 2 * MB,
+     .hotFraction = 0.70, .sharedFraction = 0.35, .writeFraction = 0.10,
+     .seqFraction = 0.10, .seqRunLines = 16, .skew = 3.0,
+     .migratoryFraction = 0.00, .chunkLines = 32, .rotatePeriod = 2000,
+     .gapMin = 2, .gapMax = 5, .codeLines = 176},
+    // ---- PARSEC ----
+    {.name = "streamcluster", .paperClass = 3,
+     .privateBytes = 128 * KB, .sharedBytes = 1 * MB,
+     .hotFraction = 0.70, .sharedFraction = 0.30, .writeFraction = 0.15,
+     .seqFraction = 0.30, .seqRunLines = 32, .skew = 2.5,
+     .migratoryFraction = 0.05, .chunkLines = 32, .rotatePeriod = 3000,
+     .gapMin = 2, .gapMax = 4, .codeLines = 96},
+    {.name = "blackscholes", .paperClass = 3,
+     .privateBytes = 96 * KB, .sharedBytes = 512 * KB,
+     .hotFraction = 0.75, .sharedFraction = 0.20, .writeFraction = 0.20,
+     .seqFraction = 0.20, .seqRunLines = 16, .skew = 3.0,
+     .migratoryFraction = 0.00, .chunkLines = 16, .rotatePeriod = 3000,
+     .gapMin = 2, .gapMax = 5, .codeLines = 64},
+    {.name = "fluidanimate", .paperClass = 1,
+     .privateBytes = 2560 * KB, .sharedBytes = 2 * MB,
+     .hotFraction = 0.55, .sharedFraction = 0.12, .writeFraction = 0.45,
+     .seqFraction = 0.55, .seqRunLines = 80, .skew = 1.5,
+     .migratoryFraction = 0.60, .chunkLines = 48, .rotatePeriod = 1600,
+     .gapMin = 2, .gapMax = 5, .codeLines = 144},
+};
+// clang-format on
+
+std::vector<std::unique_ptr<SyntheticWorkload>> &
+registry()
+{
+    static std::vector<std::unique_ptr<SyntheticWorkload>> apps = [] {
+        std::vector<std::unique_ptr<SyntheticWorkload>> v;
+        for (const AppProfile &p : kProfiles)
+            v.push_back(std::make_unique<SyntheticWorkload>(p));
+        return v;
+    }();
+    return apps;
+}
+
+} // namespace
+
+const std::vector<const Workload *> &
+paperWorkloads()
+{
+    static std::vector<const Workload *> v = [] {
+        std::vector<const Workload *> out;
+        for (const auto &w : registry())
+            out.push_back(w.get());
+        return out;
+    }();
+    return v;
+}
+
+std::vector<const Workload *>
+workloadsOfClass(int paperClass)
+{
+    std::vector<const Workload *> out;
+    for (const Workload *w : paperWorkloads()) {
+        if (w->paperClass() == paperClass)
+            out.push_back(w);
+    }
+    return out;
+}
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    for (const Workload *w : paperWorkloads()) {
+        if (name == w->name())
+            return w;
+    }
+    return nullptr;
+}
+
+} // namespace refrint

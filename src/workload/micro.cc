@@ -1,0 +1,186 @@
+#include "workload/micro.hh"
+
+#include "common/prng.hh"
+#include "workload/synthetic.hh"
+
+namespace refrint
+{
+
+namespace
+{
+
+class UniformStream : public CoreStream
+{
+  public:
+    UniformStream(Addr base, std::uint32_t lines, double wf,
+                  std::uint32_t gap, std::uint64_t seed, CoreId core)
+        : base_(base), lines_(lines), wf_(wf), gap_(gap),
+          prng_(seed, core * 2 + 1)
+    {
+    }
+
+    MemRef
+    next() override
+    {
+        MemRef r;
+        r.addr = base_ + static_cast<Addr>(prng_.below(lines_)) * 64;
+        r.write = prng_.chance(wf_);
+        r.gap = gap_;
+        return r;
+    }
+
+  private:
+    Addr base_;
+    std::uint32_t lines_;
+    double wf_;
+    std::uint32_t gap_;
+    Prng prng_;
+};
+
+class StreamStream : public CoreStream
+{
+  public:
+    StreamStream(Addr base, std::uint32_t lines, double wf,
+                 std::uint32_t gap, std::uint64_t seed, CoreId core)
+        : base_(base), lines_(lines), wf_(wf), gap_(gap),
+          prng_(seed, core * 2 + 1)
+    {
+    }
+
+    MemRef
+    next() override
+    {
+        MemRef r;
+        r.addr = base_ + static_cast<Addr>(cursor_) * 64;
+        cursor_ = (cursor_ + 1) % lines_;
+        r.write = prng_.chance(wf_);
+        r.gap = gap_;
+        return r;
+    }
+
+  private:
+    Addr base_;
+    std::uint32_t lines_;
+    std::uint32_t cursor_ = 0;
+    double wf_;
+    std::uint32_t gap_;
+    Prng prng_;
+};
+
+class PingPongStream : public CoreStream
+{
+  public:
+    PingPongStream(std::uint32_t lines, std::uint32_t gap, CoreId core)
+        : lines_(lines), gap_(gap), core_(core)
+    {
+    }
+
+    MemRef
+    next() override
+    {
+        MemRef r;
+        r.addr = SyntheticStream::kSharedBase +
+                 static_cast<Addr>(cursor_ % lines_) * 64;
+        ++cursor_;
+        // Even cores write, odd cores read: constant ownership churn.
+        r.write = (core_ + cursor_) % 2 == 0;
+        r.gap = gap_;
+        return r;
+    }
+
+  private:
+    std::uint32_t lines_;
+    std::uint32_t cursor_ = 0;
+    std::uint32_t gap_;
+    CoreId core_;
+};
+
+class HammerStream : public CoreStream
+{
+  public:
+    HammerStream(CoreId core, std::uint32_t gap) : core_(core), gap_(gap)
+    {
+    }
+
+    MemRef
+    next() override
+    {
+        MemRef r;
+        r.addr = SyntheticStream::kPrivateBase +
+                 static_cast<Addr>(core_) * (1 << 20);
+        r.write = false;
+        r.gap = gap_;
+        return r;
+    }
+
+  private:
+    CoreId core_;
+    std::uint32_t gap_;
+};
+
+} // namespace
+
+UniformWorkload::UniformWorkload(std::uint64_t bytesPerCore,
+                                 double writeFraction, std::uint32_t gap)
+    : bytesPerCore_(bytesPerCore), writeFraction_(writeFraction),
+      gap_(gap)
+{
+}
+
+std::unique_ptr<CoreStream>
+UniformWorkload::makeStream(CoreId core, std::uint32_t numCores,
+                            std::uint64_t seed) const
+{
+    (void)numCores;
+    const Addr base = SyntheticStream::kPrivateBase +
+                      static_cast<Addr>(core) * (64ULL << 20);
+    return std::make_unique<UniformStream>(
+        base, static_cast<std::uint32_t>(bytesPerCore_ / 64),
+        writeFraction_, gap_, seed, core);
+}
+
+StreamWorkload::StreamWorkload(std::uint64_t bytesPerCore,
+                               double writeFraction, std::uint32_t gap)
+    : bytesPerCore_(bytesPerCore), writeFraction_(writeFraction),
+      gap_(gap)
+{
+}
+
+std::unique_ptr<CoreStream>
+StreamWorkload::makeStream(CoreId core, std::uint32_t numCores,
+                           std::uint64_t seed) const
+{
+    (void)numCores;
+    const Addr base = SyntheticStream::kPrivateBase +
+                      static_cast<Addr>(core) * (64ULL << 20);
+    return std::make_unique<StreamStream>(
+        base, static_cast<std::uint32_t>(bytesPerCore_ / 64),
+        writeFraction_, gap_, seed, core);
+}
+
+PingPongWorkload::PingPongWorkload(std::uint32_t lines, std::uint32_t gap)
+    : lines_(lines), gap_(gap)
+{
+}
+
+std::unique_ptr<CoreStream>
+PingPongWorkload::makeStream(CoreId core, std::uint32_t numCores,
+                             std::uint64_t seed) const
+{
+    (void)numCores;
+    (void)seed;
+    return std::make_unique<PingPongStream>(lines_, gap_, core);
+}
+
+HammerWorkload::HammerWorkload(std::uint32_t gap) : gap_(gap) {}
+
+std::unique_ptr<CoreStream>
+HammerWorkload::makeStream(CoreId core, std::uint32_t numCores,
+                           std::uint64_t seed) const
+{
+    (void)numCores;
+    (void)seed;
+    return std::make_unique<HammerStream>(core, gap_);
+}
+
+} // namespace refrint

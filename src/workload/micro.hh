@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Micro workloads with analytically known behaviour, used by the unit
+ * and property tests (and by the refresh-count microbench): uniform
+ * random over a region, pure streaming, ping-pong sharing between core
+ * pairs, and a single-line hammer.
+ */
+
+#ifndef REFRINT_WORKLOAD_MICRO_HH
+#define REFRINT_WORKLOAD_MICRO_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "workload/workload.hh"
+
+namespace refrint
+{
+
+/** Uniform random refs across a per-core private region. */
+class UniformWorkload : public Workload
+{
+  public:
+    UniformWorkload(std::uint64_t bytesPerCore, double writeFraction,
+                    std::uint32_t gap = 3);
+
+    const char *name() const override { return "micro.uniform"; }
+    int paperClass() const override { return 0; }
+    std::unique_ptr<CoreStream> makeStream(
+        CoreId core, std::uint32_t numCores,
+        std::uint64_t seed) const override;
+
+  private:
+    std::uint64_t bytesPerCore_;
+    double writeFraction_;
+    std::uint32_t gap_;
+};
+
+/** Sequential streaming over a large per-core region (no reuse). */
+class StreamWorkload : public Workload
+{
+  public:
+    StreamWorkload(std::uint64_t bytesPerCore, double writeFraction,
+                   std::uint32_t gap = 3);
+
+    const char *name() const override { return "micro.stream"; }
+    int paperClass() const override { return 0; }
+    std::unique_ptr<CoreStream> makeStream(
+        CoreId core, std::uint32_t numCores,
+        std::uint64_t seed) const override;
+
+  private:
+    std::uint64_t bytesPerCore_;
+    double writeFraction_;
+    std::uint32_t gap_;
+};
+
+/** Cores alternate writing/reading a small shared block (heavy
+ *  coherence churn: every access migrates ownership). */
+class PingPongWorkload : public Workload
+{
+  public:
+    explicit PingPongWorkload(std::uint32_t lines, std::uint32_t gap = 3);
+
+    const char *name() const override { return "micro.pingpong"; }
+    int paperClass() const override { return 0; }
+    std::unique_ptr<CoreStream> makeStream(
+        CoreId core, std::uint32_t numCores,
+        std::uint64_t seed) const override;
+
+  private:
+    std::uint32_t lines_;
+    std::uint32_t gap_;
+};
+
+/** Repeatedly touch one line (auto-refresh should suppress nearly all
+ *  explicit refreshes under Refrint). */
+class HammerWorkload : public Workload
+{
+  public:
+    explicit HammerWorkload(std::uint32_t gap = 3);
+
+    const char *name() const override { return "micro.hammer"; }
+    int paperClass() const override { return 0; }
+    std::unique_ptr<CoreStream> makeStream(
+        CoreId core, std::uint32_t numCores,
+        std::uint64_t seed) const override;
+
+  private:
+    std::uint32_t gap_;
+};
+
+} // namespace refrint
+
+#endif // REFRINT_WORKLOAD_MICRO_HH

@@ -1,0 +1,117 @@
+#include "workload/synthetic.hh"
+
+#include "common/log.hh"
+
+namespace refrint
+{
+
+namespace
+{
+
+/** Round @p v up to a multiple of @p align. */
+std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) / align * align;
+}
+
+} // namespace
+
+SyntheticStream::SyntheticStream(const AppProfile &prof, CoreId core,
+                                 std::uint32_t numCores,
+                                 std::uint64_t seed)
+    : prof_(prof),
+      core_(core),
+      numCores_(numCores),
+      prng_(seed * 0x2545F4914F6CDD1DULL + 0x1234, core * 2 + 1)
+{
+    panicIf(numCores == 0, "workload needs at least one core");
+    const std::uint64_t privSpan =
+        roundUp(std::max<std::uint64_t>(prof_.privateBytes, 64), 1 << 20);
+    privBase_ = kPrivateBase + core_ * privSpan;
+    privLines_ = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(prof_.privateBytes, 64) / 64);
+    sharedLines_ = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(prof_.sharedBytes, 64) / 64);
+    hotLines_ = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(
+            std::min(prof_.hotBytes, prof_.privateBytes), 64) /
+        64);
+    chunksTotal_ = numCores_;
+    seqCursor_ = prng_.below(privLines_);
+}
+
+Addr
+SyntheticStream::hotRef(bool &write)
+{
+    // The hot set is the low slice of the private region: stack frames
+    // and loop-carried locals that stay resident in the DL1.
+    write = prng_.chance(prof_.writeFraction);
+    const std::uint32_t lineIdx = prng_.skewed(hotLines_, 2.0);
+    return privBase_ + static_cast<Addr>(lineIdx) * 64;
+}
+
+Addr
+SyntheticStream::privateRef(bool &write)
+{
+    write = prng_.chance(prof_.writeFraction);
+    std::uint32_t lineIdx;
+    if (seqLeft_ > 0 || prng_.chance(prof_.seqFraction)) {
+        if (seqLeft_ == 0) {
+            // Start a new streaming run at a random position.
+            seqCursor_ = prng_.below(privLines_);
+            seqLeft_ = 1 + prng_.below(std::max(1u, prof_.seqRunLines));
+        }
+        lineIdx = seqCursor_;
+        seqCursor_ = (seqCursor_ + 1) % privLines_;
+        --seqLeft_;
+    } else {
+        lineIdx = prng_.skewed(privLines_, prof_.skew);
+    }
+    return privBase_ + static_cast<Addr>(lineIdx) * 64;
+}
+
+Addr
+SyntheticStream::sharedRef(bool &write)
+{
+    if (prng_.chance(prof_.migratoryFraction)) {
+        // Producer/consumer chunks rotating across cores: this core
+        // writes its "own" chunk and reads its neighbour's.  The epoch
+        // advances with local progress, so chunk ownership migrates and
+        // the directory sees dirty->shared transitions at the L3.
+        const std::uint32_t epoch = static_cast<std::uint32_t>(
+            refCount_ / std::max(1u, prof_.rotatePeriod));
+        const std::uint32_t chunkLines = std::max(1u, prof_.chunkLines);
+        const std::uint32_t usable =
+            std::max(1u, sharedLines_ / chunkLines);
+        write = prng_.chance(0.5);
+        const std::uint32_t owner =
+            write ? core_ : (core_ + numCores_ - 1) % numCores_;
+        const std::uint32_t chunk = (owner + epoch) % usable;
+        const std::uint32_t lineIdx =
+            chunk * chunkLines + prng_.below(chunkLines);
+        return kSharedBase + static_cast<Addr>(lineIdx) * 64;
+    }
+    // Read-mostly lookups over the shared structure.
+    write = prng_.chance(prof_.writeFraction * 0.25);
+    const std::uint32_t lineIdx = prng_.skewed(sharedLines_, prof_.skew);
+    return kSharedBase + static_cast<Addr>(lineIdx) * 64;
+}
+
+MemRef
+SyntheticStream::next()
+{
+    MemRef ref;
+    ++refCount_;
+    ref.gap = prof_.gapMin +
+              prng_.below(prof_.gapMax - prof_.gapMin + 1);
+    if (prng_.chance(prof_.hotFraction))
+        ref.addr = hotRef(ref.write);
+    else if (prng_.chance(prof_.sharedFraction))
+        ref.addr = sharedRef(ref.write);
+    else
+        ref.addr = privateRef(ref.write);
+    return ref;
+}
+
+} // namespace refrint

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Workload interface: a named parallel application that can hand each
+ * core an endless memory-reference stream.
+ *
+ * The paper runs 16-threaded SPLASH-2 and PARSEC applications (Table
+ * 5.3).  We substitute synthetic generators calibrated to the two axes
+ * the paper's own model (§3.3, Fig. 3.1) identifies as what matters to
+ * the refresh policies: data footprint relative to the last-level cache
+ * and the LLC's visibility of upper-level activity (sharing-induced
+ * write-backs and dirty evictions).
+ */
+
+#ifndef REFRINT_WORKLOAD_WORKLOAD_HH
+#define REFRINT_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.hh"
+
+namespace refrint
+{
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Expected paper class (Table 6.1): 1, 2 or 3; 0 for micros. */
+    virtual int paperClass() const = 0;
+
+    /** Instruction footprint, in 64B lines, for the fetch model. */
+    virtual std::uint32_t codeLines() const { return 128; }
+
+    /** Build the reference stream for one core. */
+    virtual std::unique_ptr<CoreStream>
+    makeStream(CoreId core, std::uint32_t numCores,
+               std::uint64_t seed) const = 0;
+};
+
+/** The paper's eleven applications (Table 5.3), in suite order. */
+const std::vector<const Workload *> &paperWorkloads();
+
+/** Applications of one paper class (Table 6.1 binning). */
+std::vector<const Workload *> workloadsOfClass(int paperClass);
+
+/** Find a paper workload by (case-sensitive) name, or null. */
+const Workload *findWorkload(const std::string &name);
+
+} // namespace refrint
+
+#endif // REFRINT_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for cache geometry (address slicing) and the
+ * set-associative array (lookup, victim selection, LRU, install).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_array.hh"
+
+namespace refrint::test
+{
+
+namespace
+{
+CacheGeometry
+geom8x2()
+{
+    // 1 KB, 2-way, 64B lines: 16 lines, 8 sets.
+    return CacheGeometry{1024, 2, 64, 1};
+}
+} // namespace
+
+TEST(CacheGeometry, DerivedQuantities)
+{
+    CacheGeometry g = geom8x2();
+    EXPECT_EQ(g.numLines(), 16u);
+    EXPECT_EQ(g.numSets(), 8u);
+    EXPECT_EQ(g.lineBits(), 6u);
+    EXPECT_EQ(g.setBits(), 3u);
+}
+
+TEST(CacheGeometry, LineAlignment)
+{
+    CacheGeometry g = geom8x2();
+    EXPECT_EQ(g.lineAddr(0x1234), 0x1200u);
+    EXPECT_EQ(g.lineAddr(0x1240), 0x1240u);
+    EXPECT_EQ(g.tagOf(0x127f), 0x1240u);
+}
+
+TEST(CacheGeometry, SetIndexCyclesWithLineAddress)
+{
+    CacheGeometry g = geom8x2();
+    EXPECT_EQ(g.setIndex(0x0), 0u);
+    EXPECT_EQ(g.setIndex(0x40), 1u);
+    EXPECT_EQ(g.setIndex(0x1c0), 7u);
+    EXPECT_EQ(g.setIndex(0x200), 0u); // wraps after 8 sets
+}
+
+TEST(CacheGeometry, IndexShiftSkipsBankBits)
+{
+    CacheGeometry g = geom8x2();
+    g.indexShift = 2; // 4 "banks"
+    // Consecutive lines differing only in the two bank bits share a set.
+    EXPECT_EQ(g.setIndex(0x000), g.setIndex(0x040));
+    EXPECT_EQ(g.setIndex(0x000), g.setIndex(0x0c0));
+    // The next index bit lives above the bank bits.
+    EXPECT_EQ(g.setIndex(0x100), 1u);
+}
+
+TEST(CacheArray, MissOnEmpty)
+{
+    CacheArray arr(geom8x2(), "t");
+    EXPECT_EQ(arr.lookup(0x40), nullptr);
+    EXPECT_EQ(arr.countValid(), 0u);
+}
+
+TEST(CacheArray, InstallThenHit)
+{
+    CacheArray arr(geom8x2(), "t");
+    VictimRef v = arr.pickVictim(0x40);
+    arr.install(v, 0x40, 10);
+    v.line->state = Mesi::Shared;
+    CacheLine *hit = arr.lookup(0x7f); // same line
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->tag, 0x40u);
+    EXPECT_EQ(arr.lookup(0x80), nullptr); // different set
+}
+
+TEST(CacheArray, VictimPrefersInvalidWay)
+{
+    CacheArray arr(geom8x2(), "t");
+    VictimRef v1 = arr.pickVictim(0x40);
+    arr.install(v1, 0x40, 1);
+    v1.line->state = Mesi::Shared;
+    // Same set (addresses 0x40 and 0x240 with 8 sets share set 1).
+    VictimRef v2 = arr.pickVictim(0x240);
+    EXPECT_NE(v2.line, v1.line) << "must pick the invalid way";
+}
+
+TEST(CacheArray, LruEvictsOldest)
+{
+    CacheArray arr(geom8x2(), "t");
+    // Fill both ways of set 1.
+    VictimRef a = arr.pickVictim(0x40);
+    arr.install(a, 0x40, 1);
+    a.line->state = Mesi::Shared;
+    VictimRef b = arr.pickVictim(0x240);
+    arr.install(b, 0x240, 2);
+    b.line->state = Mesi::Shared;
+
+    // Touch the first line more recently than the second.
+    arr.touch(*arr.lookup(0x40), 50);
+
+    VictimRef v = arr.pickVictim(0x440);
+    EXPECT_EQ(v.line->tag, 0x240u) << "LRU way must be the victim";
+}
+
+TEST(CacheArray, IndexRoundTrips)
+{
+    CacheArray arr(geom8x2(), "t");
+    for (std::uint32_t i = 0; i < arr.numLines(); ++i)
+        EXPECT_EQ(arr.indexOf(&arr.lineAt(i)), i);
+}
+
+TEST(CacheArray, CountDirtyTracksState)
+{
+    CacheArray arr(geom8x2(), "t");
+    VictimRef v = arr.pickVictim(0x0);
+    arr.install(v, 0x0, 1);
+    v.line->state = Mesi::Modified;
+    v.line->dirty = true;
+    EXPECT_EQ(arr.countValid(), 1u);
+    EXPECT_EQ(arr.countDirty(), 1u);
+    v.line->invalidate();
+    EXPECT_EQ(arr.countValid(), 0u);
+    EXPECT_EQ(arr.countDirty(), 0u);
+}
+
+TEST(CacheArray, InstallResetsDirectoryResidue)
+{
+    CacheArray arr(geom8x2(), "t");
+    VictimRef v = arr.pickVictim(0x0);
+    arr.install(v, 0x0, 1);
+    v.line->state = Mesi::Shared;
+    v.line->sharers = 0xffff;
+    v.line->owner = 3;
+    v.line->count = 9;
+    v.line->invalidate();
+    VictimRef v2 = arr.pickVictim(0x200);
+    arr.install(v2, 0x200, 2);
+    EXPECT_EQ(v2.line->sharers, 0u);
+    EXPECT_EQ(v2.line->owner, -1);
+    EXPECT_EQ(v2.line->count, 0u);
+}
+
+TEST(CacheArrayDeath, BadGeometryIsFatal)
+{
+    CacheGeometry g{1000, 2, 64, 1}; // not a power-of-two layout
+    EXPECT_EXIT(CacheArray(g, "bad"), ::testing::ExitedWithCode(1),
+                "bad cache geometry");
+}
+
+} // namespace refrint::test

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, tie-breaking,
+ * client dispatch, run limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace refrint::test
+{
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    eq.scheduleFn(30, [&](Tick t) { fired.push_back(t); });
+    eq.scheduleFn(10, [&](Tick t) { fired.push_back(t); });
+    eq.scheduleFn(20, [&](Tick t) { fired.push_back(t); });
+    eq.run();
+    ASSERT_EQ(fired.size(), 3u);
+    EXPECT_EQ(fired[0], 10u);
+    EXPECT_EQ(fired[1], 20u);
+    EXPECT_EQ(fired[2], 30u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.scheduleFn(5, [&order, i](Tick) { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NowAdvancesWithDispatch)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    eq.scheduleFn(42, [](Tick) {});
+    eq.run();
+    EXPECT_EQ(eq.now(), 42u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void(Tick)> chain = [&](Tick t) {
+        if (++count < 5)
+            eq.scheduleFn(t + 10, chain);
+    };
+    eq.scheduleFn(0, chain);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, RunLimitStopsBeforeLaterEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleFn(10, [&](Tick) { ++fired; });
+    eq.scheduleFn(20, [&](Tick) { ++fired; });
+    eq.scheduleFn(30, [&](Tick) { ++fired; });
+    eq.run(20);
+    EXPECT_EQ(fired, 2); // the tick-20 event still fires
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+namespace
+{
+struct TagRecorder : EventClient
+{
+    std::vector<std::pair<Tick, std::uint64_t>> seen;
+    void
+    fire(Tick now, std::uint64_t tag) override
+    {
+        seen.emplace_back(now, tag);
+    }
+};
+} // namespace
+
+TEST(EventQueue, ClientDispatchCarriesTags)
+{
+    EventQueue eq;
+    TagRecorder rec;
+    eq.schedule(5, &rec, 111);
+    eq.schedule(7, &rec, 222);
+    eq.run();
+    ASSERT_EQ(rec.seen.size(), 2u);
+    EXPECT_EQ(rec.seen[0], (std::pair<Tick, std::uint64_t>{5, 111}));
+    EXPECT_EQ(rec.seen[1], (std::pair<Tick, std::uint64_t>{7, 222}));
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.step());
+    eq.scheduleFn(1, [](Tick) {});
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ClearResets)
+{
+    EventQueue eq;
+    eq.scheduleFn(10, [](Tick) {});
+    eq.clear();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.scheduleFn(100, [](Tick) {});
+    eq.run();
+    EXPECT_DEATH(eq.scheduleFn(50, [](Tick) {}), "past");
+}
+
+} // namespace refrint::test

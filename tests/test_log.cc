@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Tests for the logging/abort helpers: panic aborts, fatal exits with
+ * status 1, warn continues, and panicIf only fires on true conditions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+namespace refrint::test
+{
+
+namespace
+{
+
+TEST(LogTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "boom 42");
+}
+
+TEST(LogTest, PanicIfFiresOnlyWhenTrue)
+{
+    panicIf(false, "must not fire");
+    EXPECT_DEATH(panicIf(true, "did fire"), "did fire");
+}
+
+TEST(LogTest, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(fatal("bad config '%s'", "x"),
+                ::testing::ExitedWithCode(1), "bad config 'x'");
+}
+
+TEST(LogTest, WarnDoesNotTerminate)
+{
+    warn("just a warning %d", 7);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace refrint::test

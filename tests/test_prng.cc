@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the PCG32 generator and its derived distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/prng.hh"
+
+namespace refrint::test
+{
+
+TEST(Prng, Deterministic)
+{
+    Prng a(42, 1), b(42, 1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, StreamsDiffer)
+{
+    Prng a(42, 1), b(42, 3);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Prng, SeedsDiffer)
+{
+    Prng a(42, 1), b(43, 1);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Prng, BelowStaysInRange)
+{
+    Prng p(7, 1);
+    for (std::uint32_t bound : {1u, 2u, 3u, 17u, 1000u}) {
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint32_t v = p.below(bound);
+            EXPECT_LT(v, bound);
+        }
+    }
+}
+
+TEST(Prng, BelowZeroAndOneDegenerate)
+{
+    Prng p(7, 1);
+    EXPECT_EQ(p.below(0), 0u);
+    EXPECT_EQ(p.below(1), 0u);
+}
+
+TEST(Prng, BelowIsRoughlyUniform)
+{
+    Prng p(11, 1);
+    const std::uint32_t bound = 8;
+    std::vector<int> hist(bound, 0);
+    const int draws = 80'000;
+    for (int i = 0; i < draws; ++i)
+        ++hist[p.below(bound)];
+    for (std::uint32_t b = 0; b < bound; ++b) {
+        EXPECT_NEAR(hist[b], draws / bound, draws / bound * 0.1)
+            << "bucket " << b;
+    }
+}
+
+TEST(Prng, UniformInUnitInterval)
+{
+    Prng p(5, 1);
+    double sum = 0;
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = p.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Prng, ChanceExtremes)
+{
+    Prng p(5, 1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(p.chance(0.0));
+        EXPECT_TRUE(p.chance(1.0));
+    }
+}
+
+TEST(Prng, ChanceMatchesProbability)
+{
+    Prng p(5, 1);
+    int hits = 0;
+    const int draws = 50'000;
+    for (int i = 0; i < draws; ++i)
+        hits += p.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / static_cast<double>(draws), 0.3, 0.02);
+}
+
+TEST(Prng, SkewedStaysInRange)
+{
+    Prng p(9, 1);
+    for (double s : {1.0, 2.0, 3.5}) {
+        for (int i = 0; i < 5000; ++i)
+            EXPECT_LT(p.skewed(100, s), 100u);
+    }
+}
+
+TEST(Prng, SkewedDegeneratesToUniform)
+{
+    Prng p(9, 1);
+    int low = 0;
+    const int draws = 40'000;
+    for (int i = 0; i < draws; ++i)
+        low += p.skewed(100, 1.0) < 10 ? 1 : 0;
+    EXPECT_NEAR(low / static_cast<double>(draws), 0.10, 0.02);
+}
+
+TEST(Prng, SkewedConcentratesAtLowRanks)
+{
+    Prng p(9, 1);
+    int low2 = 0, low3 = 0;
+    const int draws = 40'000;
+    for (int i = 0; i < draws; ++i) {
+        low2 += p.skewed(100, 2.0) < 10 ? 1 : 0;
+        low3 += p.skewed(100, 3.0) < 10 ? 1 : 0;
+    }
+    // u^2: P(rank < 10%) = sqrt(0.1) ~ 0.316; u^3: 0.1^(1/3) ~ 0.464.
+    EXPECT_NEAR(low2 / static_cast<double>(draws), 0.316, 0.03);
+    EXPECT_NEAR(low3 / static_cast<double>(draws), 0.464, 0.03);
+}
+
+TEST(Prng, SkewedSingleton)
+{
+    Prng p(9, 1);
+    EXPECT_EQ(p.skewed(1, 3.0), 0u);
+}
+
+} // namespace refrint::test

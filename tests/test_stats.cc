@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the stats registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace refrint::test
+{
+
+TEST(Stats, CounterBasics)
+{
+    StatGroup g("x");
+    Counter &c = g.counter("hits");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, SameNameSameCounter)
+{
+    StatGroup g("x");
+    Counter &a = g.counter("n");
+    Counter &b = g.counter("n");
+    a.inc(3);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Stats, CounterAddressesStableAcrossInsertions)
+{
+    StatGroup g("x");
+    Counter &a = g.counter("a");
+    a.inc();
+    for (int i = 0; i < 100; ++i)
+        g.counter("c" + std::to_string(i));
+    a.inc();
+    EXPECT_EQ(g.counter("a").value(), 2u);
+}
+
+TEST(Stats, AccumBasics)
+{
+    StatGroup g("x");
+    Accum &a = g.accum("energy");
+    a.add(1.5);
+    a.add(2.5);
+    EXPECT_DOUBLE_EQ(a.value(), 4.0);
+}
+
+TEST(Stats, DumpPrefixesNames)
+{
+    StatGroup g("l3.bank0");
+    g.counter("reads").inc(7);
+    g.accum("joules").add(0.5);
+    std::map<std::string, double> out;
+    g.dump(out);
+    EXPECT_DOUBLE_EQ(out.at("l3.bank0.reads"), 7.0);
+    EXPECT_DOUBLE_EQ(out.at("l3.bank0.joules"), 0.5);
+}
+
+TEST(Stats, ResetAllZeroesEverything)
+{
+    StatGroup g("x");
+    g.counter("a").inc(9);
+    g.accum("b").add(3.0);
+    g.resetAll();
+    EXPECT_EQ(g.counter("a").value(), 0u);
+    EXPECT_DOUBLE_EQ(g.accum("b").value(), 0.0);
+}
+
+} // namespace refrint::test

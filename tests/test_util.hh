@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared fixtures for the Refrint test suite: a scaled-down machine so
+ * individual tests run in milliseconds, and helpers to drive a system
+ * with micro workloads.
+ */
+
+#ifndef REFRINT_TESTS_TEST_UTIL_HH
+#define REFRINT_TESTS_TEST_UTIL_HH
+
+#include "coherence/hierarchy.hh"
+#include "harness/runner.hh"
+#include "system/cmp_system.hh"
+#include "workload/micro.hh"
+
+namespace refrint::test
+{
+
+/**
+ * A 4-core, 4-bank machine with small caches and a short retention so
+ * refresh activity shows up within microseconds of simulated time.
+ * Line size and latencies match the paper config.
+ */
+HierarchyConfig tinyConfig(CellTech tech = CellTech::Edram);
+
+/** tinyConfig with a specific L3 policy/retention. */
+HierarchyConfig tinyEdram(const RefreshPolicy &policy,
+                          Tick retention = usToTicks(5.0));
+
+/** Run @p app on @p cfg for @p refs refs/core; returns the result. */
+RunResult runTiny(const HierarchyConfig &cfg, const Workload &app,
+                  std::uint64_t refs, std::uint64_t seed = 7);
+
+} // namespace refrint::test
+
+#endif // REFRINT_TESTS_TEST_UTIL_HH

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the synthetic workload generators: determinism, address-map
+ * discipline, the tunables' first-order effects, and — most importantly
+ * — that each paper application measures into its Table 6.1 class
+ * (footprint/visibility binning), since that binning is what drives the
+ * class-wise evaluation figures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/binning.hh"
+#include "test_util.hh"
+#include "workload/synthetic.hh"
+
+namespace refrint::test
+{
+
+namespace
+{
+
+/** Collect @p n refs from one core's stream. */
+std::vector<MemRef>
+collect(const Workload &w, CoreId core, std::uint32_t numCores,
+        std::uint64_t seed, std::size_t n)
+{
+    auto s = w.makeStream(core, numCores, seed);
+    std::vector<MemRef> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v.push_back(s->next());
+    return v;
+}
+
+TEST(Workloads, PaperSuiteHasElevenApplications)
+{
+    EXPECT_EQ(paperWorkloads().size(), 11u);
+}
+
+TEST(Workloads, FindWorkloadRoundTripsEveryName)
+{
+    for (const Workload *w : paperWorkloads()) {
+        EXPECT_EQ(findWorkload(w->name()), w) << w->name();
+    }
+    EXPECT_EQ(findWorkload("nonexistent"), nullptr);
+}
+
+TEST(Workloads, EveryAppDeclaresAPaperClass)
+{
+    for (const Workload *w : paperWorkloads()) {
+        EXPECT_GE(w->paperClass(), 1) << w->name();
+        EXPECT_LE(w->paperClass(), 3) << w->name();
+    }
+}
+
+TEST(Workloads, Table61BinningIsComplete)
+{
+    // Table 6.1: Class 1 = {fft, fmm, cholesky, fluidanimate},
+    // Class 2 = {barnes, lu, radix, radiosity},
+    // Class 3 = {blackscholes, streamcluster, raytrace}.
+    EXPECT_EQ(workloadsOfClass(1).size(), 4u);
+    EXPECT_EQ(workloadsOfClass(2).size(), 4u);
+    EXPECT_EQ(workloadsOfClass(3).size(), 3u);
+}
+
+TEST(Workloads, StreamsAreDeterministicPerSeed)
+{
+    const Workload *w = findWorkload("barnes");
+    ASSERT_NE(w, nullptr);
+    const auto a = collect(*w, 0, 16, 99, 5000);
+    const auto b = collect(*w, 0, 16, 99, 5000);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].addr, b[i].addr);
+        EXPECT_EQ(a[i].write, b[i].write);
+        EXPECT_EQ(a[i].gap, b[i].gap);
+    }
+}
+
+TEST(Workloads, DifferentSeedsProduceDifferentStreams)
+{
+    const Workload *w = findWorkload("barnes");
+    const auto a = collect(*w, 0, 16, 1, 2000);
+    const auto b = collect(*w, 0, 16, 2, 2000);
+    std::size_t same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        same += a[i].addr == b[i].addr;
+    EXPECT_LT(same, a.size() / 2);
+}
+
+TEST(Workloads, DifferentCoresUseDisjointPrivateRegions)
+{
+    const Workload *w = findWorkload("lu");
+    const auto a = collect(*w, 0, 16, 7, 8000);
+    const auto b = collect(*w, 5, 16, 7, 8000);
+
+    std::set<Addr> aPriv, bPriv;
+    for (const auto &r : a)
+        if (r.addr < SyntheticStream::kSharedBase)
+            aPriv.insert(r.addr / 64);
+    for (const auto &r : b)
+        if (r.addr < SyntheticStream::kSharedBase)
+            bPriv.insert(r.addr / 64);
+
+    ASSERT_FALSE(aPriv.empty());
+    ASSERT_FALSE(bPriv.empty());
+    for (Addr l : aPriv)
+        EXPECT_EQ(bPriv.count(l), 0u);
+}
+
+TEST(Workloads, SharedRegionIsActuallyShared)
+{
+    const Workload *w = findWorkload("barnes"); // high-sharing Class 2
+    const auto a = collect(*w, 0, 16, 7, 30000);
+    const auto b = collect(*w, 3, 16, 7, 30000);
+
+    std::set<Addr> aSh, bSh;
+    for (const auto &r : a)
+        if (r.addr >= SyntheticStream::kSharedBase)
+            aSh.insert(r.addr / 64);
+    for (const auto &r : b)
+        if (r.addr >= SyntheticStream::kSharedBase)
+            bSh.insert(r.addr / 64);
+
+    std::size_t common = 0;
+    for (Addr l : aSh)
+        common += bSh.count(l);
+    EXPECT_GT(common, 0u);
+}
+
+TEST(Workloads, GapsStayWithinTheProfileBounds)
+{
+    for (const Workload *w : paperWorkloads()) {
+        const auto refs = collect(*w, 1, 16, 3, 4000);
+        for (const auto &r : refs) {
+            EXPECT_GE(r.gap, 1u) << w->name();
+            EXPECT_LE(r.gap, 64u) << w->name();
+        }
+    }
+}
+
+TEST(Workloads, AddressesAreInDeclaredRegions)
+{
+    for (const Workload *w : paperWorkloads()) {
+        const auto refs = collect(*w, 2, 16, 11, 4000);
+        for (const auto &r : refs) {
+            const bool priv = r.addr >= SyntheticStream::kPrivateBase &&
+                              r.addr < SyntheticStream::kSharedBase;
+            const bool shared = r.addr >= SyntheticStream::kSharedBase &&
+                                r.addr < Core::kCodeBase;
+            EXPECT_TRUE(priv || shared)
+                << w->name() << " addr " << std::hex << r.addr;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binning: every application must measure into its Table 6.1 class.
+// This is the calibration contract of the workload substitution
+// (DESIGN.md §2) — if it breaks, the class-wise figures are meaningless.
+// ---------------------------------------------------------------------
+
+class BinningTest : public ::testing::TestWithParam<const Workload *>
+{
+};
+
+TEST_P(BinningTest, AppMeasuresIntoItsPaperClass)
+{
+    const Workload *w = GetParam();
+    // Default thresholds: the classifier is calibrated at these stream
+    // lengths (shorter runs overweight cold-start write-backs).
+    const BinningMeasurement m = measureBinning(*w);
+    EXPECT_EQ(m.measuredClass, w->paperClass()) << w->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperApps, BinningTest, ::testing::ValuesIn(paperWorkloads()),
+    [](const ::testing::TestParamInfo<const Workload *> &info) {
+        return std::string(info.param->name());
+    });
+
+// Micro workloads keep their analytic guarantees.
+
+TEST(MicroWorkloads, HammerTouchesExactlyOneLinePerCore)
+{
+    HammerWorkload w;
+    const auto refs = collect(w, 0, 4, 5, 1000);
+    std::set<Addr> lines;
+    for (const auto &r : refs)
+        lines.insert(r.addr / 64);
+    EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST(MicroWorkloads, StreamNeverRevisitsALine)
+{
+    StreamWorkload w(1 << 20, 0.2);
+    const auto refs = collect(w, 0, 4, 5, 4000);
+    std::set<Addr> lines;
+    for (const auto &r : refs)
+        EXPECT_TRUE(lines.insert(r.addr / 64).second);
+}
+
+TEST(MicroWorkloads, UniformStaysInItsRegion)
+{
+    const std::uint64_t bytes = 64 * 1024;
+    UniformWorkload w(bytes, 0.5);
+    const auto refs0 = collect(w, 0, 4, 5, 4000);
+    Addr lo = ~Addr{0}, hi = 0;
+    for (const auto &r : refs0) {
+        lo = std::min(lo, r.addr);
+        hi = std::max(hi, r.addr);
+    }
+    EXPECT_LT(hi - lo, bytes);
+}
+
+TEST(MicroWorkloads, PingPongAlternatesWritesAcrossCores)
+{
+    PingPongWorkload w(4);
+    const auto refs = collect(w, 0, 2, 5, 1000);
+    std::size_t writes = 0;
+    for (const auto &r : refs)
+        writes += r.write;
+    EXPECT_GT(writes, 0u);
+    EXPECT_LT(writes, refs.size());
+}
+
+} // namespace
+} // namespace refrint::test

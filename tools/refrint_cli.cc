@@ -1,0 +1,252 @@
+/**
+ * @file
+ * refrint_cli — command-line front end for the Refrint simulator.
+ *
+ *   refrint_cli run --app fft --policy R.WB(32,32) --retention 50
+ *                   [--refs N] [--seed S] [--sram] [--decay US]
+ *   refrint_cli sweep [--refs N]          reproduce the Table 5.4 sweep
+ *   refrint_cli figures [--refs N]        print Figs. 6.1-6.4 + headline
+ *   refrint_cli binning                   print Table 6.1 classification
+ *   refrint_cli trace-record --app fft --out t.trc [--refs N] [--seed S]
+ *   refrint_cli trace-run --in t.trc --policy P.all --retention 50
+ *   refrint_cli list                      list applications and policies
+ *
+ * Every subcommand prints a normalized summary (against the matching
+ * full-SRAM baseline where applicable).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/binning.hh"
+#include "harness/report.hh"
+#include "harness/sweep.hh"
+#include "trace/trace.hh"
+#include "workload/workload.hh"
+
+namespace
+{
+
+using namespace refrint;
+
+struct Args
+{
+    std::string app = "fft";
+    std::string policy = "R.WB(32,32)";
+    double retentionUs = 50.0;
+    std::uint64_t refs = 120'000;
+    std::uint64_t seed = 1;
+    bool sram = false;
+    double decayUs = 0.0;
+    std::string in, out;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: refrint_cli <run|sweep|figures|binning|trace-record|"
+        "trace-run|list> [options]\n"
+        "  --app NAME --policy P --retention US --refs N --seed S\n"
+        "  --sram --decay US --in FILE --out FILE\n");
+    std::exit(2);
+}
+
+Args
+parseArgs(int argc, char **argv, int first)
+{
+    Args a;
+    for (int i = first; i < argc; ++i) {
+        const std::string k = argv[i];
+        auto val = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (k == "--app")
+            a.app = val();
+        else if (k == "--policy")
+            a.policy = val();
+        else if (k == "--retention")
+            a.retentionUs = std::atof(val());
+        else if (k == "--refs")
+            a.refs = std::strtoull(val(), nullptr, 10);
+        else if (k == "--seed")
+            a.seed = std::strtoull(val(), nullptr, 10);
+        else if (k == "--sram")
+            a.sram = true;
+        else if (k == "--decay")
+            a.decayUs = std::atof(val());
+        else if (k == "--in")
+            a.in = val();
+        else if (k == "--out")
+            a.out = val();
+        else
+            usage();
+    }
+    return a;
+}
+
+HierarchyConfig
+machineFor(const Args &a)
+{
+    if (a.sram && a.decayUs > 0.0)
+        return HierarchyConfig::paperSramDecay(usToTicks(a.decayUs));
+    if (a.sram)
+        return HierarchyConfig::paperSram();
+    return HierarchyConfig::paperEdram(parsePolicy(a.policy),
+                                       usToTicks(a.retentionUs));
+}
+
+void
+printRun(const Workload &app, const Args &a)
+{
+    SimParams sim;
+    sim.refsPerCore = a.refs;
+    sim.seed = a.seed;
+
+    const RunResult base =
+        runOnce(HierarchyConfig::paperSram(), app, sim);
+    const HierarchyConfig cfg = machineFor(a);
+    const RunResult r =
+        a.sram && a.decayUs == 0.0 ? base : runOnce(cfg, app, sim);
+    const NormalizedResult n = normalize(r, base);
+
+    std::printf("app            %s (class %d)\n", app.name(),
+                app.paperClass());
+    std::printf("machine        %s%s", cellTechName(cfg.tech),
+                cfg.decay.enabled ? "+decay" : "");
+    if (cfg.tech == CellTech::Edram)
+        std::printf("  policy %s  retention %.0f us",
+                    cfg.l3Policy.name().c_str(), a.retentionUs);
+    std::printf("\n");
+    std::printf("exec time      %.3f ms  (%.3fx of SRAM)\n",
+                ticksToSeconds(r.execTicks) * 1e3, n.time);
+    std::printf("mem energy     %.3f mJ  (%.3fx of SRAM)\n",
+                r.energy.memTotal() * 1e3, n.memEnergy);
+    std::printf("sys energy     %.3f mJ  (%.3fx of SRAM)\n",
+                r.energy.systemTotal() * 1e3, n.sysEnergy);
+    std::printf("  dynamic/leak/refresh/dram  %.3f / %.3f / %.3f / %.3f"
+                "  (of SRAM mem energy)\n",
+                n.dynamic, n.leakage, n.refresh, n.dram);
+    std::printf("L3 misses      %llu    DRAM accesses %llu\n",
+                static_cast<unsigned long long>(r.counts.l3Misses),
+                static_cast<unsigned long long>(r.counts.dramAccesses));
+    std::printf("refreshes      L1 %llu  L2 %llu  L3 %llu\n",
+                static_cast<unsigned long long>(r.counts.l1Refreshes),
+                static_cast<unsigned long long>(r.counts.l2Refreshes),
+                static_cast<unsigned long long>(r.counts.l3Refreshes));
+}
+
+int
+cmdRun(const Args &a)
+{
+    const Workload *app = findWorkload(a.app);
+    if (app == nullptr) {
+        std::fprintf(stderr, "unknown application '%s' (try 'list')\n",
+                     a.app.c_str());
+        return 1;
+    }
+    printRun(*app, a);
+    return 0;
+}
+
+int
+cmdSweepOrFigures(const Args &a, bool figures)
+{
+    SweepSpec spec;
+    spec.sim.refsPerCore = a.refs;
+    const SweepResult s = runSweep(std::move(spec));
+    if (figures) {
+        printFig61(s);
+        for (int cls : {1, 2, 3, 0})
+            printFig62(s, cls);
+        printFig63(s, 1);
+        printFig63(s, 0);
+        printFig64(s, 1);
+        printFig64(s, 0);
+    }
+    printHeadline(s);
+    return 0;
+}
+
+int
+cmdBinning()
+{
+    printBinning();
+    return 0;
+}
+
+int
+cmdTraceRecord(const Args &a)
+{
+    const Workload *app = findWorkload(a.app);
+    if (app == nullptr || a.out.empty()) {
+        std::fprintf(stderr, "trace-record needs --app and --out\n");
+        return 1;
+    }
+    const Trace t = recordTrace(*app, 16, a.refs, a.seed);
+    if (!saveTrace(t, a.out))
+        return 1;
+    std::printf("recorded %llu refs (%u cores) from %s to %s\n",
+                static_cast<unsigned long long>(t.totalRefs()),
+                t.numCores(), app->name(), a.out.c_str());
+    return 0;
+}
+
+int
+cmdTraceRun(const Args &a)
+{
+    if (a.in.empty()) {
+        std::fprintf(stderr, "trace-run needs --in\n");
+        return 1;
+    }
+    TraceWorkload app(loadTrace(a.in), a.in);
+    printRun(app, a);
+    return 0;
+}
+
+int
+cmdList()
+{
+    std::printf("applications (Table 5.3 / binning of Table 6.1):\n");
+    for (const Workload *w : paperWorkloads())
+        std::printf("  %-14s class %d\n", w->name(), w->paperClass());
+    std::printf("policies (Table 5.4): ");
+    for (const RefreshPolicy &p : paperPolicySweep())
+        std::printf("%s ", p.name().c_str());
+    std::printf("\n  plus the SmartRefresh comparator: S.valid, "
+                "S.WB(n,m), ...\n");
+    std::printf("retentions: 50, 100, 200 (us)\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string cmd = argv[1];
+    const Args a = parseArgs(argc, argv, 2);
+
+    if (cmd == "run")
+        return cmdRun(a);
+    if (cmd == "sweep")
+        return cmdSweepOrFigures(a, false);
+    if (cmd == "figures")
+        return cmdSweepOrFigures(a, true);
+    if (cmd == "binning")
+        return cmdBinning();
+    if (cmd == "trace-record")
+        return cmdTraceRecord(a);
+    if (cmd == "trace-run")
+        return cmdTraceRun(a);
+    if (cmd == "list")
+        return cmdList();
+    usage();
+}
