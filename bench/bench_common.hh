@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/env.hh"
 #include "harness/report.hh"
 #include "harness/sweep.hh"
 
@@ -21,12 +22,11 @@ namespace refrint::bench
 inline std::uint64_t
 defaultRefs()
 {
-    if (const char *r = std::getenv("REFRINT_REFS"))
-        return static_cast<std::uint64_t>(std::atoll(r));
-    return 120'000;
+    return envU64("REFRINT_REFS", 120'000);
 }
 
-/** Run (or load) the paper sweep shared by the figure benches. */
+/** Run (or load) the paper sweep shared by the figure benches.
+ *  Parallelized across $REFRINT_JOBS worker threads when set. */
 inline SweepResult
 paperSweep()
 {

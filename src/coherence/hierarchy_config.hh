@@ -59,7 +59,7 @@ struct HierarchyConfig
      */
     DataPolicy upperDataPolicy = DataPolicy::Valid;
 
-    RetentionParams retention{usToTicks(50.0), kTickNever};
+    RetentionParams retention{usToTicks(50.0), kTickNever, {}};
 
     /** Cache-decay comparator settings (SRAM machines only, §7). */
     DecayConfig decay;

@@ -2,16 +2,47 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace refrint
 {
+
+namespace
+{
+
+std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+thread_local std::string tlPrefix;
+
+} // namespace
+
+LogPrefix::LogPrefix(std::string prefix) : prev_(std::move(tlPrefix))
+{
+    tlPrefix = std::move(prefix);
+}
+
+LogPrefix::~LogPrefix()
+{
+    tlPrefix = std::move(prev_);
+}
+
 namespace detail
 {
 
 void
 emit(const char *tag, const std::string &msg)
 {
-    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+    std::lock_guard<std::mutex> lock(logMutex());
+    if (tlPrefix.empty())
+        std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+    else
+        std::fprintf(stderr, "[%s] (%s) %s\n", tag, tlPrefix.c_str(),
+                     msg.c_str());
 }
 
 void

@@ -20,10 +20,32 @@ namespace refrint
 
 namespace detail
 {
-/** Emit a tagged message to stderr; defined out of line. */
+/** Emit a tagged message to stderr; defined out of line.  Serialized
+ *  by an internal mutex so concurrent sweep workers never interleave
+ *  partial lines. */
 void emit(const char *tag, const std::string &msg);
 [[noreturn]] void abortMsg(const char *tag, const std::string &msg);
 } // namespace detail
+
+/**
+ * RAII log prefix for the calling thread: while alive, every message
+ * emitted from this thread is tagged "(prefix) ".  Sweep workers use
+ * it to label output with their (app, policy, retention) run, since
+ * with --jobs > 1 lines from different runs interleave.  Nests;
+ * restores the previous prefix on destruction.
+ */
+class LogPrefix
+{
+  public:
+    explicit LogPrefix(std::string prefix);
+    ~LogPrefix();
+
+    LogPrefix(const LogPrefix &) = delete;
+    LogPrefix &operator=(const LogPrefix &) = delete;
+
+  private:
+    std::string prev_;
+};
 
 /** Report an internal invariant violation and abort. */
 template <typename... Args>

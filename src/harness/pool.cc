@@ -1,0 +1,122 @@
+#include "harness/pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/env.hh"
+
+namespace refrint
+{
+
+unsigned
+resolveJobs(unsigned jobs)
+{
+    if (jobs > 0)
+        return jobs;
+    std::uint64_t env = envU64("REFRINT_JOBS", 1);
+    constexpr std::uint64_t kMaxJobs = 4096;
+    if (env > kMaxJobs) {
+        warn("REFRINT_JOBS: clamping %llu to %llu",
+             static_cast<unsigned long long>(env),
+             static_cast<unsigned long long>(kMaxJobs));
+        env = kMaxJobs;
+    }
+    return env > 0 ? static_cast<unsigned>(env) : 1;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = 1;
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    hasWork_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push(std::move(task));
+        ++inFlight_;
+    }
+    hasWork_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            hasWork_.wait(lock,
+                          [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to do
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    jobs = resolveJobs(jobs);
+    if (jobs <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    if (jobs > n)
+        jobs = static_cast<unsigned>(n);
+
+    // One shared index counter: each worker claims the next undone
+    // index, so load balances dynamically across uneven run times.
+    std::atomic<std::size_t> next{0};
+    auto drain = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            fn(i);
+        }
+    };
+
+    ThreadPool pool(jobs);
+    for (unsigned w = 0; w < jobs; ++w)
+        pool.submit(drain);
+    pool.wait();
+}
+
+} // namespace refrint

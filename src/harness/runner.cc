@@ -1,5 +1,7 @@
 #include "harness/runner.hh"
 
+#include "common/log.hh"
+
 namespace refrint
 {
 
@@ -22,9 +24,23 @@ runOnce(const HierarchyConfig &cfg, const Workload &app,
     return r;
 }
 
+bool
+usableBaseline(const RunResult &base)
+{
+    return base.execTicks > 0 && base.energy.memTotal() > 0.0 &&
+           base.energy.systemTotal() > 0.0;
+}
+
 NormalizedResult
 normalize(const RunResult &r, const RunResult &base)
 {
+    if (!usableBaseline(base))
+        panic("normalize: degenerate baseline for %s (execTicks=%llu "
+              "memE=%g sysE=%g) would yield inf/NaN",
+              base.app.c_str(),
+              static_cast<unsigned long long>(base.execTicks),
+              base.energy.memTotal(), base.energy.systemTotal());
+
     NormalizedResult n;
     n.app = r.app;
     n.config = r.config;

@@ -53,7 +53,17 @@ RunResult runOnce(const HierarchyConfig &cfg, const Workload &app,
                   const SimParams &params,
                   const EnergyParams &energy = EnergyParams::calibrated());
 
-/** Normalize @p r against the matching SRAM baseline run @p base. */
+/**
+ * Whether @p base can serve as a normalization baseline: nonzero
+ * execution time and nonzero memory/system energy.  A degenerate
+ * baseline (e.g. a zero-reference run) would turn every normalized row
+ * into silent inf/NaN.
+ */
+bool usableBaseline(const RunResult &base);
+
+/** Normalize @p r against the matching SRAM baseline run @p base.
+ *  Panics if @p base is degenerate — check usableBaseline() to skip
+ *  instead. */
 NormalizedResult normalize(const RunResult &r, const RunResult &base);
 
 } // namespace refrint

@@ -1,13 +1,17 @@
 #include "harness/sweep.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 
+#include "common/env.hh"
 #include "common/log.hh"
+#include "harness/pool.hh"
 
 namespace refrint
 {
@@ -66,11 +70,9 @@ SweepSpec::finalize()
         retentions = paperRetentions();
     if (policies.empty())
         policies = paperPolicySweep();
-    if (const char *r = std::getenv("REFRINT_REFS")) {
-        const long long v = std::atoll(r);
-        if (v > 0)
-            sim.refsPerCore = static_cast<std::uint64_t>(v);
-    }
+    const std::uint64_t refs = envU64("REFRINT_REFS", 0);
+    if (refs > 0)
+        sim.refsPerCore = refs;
     if (const char *a = std::getenv("REFRINT_APPS")) {
         // Comma-separated allow list, e.g. REFRINT_APPS=fft,lu
         std::vector<const Workload *> keep;
@@ -85,6 +87,7 @@ SweepSpec::finalize()
         if (!keep.empty())
             apps = keep;
     }
+    jobs = resolveJobs(jobs);
 }
 
 namespace
@@ -103,7 +106,10 @@ runKey(const std::string &app, const std::string &config,
     return buf;
 }
 
-constexpr int kCacheVersion = 3;
+// v4: named-field serialization (no struct-layout reinterpret_cast),
+// %.17g precision so every double round-trips exactly, and the file is
+// only ever rewritten whole (no append path, no duplicate keys).
+constexpr int kCacheVersion = 4;
 
 /** The numeric payload serialized per run. */
 struct CacheRow
@@ -113,6 +119,24 @@ struct CacheRow
     double dramAccesses, l3Misses, refreshes3, refWbs, refInvals;
     double decayed;
 };
+
+/**
+ * Field list in serialization order — the single source of truth for
+ * both the reader and the writer, so they cannot drift apart or depend
+ * on the struct's memory layout.
+ */
+constexpr double CacheRow::*kCacheFields[] = {
+    &CacheRow::execTicks,    &CacheRow::instructions, &CacheRow::l1,
+    &CacheRow::l2,           &CacheRow::l3,           &CacheRow::dram,
+    &CacheRow::dynamic,      &CacheRow::leakage,      &CacheRow::refresh,
+    &CacheRow::core,         &CacheRow::net,          &CacheRow::dramAccesses,
+    &CacheRow::l3Misses,     &CacheRow::refreshes3,   &CacheRow::refWbs,
+    &CacheRow::refInvals,    &CacheRow::decayed,
+};
+constexpr std::size_t kNumCacheFields =
+    sizeof(kCacheFields) / sizeof(kCacheFields[0]);
+static_assert(kNumCacheFields == sizeof(CacheRow) / sizeof(double),
+              "every CacheRow field must be serialized");
 
 CacheRow
 toRow(const RunResult &r)
@@ -167,6 +191,13 @@ fromRow(const std::string &app, const std::string &config,
     return r;
 }
 
+/**
+ * The sweep's persistent result cache.  Thread-safe: lookup/insert are
+ * mutex-guarded so concurrent sweep workers can share it.  The file is
+ * only ever written as a full rewrite (periodically during the sweep
+ * for crash durability, and once at the end via flush()), so a
+ * pre-existing file can never accumulate duplicate keys for a run.
+ */
 class RunCache
 {
   public:
@@ -190,21 +221,15 @@ class RunCache
                 continue;
             const std::string key = line.substr(0, sep);
             CacheRow c{};
-            double *f = reinterpret_cast<double *>(&c);
-            std::stringstream ss(line.substr(sep + 1));
-            std::string tok;
-            std::size_t i = 0;
-            const std::size_t nf = sizeof(CacheRow) / sizeof(double);
-            while (i < nf && std::getline(ss, tok, ','))
-                f[i++] = std::atof(tok.c_str());
-            if (i == nf)
-                rows_[key] = c;
+            if (readRow(line.substr(sep + 1), c))
+                rows_[key] = c; // last occurrence wins
         }
     }
 
     bool
     lookup(const std::string &key, CacheRow &out) const
     {
+        std::lock_guard<std::mutex> lock(mu_);
         auto it = rows_.find(key);
         if (it == rows_.end())
             return false;
@@ -212,39 +237,84 @@ class RunCache
         return true;
     }
 
+    /** Record a freshly simulated run; persisted on flush().  Every
+     *  kFlushInterval inserts the file is also rewritten, so an
+     *  interrupted long sweep loses at most that many simulations. */
     void
-    store(const std::string &key, const CacheRow &c)
+    insert(const std::string &key, const CacheRow &c)
     {
+        std::lock_guard<std::mutex> lock(mu_);
         rows_[key] = c;
-        if (path_.empty())
-            return;
-        std::ofstream out(path_, dirty_ ? std::ios::app : std::ios::trunc);
-        if (!dirty_) {
-            // Rewrite whole file once per process to refresh the header.
-            out << "v" << kCacheVersion << "\n";
-            for (const auto &[k, row] : rows_)
-                writeRow(out, k, row);
-            dirty_ = true;
-            return;
+        dirty_ = true;
+        if (++sinceFlush_ >= kFlushInterval) {
+            flushLocked();
+            sinceFlush_ = 0;
         }
-        writeRow(out, key, c);
+    }
+
+    /** Rewrite the cache file with every known row. */
+    void
+    flush()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        flushLocked();
     }
 
   private:
+    static constexpr std::size_t kFlushInterval = 16;
+
+    void
+    flushLocked()
+    {
+        if (path_.empty() || !dirty_)
+            return;
+        // Always a full rewrite of a consistent file — never an
+        // append — so duplicate keys cannot accumulate.
+        std::ofstream out(path_, std::ios::trunc);
+        if (!out) {
+            warn("cannot write sweep cache: %s", path_.c_str());
+            return;
+        }
+        out << "v" << kCacheVersion << "\n";
+        for (const auto &[k, row] : rows_)
+            writeRow(out, k, row);
+        dirty_ = false;
+    }
+    /** Parse "f0,f1,...,f16" into the named fields, all required. */
+    static bool
+    readRow(const std::string &payload, CacheRow &c)
+    {
+        std::stringstream ss(payload);
+        std::string tok;
+        std::size_t i = 0;
+        while (i < kNumCacheFields && std::getline(ss, tok, ',')) {
+            char *end = nullptr;
+            const double v = std::strtod(tok.c_str(), &end);
+            if (end == tok.c_str() || *end != '\0')
+                return false;
+            c.*kCacheFields[i++] = v;
+        }
+        return i == kNumCacheFields;
+    }
+
     static void
     writeRow(std::ofstream &out, const std::string &key,
              const CacheRow &c)
     {
         out << key << ";";
-        const double *f = reinterpret_cast<const double *>(&c);
-        const std::size_t nf = sizeof(CacheRow) / sizeof(double);
-        for (std::size_t i = 0; i < nf; ++i)
-            out << (i ? "," : "") << f[i];
+        char buf[32];
+        for (std::size_t i = 0; i < kNumCacheFields; ++i) {
+            // %.17g: max_digits10 for double, exact round-trip.
+            std::snprintf(buf, sizeof(buf), "%.17g", c.*kCacheFields[i]);
+            out << (i ? "," : "") << buf;
+        }
         out << "\n";
     }
 
     std::string path_;
+    mutable std::mutex mu_;
     std::map<std::string, CacheRow> rows_;
+    std::size_t sinceFlush_ = 0;
     bool dirty_ = false;
 };
 
@@ -292,36 +362,78 @@ runSweep(SweepSpec spec, const std::string &cachePath)
 {
     spec.finalize();
     RunCache cache(cachePath);
-    SweepResult out;
 
-    auto obtain = [&](const HierarchyConfig &cfg, const Workload &app,
-                      double retentionUs,
-                      const std::string &config) -> RunResult {
-        const std::string key =
-            runKey(app.name(), config, retentionUs, spec.sim);
-        CacheRow row;
-        if (cache.lookup(key, row))
-            return fromRow(app.name(), config, retentionUs, row);
-        inform("simulating %s / %s @ %.0f us ...", app.name(),
-               config.c_str(), retentionUs);
-        RunResult r = runOnce(cfg, app, spec.sim, spec.energy);
-        cache.store(key, toRow(r));
-        return r;
+    // Flatten the sweep into a deterministic run list in spec order:
+    // per app, the SRAM baseline first, then retention x policy.  The
+    // list — not completion order — dictates where every result lands,
+    // so jobs=N output is identical to jobs=1.
+    struct RunDesc
+    {
+        const Workload *app;
+        HierarchyConfig cfg;
+        double retentionUs;
+        std::string config;
     };
-
+    std::vector<RunDesc> runs;
+    runs.reserve(spec.apps.size() *
+                 (1 + spec.retentions.size() * spec.policies.size()));
     for (const Workload *app : spec.apps) {
-        const RunResult base = obtain(HierarchyConfig::paperSram(), *app,
-                                      0.0, "SRAM");
-        out.raw.push_back(base);
+        runs.push_back({app, HierarchyConfig::paperSram(), 0.0, "SRAM"});
         for (Tick ret : spec.retentions) {
             const double retUs = static_cast<double>(ret) / 1e3;
-            for (const RefreshPolicy &pol : spec.policies) {
-                HierarchyConfig cfg =
-                    HierarchyConfig::paperEdram(pol, ret);
-                RunResult r = obtain(cfg, *app, retUs, pol.name());
-                out.raw.push_back(r);
+            for (const RefreshPolicy &pol : spec.policies)
+                runs.push_back({app, HierarchyConfig::paperEdram(pol, ret),
+                                retUs, pol.name()});
+        }
+    }
+
+    std::vector<RunResult> results(runs.size());
+    std::atomic<std::size_t> simulated{0};
+
+    parallelFor(runs.size(), spec.jobs, [&](std::size_t i) {
+        const RunDesc &d = runs[i];
+        const std::string key =
+            runKey(d.app->name(), d.config, d.retentionUs, spec.sim);
+        CacheRow row;
+        if (cache.lookup(key, row)) {
+            results[i] =
+                fromRow(d.app->name(), d.config, d.retentionUs, row);
+            return;
+        }
+        char prefix[128];
+        std::snprintf(prefix, sizeof(prefix), "%s/%s@%.0fus",
+                      d.app->name(), d.config.c_str(), d.retentionUs);
+        LogPrefix scope(prefix);
+        inform("simulating ...");
+        RunResult r = runOnce(d.cfg, *d.app, spec.sim, spec.energy);
+        // Stamp the sweep's label (0.0 for SRAM baselines) so a fresh
+        // run and a cache reload of it report the same retention.
+        r.retentionUs = d.retentionUs;
+        cache.insert(key, toRow(r));
+        simulated.fetch_add(1, std::memory_order_relaxed);
+        results[i] = r;
+    });
+    cache.flush();
+
+    // Assemble output in the same spec order the serial sweep used.
+    SweepResult out;
+    out.simulations = simulated.load();
+    std::size_t i = 0;
+    for (const Workload *app : spec.apps) {
+        (void)app;
+        const RunResult &base = results[i++];
+        out.raw.push_back(base);
+        const bool usable = usableBaseline(base);
+        if (!usable)
+            warn("degenerate SRAM baseline for %s (zero energy or "
+                 "time); skipping its normalized rows",
+                 base.app.c_str());
+        for (std::size_t p = 0;
+             p < spec.retentions.size() * spec.policies.size(); ++p) {
+            const RunResult &r = results[i++];
+            out.raw.push_back(r);
+            if (usable)
                 out.normalized.push_back(normalize(r, base));
-            }
         }
     }
     return out;

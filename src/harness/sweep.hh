@@ -39,8 +39,17 @@ struct SweepSpec
     SimParams sim;
     EnergyParams energy = EnergyParams::calibrated();
 
+    /**
+     * Worker threads for the sweep: each (app, policy, retention) run
+     * simulates on its own thread with its own CmpSystem/EventQueue.
+     * 0 means $REFRINT_JOBS, or serial if that is unset.  Results are
+     * bit-identical to jobs=1 (same per-run PRNG seeds; collected in
+     * spec order regardless of completion order).
+     */
+    unsigned jobs = 0;
+
     /** Fill any empty field with the paper defaults; read environment
-     *  overrides (REFRINT_REFS, REFRINT_APPS). */
+     *  overrides (REFRINT_REFS, REFRINT_APPS, REFRINT_JOBS). */
     void finalize();
 };
 
@@ -49,6 +58,10 @@ struct SweepResult
 {
     std::vector<RunResult> raw;             ///< includes SRAM baselines
     std::vector<NormalizedResult> normalized;
+
+    /** Simulations actually executed (cache misses); a warm-cache
+     *  sweep reports 0. */
+    std::size_t simulations = 0;
 
     /** Mean of @p pick over the normalized rows matching the filter
      *  (retention in us; empty app list = all apps). */

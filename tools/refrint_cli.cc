@@ -20,6 +20,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/env.hh"
 #include "harness/binning.hh"
 #include "harness/report.hh"
 #include "harness/sweep.hh"
@@ -38,6 +39,7 @@ struct Args
     double retentionUs = 50.0;
     std::uint64_t refs = 120'000;
     std::uint64_t seed = 1;
+    unsigned jobs = 0; ///< sweep workers; 0 = $REFRINT_JOBS or serial
     bool sram = false;
     double decayUs = 0.0;
     std::string in, out;
@@ -51,7 +53,7 @@ usage()
         "usage: refrint_cli <run|sweep|figures|binning|trace-record|"
         "trace-run|list> [options]\n"
         "  --app NAME --policy P --retention US --refs N --seed S\n"
-        "  --sram --decay US --in FILE --out FILE\n");
+        "  --jobs N --sram --decay US --in FILE --out FILE\n");
     std::exit(2);
 }
 
@@ -76,6 +78,15 @@ parseArgs(int argc, char **argv, int first)
             a.refs = std::strtoull(val(), nullptr, 10);
         else if (k == "--seed")
             a.seed = std::strtoull(val(), nullptr, 10);
+        else if (k == "--jobs") {
+            std::uint64_t n = 0;
+            if (!parseU64Strict(val(), n) || n == 0 || n > 4096) {
+                std::fprintf(stderr,
+                             "--jobs wants an integer in [1, 4096]\n");
+                usage();
+            }
+            a.jobs = static_cast<unsigned>(n);
+        }
         else if (k == "--sram")
             a.sram = true;
         else if (k == "--decay")
@@ -159,6 +170,7 @@ cmdSweepOrFigures(const Args &a, bool figures)
 {
     SweepSpec spec;
     spec.sim.refsPerCore = a.refs;
+    spec.jobs = a.jobs;
     const SweepResult s = runSweep(std::move(spec));
     if (figures) {
         printFig61(s);
