@@ -30,7 +30,7 @@ tinyEdram(const RefreshPolicy &pol)
     c.l3Bank = CacheGeometry{32 * 1024, 8, 64, 4, 2};
     c.tech = CellTech::Edram;
     c.l3Policy = pol;
-    c.retention = RetentionParams{usToTicks(5.0), kTickNever, {}};
+    c.retention = RetentionParams{usToTicks(5.0), kTickNever, {}, {}};
     c.l1Engine = EngineGeometry{1, 4, 16};
     c.l2Engine = EngineGeometry{4, 4, 32};
     c.l3Engine = EngineGeometry{16, 4, 64};

@@ -53,6 +53,16 @@ HierarchyConfig::paperEdram(const RefreshPolicy &policy, Tick retention)
     return c;
 }
 
+HierarchyConfig
+HierarchyConfig::paperEdramThermal(const RefreshPolicy &policy,
+                                   Tick retention, double ambientC)
+{
+    HierarchyConfig c = paperEdram(policy, retention);
+    c.thermal.enabled = true;
+    c.thermal.ambientC = ambientC;
+    return c;
+}
+
 /**
  * Adapter binding a refresh engine to one cache unit within the
  * hierarchy.  Heavy actions (write-back, invalidation) route back into
@@ -81,7 +91,8 @@ struct Hierarchy::TargetAdapter : public RefreshTarget
         (void)idx;
         (void)now;
         // Energy is charged from the engine's line_refreshes counter;
-        // nothing else changes for a plain refresh.
+        // the per-unit tally feeds the thermal model's power input.
+        unit.noteRefresh();
     }
 
     void
@@ -156,6 +167,8 @@ Hierarchy::Hierarchy(const HierarchyConfig &cfg, EventQueue &eq)
         buildRefreshEngines();
     else if (cfg_.decay.enabled)
         buildDecayEngines();
+    if (cfg_.thermal.enabled)
+        buildThermal();
 }
 
 Hierarchy::~Hierarchy() = default;
@@ -215,10 +228,34 @@ Hierarchy::buildDecayEngines()
 }
 
 void
+Hierarchy::buildThermal()
+{
+    panicIf(!cfg_.refreshEnabled(),
+            "thermal model requires an eDRAM hierarchy (SRAM retention "
+            "is not temperature-limited)");
+    thermal_ = std::make_unique<ThermalDriver>(
+        cfg_.thermal, cfg_.retention.thermal, eq_, thermalStats_);
+    // Every eDRAM unit is one lumped node.  Leakage and access energy
+    // come from the same calibrated coefficients the end-of-run energy
+    // model uses, with the Table 5.2 eDRAM leakage ratio applied.
+    const EnergyParams &ep = cfg_.thermal.energy;
+    const double lr = ep.edramLeakRatio;
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        thermal_->addUnit(*il1s_[c], ep.leakL1 * lr, ep.eL1Access);
+        thermal_->addUnit(*dl1s_[c], ep.leakL1 * lr, ep.eL1Access);
+        thermal_->addUnit(*l2s_[c], ep.leakL2 * lr, ep.eL2Access);
+    }
+    for (std::uint32_t b = 0; b < cfg_.numBanks; ++b)
+        thermal_->addUnit(*l3s_[b], ep.leakL3Bank * lr, ep.eL3Access);
+}
+
+void
 Hierarchy::start(Tick now)
 {
     for (auto &e : engines_)
         e->start(now);
+    if (thermal_ != nullptr)
+        thermal_->start(now);
 }
 
 void
@@ -245,9 +282,9 @@ Hierarchy::access(CoreId c, Addr a, AccessType type, Tick now,
     // ---- L1 ----
     Tick t = l1.admit(now) + l1.latency;
     if (isStore)
-        l1.writes->inc();
+        l1.noteWrite();
     else
-        l1.reads->inc(blocks);
+        l1.noteRead(blocks);
     CacheLine *l1Line = l1.array.lookup(a);
     if (l1Line != nullptr)
         l1.touchLine(*l1Line, t);
@@ -261,9 +298,9 @@ Hierarchy::access(CoreId c, Addr a, AccessType type, Tick now,
     CacheUnit &l2u = *l2s_[c];
     t = l2u.admit(t) + l2u.latency;
     if (isStore)
-        l2u.writes->inc();
+        l2u.noteWrite();
     else
-        l2u.reads->inc();
+        l2u.noteRead();
     CacheLine *l2Line = l2u.array.lookup(a);
 
     if (l2Line != nullptr && !isStore) {
@@ -294,7 +331,7 @@ Hierarchy::access(CoreId c, Addr a, AccessType type, Tick now,
     t += net_.traverse(c, bank, MsgClass::Control);
     CacheUnit &l3u = *l3s_[bank];
     t = l3u.admit(t) + l3u.latency;
-    l3u.reads->inc();
+    l3u.noteRead();
     CacheLine *line = l3u.array.lookup(a);
 
     if (line == nullptr) {
@@ -361,7 +398,7 @@ Hierarchy::l3MissFill(std::uint32_t bank, Addr a, Tick &t)
     CacheLine &line = *v.line;
     line.state = Mesi::Shared; // "valid" marker at L3
     line.dirty = false;
-    l3u.writes->inc(); // the fill writes the data array
+    l3u.noteWrite(); // the fill writes the data array
     l3u.fills->inc();
     l3u.installLine(line, t);
     return &line;
@@ -410,7 +447,7 @@ Hierarchy::ownerIntervention(std::uint32_t bank, CacheLine &line, Tick t,
 
     Tick lat = net_.traverse(bank, o, MsgClass::Control);
     Tick ot = ol2.admit(t + lat) + ol2.latency;
-    ol2.reads->inc();
+    ol2.noteRead();
 
     CacheLine *ol = ol2.array.lookup(line.tag);
     panicIf(ol == nullptr, "directory owner lost its line");
@@ -420,7 +457,7 @@ Hierarchy::ownerIntervention(std::uint32_t bank, CacheLine &line, Tick t,
         // Data flows back to the L3 (and becomes the L3's dirty copy).
         lat = (ot - t) + net_.traverse(o, bank, MsgClass::Data);
         line.dirty = true;
-        l3u.writes->inc();
+        l3u.noteWrite();
     } else {
         lat = (ot - t) + net_.traverse(o, bank, MsgClass::Control);
     }
@@ -488,7 +525,7 @@ Hierarchy::l2Fill(CoreId c, Addr a, Mesi st, Tick now)
     CacheLine &line = *v.line;
     line.state = st;
     line.dirty = st == Mesi::Modified;
-    l2u.writes->inc(); // fill write
+    l2u.noteWrite(); // fill write
     l2u.fills->inc();
     l2u.installLine(line, now);
     return &line;
@@ -504,7 +541,7 @@ Hierarchy::l1Fill(CacheUnit &l1, Addr a, Tick now)
         l1.evictions->inc(); // L1 lines are clean: silent drop
     l1.array.install(v, a, now);
     v.line->state = Mesi::Shared;
-    l1.writes->inc();
+    l1.noteWrite();
     l1.fills->inc();
     l1.installLine(*v.line, now);
 }
@@ -523,7 +560,7 @@ Hierarchy::evictL2Victim(CoreId c, CacheLine &victim, Tick now)
         // access refreshes the L3 line.  This is the "visibility" the
         // paper's Class 1/2 applications give the last-level cache.
         net_.traverse(c, bank, MsgClass::Data);
-        l3u.writes->inc();
+        l3u.noteWrite();
         l3l->dirty = true;
         l3u.touchLine(*l3l, now);
     } else {
@@ -556,7 +593,7 @@ Hierarchy::l3RefreshWriteback(std::uint32_t bank, std::uint32_t idx,
     panicIf(!line.valid() || !line.dirty,
             "refresh write-back of a non-dirty line");
     // Read the line out and post it to DRAM; it stays Valid-Clean.
-    l3u.reads->inc();
+    l3u.noteRead();
     dram_.write(now);
     line.dirty = false;
 }
@@ -584,7 +621,7 @@ Hierarchy::l2RefreshWriteback(CoreId c, std::uint32_t idx, Tick now)
     CacheLine *l3l = l3u.array.lookup(a);
     panicIf(l3l == nullptr, "inclusion violated on L2 refresh WB");
     net_.traverse(c, bank, MsgClass::Data);
-    l3u.writes->inc();
+    l3u.noteWrite();
     l3l->dirty = true;
     l3u.touchLine(*l3l, now);
     // The line stays resident, now clean: M -> E (the directory still
@@ -761,6 +798,7 @@ Hierarchy::dumpStats(std::map<std::string, double> &out) const
     refreshL1Stats_.dump(out);
     refreshL2Stats_.dump(out);
     refreshL3Stats_.dump(out);
+    thermalStats_.dump(out);
 }
 
 } // namespace refrint

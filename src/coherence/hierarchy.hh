@@ -29,6 +29,7 @@
 #include "mem/cache_unit.hh"
 #include "net/torus.hh"
 #include "sim/event_queue.hh"
+#include "thermal/thermal_model.hh"
 
 namespace refrint
 {
@@ -106,6 +107,9 @@ class Hierarchy
     TorusNetwork &network() { return net_; }
     std::uint32_t numBanks() const { return cfg_.numBanks; }
 
+    /** Thermal driver, or null when the subsystem is disabled. */
+    const ThermalDriver *thermal() const { return thermal_.get(); }
+
     /** Home L3 bank of address @p a (static interleaving, §5). */
     std::uint32_t
     bankOf(Addr a) const
@@ -142,6 +146,7 @@ class Hierarchy
 
     void buildRefreshEngines();
     void buildDecayEngines();
+    void buildThermal();
 
     /** L3 miss: evict a victim, fetch from DRAM, install.  Advances
      *  @p t past the DRAM access. */
@@ -182,7 +187,7 @@ class Hierarchy
     StatGroup il1Stats_{"il1"}, dl1Stats_{"dl1"}, l2Stats_{"l2"},
         l3Stats_{"l3"}, netStats_{"net"}, dramStats_{"dram"},
         refreshL1Stats_{"refresh.l1"}, refreshL2Stats_{"refresh.l2"},
-        refreshL3Stats_{"refresh.l3"};
+        refreshL3Stats_{"refresh.l3"}, thermalStats_{"thermal"};
 
     std::vector<std::unique_ptr<CacheUnit>> il1s_, dl1s_, l2s_, l3s_;
     TorusNetwork net_;
@@ -191,6 +196,7 @@ class Hierarchy
     struct TargetAdapter;
     std::vector<std::unique_ptr<TargetAdapter>> targets_;
     std::vector<std::unique_ptr<RefreshEngine>> engines_;
+    std::unique_ptr<ThermalDriver> thermal_;
 };
 
 } // namespace refrint

@@ -15,6 +15,7 @@
 #include "edram/retention.hh"
 #include "mem/cache_geometry.hh"
 #include "related/decay.hh"
+#include "thermal/thermal_model.hh"
 
 namespace refrint
 {
@@ -59,7 +60,12 @@ struct HierarchyConfig
      */
     DataPolicy upperDataPolicy = DataPolicy::Valid;
 
-    RetentionParams retention{usToTicks(50.0), kTickNever, {}};
+    RetentionParams retention{usToTicks(50.0), kTickNever, {}, {}};
+
+    /** Activity-driven per-bank temperatures feeding back into the
+     *  retention (src/thermal/); disabled by default, which preserves
+     *  the paper's isothermal evaluation bit for bit. */
+    ThermalParams thermal;
 
     /** Cache-decay comparator settings (SRAM machines only, §7). */
     DecayConfig decay;
@@ -93,6 +99,12 @@ struct HierarchyConfig
     /** The paper's machine with eDRAM + the given policy/retention. */
     static HierarchyConfig paperEdram(const RefreshPolicy &policy,
                                       Tick retention);
+
+    /** The eDRAM machine with the thermal subsystem enabled at the
+     *  given ambient temperature (deg C). */
+    static HierarchyConfig paperEdramThermal(const RefreshPolicy &policy,
+                                             Tick retention,
+                                             double ambientC);
 };
 
 } // namespace refrint

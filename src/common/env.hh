@@ -45,6 +45,28 @@ parseU64Strict(const char *s, std::uint64_t &out)
 }
 
 /**
+ * Parse @p s as a strict finite decimal floating-point number: the
+ * whole string must be consumed and the value must be finite.  Unlike
+ * atof, "abc" and "" fail instead of silently becoming 0, and trailing
+ * junk ("50us") is rejected.
+ */
+inline bool
+parseF64Strict(const char *s, double &out)
+{
+    if (s == nullptr || *s == '\0')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (errno == ERANGE || end == s || *end != '\0')
+        return false;
+    if (!(v == v) || v > 1e300 || v < -1e300) // NaN / inf guards
+        return false;
+    out = v;
+    return true;
+}
+
+/**
  * Read $@p name as a strict decimal integer; a malformed value is
  * warned about (naming the variable) and @p fallback is returned, as
  * it is for an unset variable.

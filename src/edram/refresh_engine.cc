@@ -15,7 +15,10 @@ RefreshEngine::RefreshEngine(RefreshTarget &target,
     const std::uint32_t lines = target.array().numLines();
     cellRetention_ = retention.cellRetention;
     sentryRetention_ = retention.sentryRetention(lines);
+    nominalCell_ = cellRetention_;
+    margin_ = cellRetention_ - sentryRetention_;
     lineRetention_ = retention.drawLineRetentions(lines);
+    nominalLineRetention_ = lineRetention_;
 
     refreshes_ = &stats.counter("line_refreshes");
     wbs_ = &stats.counter("refresh_writebacks");
@@ -57,6 +60,70 @@ RefreshEngine::visitLine(std::uint32_t idx, Tick now)
     panic("unreachable refresh action");
 }
 
+namespace
+{
+
+/** Affinely rescale a future stamp around @p now by @p rho. */
+Tick
+rescaleStamp(Tick t, Tick now, double rho)
+{
+    if (t == kTickNever || t <= now)
+        return t;
+    return now + static_cast<Tick>(static_cast<double>(t - now) * rho);
+}
+
+} // namespace
+
+bool
+RefreshEngine::setRetentionScale(double factor, Tick now)
+{
+    if (!supportsRetentionScaling())
+        return false;
+    panicIf(!(factor > 0.0), "retention scale factor must be positive");
+
+    Tick newCell =
+        static_cast<Tick>(static_cast<double>(nominalCell_) * factor);
+    // Floor: the sentry margin is an absolute service-time bound, so a
+    // retention that approaches it would mean continuous refresh.  Cap
+    // the scaling there rather than panicking mid-run.
+    const Tick floor = std::max<Tick>(2 * margin_, 16);
+    if (newCell < floor) {
+        if (!warnedFloor_) {
+            warn("%s: thermal retention %llu would consume the sentry "
+                 "margin; flooring at %llu",
+                 target_.name(), static_cast<unsigned long long>(newCell),
+                 static_cast<unsigned long long>(floor));
+            warnedFloor_ = true;
+        }
+        newCell = floor;
+    }
+    scale_ = factor;
+    if (newCell == cellRetention_)
+        return false;
+
+    const double rho = static_cast<double>(newCell) /
+                       static_cast<double>(cellRetention_);
+    cellRetention_ = newCell;
+    sentryRetention_ = cellRetention_ - margin_;
+    for (std::size_t i = 0; i < lineRetention_.size(); ++i) {
+        lineRetention_[i] = std::max<Tick>(
+            1, static_cast<Tick>(
+                   static_cast<double>(nominalLineRetention_[i]) *
+                   static_cast<double>(newCell) /
+                   static_cast<double>(nominalCell_)));
+    }
+
+    // Re-stamp every line clock affinely around now: expiries and the
+    // engine deadlines that renew them scale together, so visit-before-
+    // expiry is preserved in both the warming and cooling directions.
+    target_.array().forEachLine([&](std::uint32_t, CacheLine &line) {
+        line.dataExpiry = rescaleStamp(line.dataExpiry, now, rho);
+        line.sentryExpiry = rescaleStamp(line.sentryExpiry, now, rho);
+    });
+    onRetentionRescaled(rho, now);
+    return true;
+}
+
 // ---------------------------------------------------------------------
 // PeriodicEngine
 // ---------------------------------------------------------------------
@@ -76,18 +143,20 @@ PeriodicEngine::PeriodicEngine(RefreshTarget &target,
         for (Tick r : lineRetention_)
             weakest = std::min(weakest, r);
         cellRetention_ = weakest;
+        nominalCell_ = weakest;
+        panicIf(margin_ >= cellRetention_,
+                "sentry margin consumes the weakest line's retention");
+        sentryRetention_ = cellRetention_ - margin_;
     }
     const std::uint32_t lines = target.array().numLines();
     const std::uint32_t groups = std::max(1u, geom_.periodicGroups);
     const std::uint32_t perGroup = (lines + groups - 1) / groups;
     linesPerBurst_ = std::min(std::max(1u, geom_.periodicBurstLines),
                               perGroup);
-    const std::uint32_t burstsPerGroup =
-        (perGroup + linesPerBurst_ - 1) / linesPerBurst_;
-    numBursts_ = groups * burstsPerGroup;
     // Bursts cover the line space contiguously; group boundaries are
     // implicit since bursts are evenly staggered anyway.
     numBursts_ = (lines + linesPerBurst_ - 1) / linesPerBurst_;
+    burstNext_.assign(numBursts_, 0);
     bursts_ = &stats.counter("periodic_bursts");
 }
 
@@ -96,10 +165,12 @@ PeriodicEngine::start(Tick now)
 {
     // Stagger burst k at phase k * T / numBursts so that the refresh of
     // the full cache is spread across an entire retention period (§3.2).
+    started_ = true;
     for (std::uint32_t k = 0; k < numBursts_; ++k) {
         const Tick phase =
             cellRetention_ * static_cast<Tick>(k) / numBursts_;
-        eq_.schedule(now + phase + 1, this, k);
+        burstNext_[k] = now + phase + 1;
+        eq_.schedule(burstNext_[k], this, burstTag(k, gen_));
     }
 }
 
@@ -122,8 +193,11 @@ PeriodicEngine::onAccess(std::uint32_t idx, Tick now)
 }
 
 void
-PeriodicEngine::fire(Tick now, std::uint64_t burstIdx)
+PeriodicEngine::fire(Tick now, std::uint64_t tag)
 {
+    if (static_cast<std::uint32_t>(tag >> 32) != gen_)
+        return; // superseded schedule (retention was rescaled)
+    const std::uint64_t burstIdx = tag & 0xffffffffULL;
     const std::uint32_t lines = target_.array().numLines();
     const std::uint32_t lo =
         static_cast<std::uint32_t>(burstIdx) * linesPerBurst_;
@@ -144,7 +218,28 @@ PeriodicEngine::fire(Tick now, std::uint64_t burstIdx)
     // array, one line per cycle (Table 5.2: refresh time = access time).
     if (serviced > 0)
         target_.addBusy(now, serviced);
-    eq_.schedule(now + cellRetention_, this, burstIdx);
+    const std::uint32_t k = static_cast<std::uint32_t>(burstIdx);
+    burstNext_[k] = now + cellRetention_;
+    eq_.schedule(burstNext_[k], this, burstTag(k, gen_));
+}
+
+void
+PeriodicEngine::onRetentionRescaled(double rho, Tick now)
+{
+    if (!started_)
+        return; // start() will use the updated retention directly
+    // Retire the whole old schedule and replay it with every burst's
+    // next firing moved affinely around now — each burst keeps its
+    // phase position inside the (new) period, so the lines it renews
+    // (whose expiries were re-stamped by the same map) are still
+    // visited before they decay.
+    ++gen_;
+    for (std::uint32_t k = 0; k < numBursts_; ++k) {
+        burstNext_[k] = rescaleStamp(burstNext_[k], now, rho);
+        if (burstNext_[k] < now)
+            burstNext_[k] = now;
+        eq_.schedule(burstNext_[k], this, burstTag(k, gen_));
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -229,6 +324,26 @@ RefrintEngine::maybeSchedule()
         scheduledAt_ = top;
         eq_.schedule(top, this, 0);
     }
+}
+
+void
+RefrintEngine::onRetentionRescaled(double, Tick)
+{
+    // Line sentry expiries were just re-stamped; push a fresh heap
+    // entry for every armed group at its new deadline.  Old entries
+    // (and any event scheduled for them) die via the lazy-deletion
+    // stamps when they pop.
+    for (std::uint32_t g = 0; g < numGroups_; ++g) {
+        if (!groupArmed_[g])
+            continue;
+        const Tick dl = groupDeadline(g);
+        if (dl == kTickNever)
+            groupArmed_[g] = false;
+        else
+            armGroup(g, dl);
+    }
+    scheduledAt_ = kTickNever;
+    maybeSchedule();
 }
 
 void

@@ -109,6 +109,41 @@ class RefreshEngine : public EventClient
      *  decay engine's line-OFF integration). */
     virtual void finish(Tick now) { (void)now; }
 
+    /**
+     * Whether the engine can adapt to retention rescaling at run time
+     * (thermal subsystem).  Engines that answer false are left at their
+     * nominal retention; the thermal driver warns about them once.
+     */
+    virtual bool supportsRetentionScaling() const { return false; }
+
+    /**
+     * Set the effective retention to nominal x @p factor (temperature
+     * update from the thermal driver, src/thermal/).
+     *
+     * Every line clock and every pending engine deadline is rescaled
+     * *affinely around @p now*: a stamp t becomes now + (t - now) * rho,
+     * where rho is the ratio of new to old retention.  Because a line's
+     * expiry is never earlier than the engine visit that will renew it,
+     * the affine map preserves that ordering in both directions —
+     * warming compresses both towards now, cooling stretches both — so
+     * no line can decay across a retention change.  Physically the map
+     * models the remaining charge lifetime contracting or dilating with
+     * temperature.
+     *
+     * The effective retention is floored at twice the sentry margin so
+     * a pathological temperature can never consume the entire period.
+     * No-op on engines that do not support scaling.
+     *
+     * @return true if the effective retention actually changed.
+     */
+    bool setRetentionScale(double factor, Tick now);
+
+    /** Current retention scale factor actually applied (1.0 nominal). */
+    double retentionScale() const { return scale_; }
+
+    /** Current (possibly rescaled) data-cell retention period. */
+    Tick currentCellRetention() const { return cellRetention_; }
+
     const RefreshPolicy &policy() const { return policy_; }
 
     std::uint64_t lineRefreshes() const { return refreshes_->value(); }
@@ -129,13 +164,14 @@ class RefreshEngine : public EventClient
     }
 
     /** Line @p idx's sentry retention: its cell retention minus the
-     *  global firing margin (§4.1). */
+     *  global firing margin (§4.1).  The margin is an interrupt-service
+     *  bound in cycles, so it does *not* scale with temperature — a hot
+     *  bank keeps the same absolute lead time on a shorter period. */
     Tick
     sentryRetentionOf(std::uint32_t idx) const
     {
-        const Tick margin = cellRetention_ - sentryRetention_;
         const Tick cell = cellRetentionOf(idx);
-        return cell > margin ? cell - margin : 1;
+        return cell > margin_ ? cell - margin_ : 1;
     }
 
     /** Stamp fresh retention clocks on line @p idx. */
@@ -146,16 +182,33 @@ class RefreshEngine : public EventClient
         line.sentryExpiry = now + sentryRetentionOf(idx);
     }
 
+    /** Hook for engines to reshape their visit schedule after a
+     *  retention rescale; line clocks are already re-stamped.  @p rho
+     *  is newRetention / oldRetention. */
+    virtual void
+    onRetentionRescaled(double rho, Tick now)
+    {
+        (void)rho;
+        (void)now;
+    }
+
     RefreshTarget &target_;
     RefreshPolicy policy_;
     EngineGeometry geom_;
     EventQueue &eq_;
 
-    Tick cellRetention_;
-    Tick sentryRetention_;
+    Tick cellRetention_;   ///< current (possibly thermally rescaled)
+    Tick sentryRetention_; ///< current cellRetention_ - margin_
+    Tick nominalCell_;     ///< retention at the reference temperature
+    Tick margin_;          ///< sentry firing margin, absolute cycles
+    double scale_ = 1.0;   ///< applied retention scale factor
+    bool warnedFloor_ = false;
 
-    /** Per-line retention draws; empty when variation is disabled. */
+    /** Per-line retention draws; empty when variation is disabled.
+     *  lineRetention_ holds the current (scaled) periods, the nominal
+     *  draws are kept for exact rescaling. */
     std::vector<Tick> lineRetention_;
+    std::vector<Tick> nominalLineRetention_;
 
     Counter *refreshes_; ///< individual line refreshes performed
     Counter *wbs_;       ///< refresh-triggered write-backs
@@ -177,13 +230,31 @@ class PeriodicEngine : public RefreshEngine
     void onInstall(std::uint32_t idx, Tick now) override;
     void onAccess(std::uint32_t idx, Tick now) override;
 
-    void fire(Tick now, std::uint64_t burstIdx) override;
+    void fire(Tick now, std::uint64_t tag) override;
+
+    bool supportsRetentionScaling() const override { return true; }
 
     std::uint32_t numBursts() const { return numBursts_; }
 
+  protected:
+    /** Reschedule every burst at its phase position compressed (or
+     *  stretched) to the new period; stale events die by generation. */
+    void onRetentionRescaled(double rho, Tick now) override;
+
   private:
+    /** Event tags pack (generation << 32 | burst) so that a retention
+     *  rescale can atomically retire the whole old schedule. */
+    static std::uint64_t
+    burstTag(std::uint32_t burst, std::uint32_t gen)
+    {
+        return (static_cast<std::uint64_t>(gen) << 32) | burst;
+    }
+
     std::uint32_t linesPerBurst_;
     std::uint32_t numBursts_;
+    std::uint32_t gen_ = 0;        ///< live schedule generation
+    std::vector<Tick> burstNext_;  ///< next firing time per burst
+    bool started_ = false;
 
     Counter *bursts_;
 };
@@ -203,8 +274,15 @@ class RefrintEngine : public RefreshEngine
 
     void fire(Tick now, std::uint64_t tag) override;
 
+    bool supportsRetentionScaling() const override { return true; }
+
     /** Number of sentry interrupt groups (priority-encoder inputs). */
     std::uint32_t numGroups() const { return numGroups_; }
+
+  protected:
+    /** Re-arm every armed group at its (re-stamped) deadline; old heap
+     *  entries die by the lazy-deletion stamps. */
+    void onRetentionRescaled(double rho, Tick now) override;
 
   private:
     struct HeapEntry

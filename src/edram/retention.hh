@@ -54,6 +54,46 @@ struct VariationParams
     std::uint64_t seed = 1;
 };
 
+/**
+ * Temperature dependence of the eDRAM retention time.
+ *
+ * The paper quotes its 50/100/200 us retention periods *at operating
+ * temperature*; physically, eDRAM cell leakage is thermally activated
+ * (Arrhenius), which over the temperature range of interest is well
+ * approximated by retention halving for every @ref halvingCelsius
+ * degrees of temperature rise.  The nominal retention is taken to hold
+ * at @ref refTempC — the worst-case junction temperature retention is
+ * specified at — so a die running cooler retains *longer* than nominal
+ * and a hot-spot bank retains shorter.  The thermal subsystem
+ * (src/thermal/) samples this curve once per thermal epoch; constants
+ * are documented in DESIGN.md.
+ */
+struct ThermalResponse
+{
+    /** Temperature (deg C) at which the nominal retention holds. */
+    double refTempC = 85.0;
+
+    /** Degrees of warming that halve the retention time. */
+    double halvingCelsius = 10.0;
+
+    /** Clamp on the retention scale factor (hot outliers). */
+    double minFactor = 1.0 / 32.0;
+
+    /** Clamp on the retention scale factor (cold dies; bounded because
+     *  exploiting very long retention needs post-silicon profiling,
+     *  mirroring VariationParams::maxFactor). */
+    double maxFactor = 32.0;
+
+    /** Retention scale factor at @p tempC: 1.0 at refTempC, halving
+     *  per halvingCelsius of warming, clamped to [min, max]. */
+    double
+    factorAt(double tempC) const
+    {
+        const double f = std::exp2((refTempC - tempC) / halvingCelsius);
+        return std::min(std::max(f, minFactor), maxFactor);
+    }
+};
+
 /** Retention timing for one eDRAM cache. */
 struct RetentionParams
 {
@@ -68,6 +108,18 @@ struct RetentionParams
 
     /** Per-line retention variation (disabled in the paper's sweep). */
     VariationParams variation;
+
+    /** Temperature response (consulted only when the thermal subsystem
+     *  is enabled; otherwise retention stays at the static nominal). */
+    ThermalResponse thermal;
+
+    /** Nominal retention scaled for temperature @p tempC. */
+    Tick
+    cellRetentionAt(double tempC) const
+    {
+        return static_cast<Tick>(static_cast<double>(cellRetention) *
+                                 thermal.factorAt(tempC));
+    }
 
     /** Resolve the margin for a cache with @p numLines lines. */
     Tick

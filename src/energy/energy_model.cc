@@ -64,4 +64,14 @@ computeEnergy(const EnergyParams &p, const HierarchyCounts &n,
     return e;
 }
 
+double
+unitEpochPower(double leakW, double eAccessJ, std::uint64_t lineEvents,
+               Tick dt)
+{
+    if (dt == 0)
+        return leakW;
+    const double dynJ = eAccessJ * static_cast<double>(lineEvents);
+    return leakW + dynJ / ticksToSeconds(dt);
+}
+
 } // namespace refrint

@@ -56,6 +56,16 @@ EnergyBreakdown computeEnergy(const EnergyParams &p,
                               const HierarchyConfig &cfg, Tick execTicks,
                               std::uint64_t totalInstrs);
 
+/**
+ * Average power (watts) one cache unit dissipated over an epoch of
+ * @p dt ticks: its leakage plus @p lineEvents dynamic line events
+ * (demand accesses and refreshes, both charged at the same per-line
+ * access energy, Table 5.2) amortized over the epoch.  This is the
+ * power the thermal model (src/thermal/) integrates per node.
+ */
+double unitEpochPower(double leakW, double eAccessJ,
+                      std::uint64_t lineEvents, Tick dt);
+
 } // namespace refrint
 
 #endif // REFRINT_ENERGY_ENERGY_MODEL_HH

@@ -19,6 +19,10 @@ runOnce(const HierarchyConfig &cfg, const Workload &app,
     r.execTicks = sys.execTicks();
     r.instructions = sys.totalInstructions();
     r.counts = sys.hierarchy().counts();
+    if (const ThermalDriver *t = sys.hierarchy().thermal()) {
+        r.ambientC = cfg.thermal.ambientC;
+        r.maxTempC = t->maxTempC();
+    }
     r.energy = computeEnergy(energy, r.counts, cfg, r.execTicks,
                              r.instructions);
     return r;
@@ -45,6 +49,8 @@ normalize(const RunResult &r, const RunResult &base)
     n.app = r.app;
     n.config = r.config;
     n.retentionUs = r.retentionUs;
+    n.ambientC = r.ambientC;
+    n.maxTempC = r.maxTempC;
 
     const double baseMem = base.energy.memTotal();
     const double baseSys = base.energy.systemTotal();

@@ -25,6 +25,13 @@ struct RunResult
     std::string config; ///< "SRAM" or the policy name, e.g. "R.WB(32,32)"
     double retentionUs = 0;
 
+    /** Thermal scenario: ambient temperature in deg C, or 0 when the
+     *  thermal subsystem was disabled (the paper's isothermal setup). */
+    double ambientC = 0;
+
+    /** Hottest node temperature reached (deg C); 0 when disabled. */
+    double maxTempC = 0;
+
     Tick execTicks = 0;
     std::uint64_t instructions = 0;
 
@@ -38,6 +45,8 @@ struct NormalizedResult
     std::string app;
     std::string config;
     double retentionUs = 0;
+    double ambientC = 0; ///< 0 = thermal subsystem disabled
+    double maxTempC = 0;
 
     double time = 1.0;      ///< exec time / SRAM exec time
     double memEnergy = 1.0; ///< memory energy / SRAM memory energy

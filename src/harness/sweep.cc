@@ -93,23 +93,34 @@ SweepSpec::finalize()
 namespace
 {
 
-/** Stable textual key identifying one run in the cache. */
+/**
+ * Stable textual key identifying one run in the cache.  Thermal runs
+ * (@p ambientC != 0) get an extra "|amb=" segment, so they can never
+ * collide with — or be satisfied by — a legacy isothermal row, while
+ * legacy keys stay exactly as they were.
+ */
 std::string
 runKey(const std::string &app, const std::string &config,
-       double retentionUs, const SimParams &sim)
+       double retentionUs, const SimParams &sim, double ambientC)
 {
     char buf[256];
     std::snprintf(buf, sizeof(buf), "%s|%s|%.1f|%llu|%llu", app.c_str(),
                   config.c_str(), retentionUs,
                   static_cast<unsigned long long>(sim.refsPerCore),
                   static_cast<unsigned long long>(sim.seed));
-    return buf;
+    std::string key = buf;
+    if (ambientC != 0.0) {
+        std::snprintf(buf, sizeof(buf), "|amb=%.2f", ambientC);
+        key += buf;
+    }
+    return key;
 }
 
-// v4: named-field serialization (no struct-layout reinterpret_cast),
-// %.17g precision so every double round-trips exactly, and the file is
-// only ever rewritten whole (no append path, no duplicate keys).
-constexpr int kCacheVersion = 4;
+// v4 introduced named-field serialization (no struct-layout
+// reinterpret_cast), %.17g precision so every double round-trips
+// exactly, and full-rewrite-only persistence (no append path, no
+// duplicate keys).  v5 adds the thermal fields (ambientC, maxTempC).
+constexpr int kCacheVersion = 5;
 
 /** The numeric payload serialized per run. */
 struct CacheRow
@@ -118,6 +129,7 @@ struct CacheRow
     double l1, l2, l3, dram, dynamic, leakage, refresh, core, net;
     double dramAccesses, l3Misses, refreshes3, refWbs, refInvals;
     double decayed;
+    double ambientC, maxTempC;
 };
 
 /**
@@ -131,7 +143,8 @@ constexpr double CacheRow::*kCacheFields[] = {
     &CacheRow::dynamic,      &CacheRow::leakage,      &CacheRow::refresh,
     &CacheRow::core,         &CacheRow::net,          &CacheRow::dramAccesses,
     &CacheRow::l3Misses,     &CacheRow::refreshes3,   &CacheRow::refWbs,
-    &CacheRow::refInvals,    &CacheRow::decayed,
+    &CacheRow::refInvals,    &CacheRow::decayed,      &CacheRow::ambientC,
+    &CacheRow::maxTempC,
 };
 constexpr std::size_t kNumCacheFields =
     sizeof(kCacheFields) / sizeof(kCacheFields[0]);
@@ -159,6 +172,8 @@ toRow(const RunResult &r)
     c.refWbs = static_cast<double>(r.counts.refreshWritebacks);
     c.refInvals = static_cast<double>(r.counts.refreshInvalidations);
     c.decayed = static_cast<double>(r.counts.decayedHits);
+    c.ambientC = r.ambientC;
+    c.maxTempC = r.maxTempC;
     return c;
 }
 
@@ -188,6 +203,8 @@ fromRow(const std::string &app, const std::string &config,
     r.counts.refreshInvalidations =
         static_cast<std::uint64_t>(c.refInvals);
     r.counts.decayedHits = static_cast<std::uint64_t>(c.decayed);
+    r.ambientC = c.ambientC;
+    r.maxTempC = c.maxTempC;
     return r;
 }
 
@@ -373,17 +390,39 @@ runSweep(SweepSpec spec, const std::string &cachePath)
         HierarchyConfig cfg;
         double retentionUs;
         std::string config;
+        double ambientC; ///< 0 = thermal disabled
     };
+    // The ambient axis: an empty list means one isothermal pass with
+    // the thermal subsystem off (exact legacy behavior).
+    const std::size_t perApp = spec.retentions.size() *
+                               spec.policies.size() *
+                               std::max<std::size_t>(1,
+                                                     spec.ambients.size());
     std::vector<RunDesc> runs;
-    runs.reserve(spec.apps.size() *
-                 (1 + spec.retentions.size() * spec.policies.size()));
+    runs.reserve(spec.apps.size() * (1 + perApp));
     for (const Workload *app : spec.apps) {
-        runs.push_back({app, HierarchyConfig::paperSram(), 0.0, "SRAM"});
-        for (Tick ret : spec.retentions) {
-            const double retUs = static_cast<double>(ret) / 1e3;
-            for (const RefreshPolicy &pol : spec.policies)
-                runs.push_back({app, HierarchyConfig::paperEdram(pol, ret),
-                                retUs, pol.name()});
+        runs.push_back(
+            {app, HierarchyConfig::paperSram(), 0.0, "SRAM", 0.0});
+        auto pushEdram = [&](double ambientC) {
+            for (Tick ret : spec.retentions) {
+                const double retUs = static_cast<double>(ret) / 1e3;
+                for (const RefreshPolicy &pol : spec.policies) {
+                    HierarchyConfig cfg =
+                        ambientC == 0.0
+                            ? HierarchyConfig::paperEdram(pol, ret)
+                            : HierarchyConfig::paperEdramThermal(
+                                  pol, ret, ambientC);
+                    cfg.thermal.energy = spec.energy;
+                    runs.push_back(
+                        {app, cfg, retUs, pol.name(), ambientC});
+                }
+            }
+        };
+        if (spec.ambients.empty()) {
+            pushEdram(0.0);
+        } else {
+            for (double amb : spec.ambients)
+                pushEdram(amb);
         }
     }
 
@@ -392,8 +431,9 @@ runSweep(SweepSpec spec, const std::string &cachePath)
 
     parallelFor(runs.size(), spec.jobs, [&](std::size_t i) {
         const RunDesc &d = runs[i];
-        const std::string key =
-            runKey(d.app->name(), d.config, d.retentionUs, spec.sim);
+        const std::string key = runKey(d.app->name(), d.config,
+                                       d.retentionUs, spec.sim,
+                                       d.ambientC);
         CacheRow row;
         if (cache.lookup(key, row)) {
             results[i] =
@@ -401,8 +441,13 @@ runSweep(SweepSpec spec, const std::string &cachePath)
             return;
         }
         char prefix[128];
-        std::snprintf(prefix, sizeof(prefix), "%s/%s@%.0fus",
-                      d.app->name(), d.config.c_str(), d.retentionUs);
+        if (d.ambientC != 0.0)
+            std::snprintf(prefix, sizeof(prefix), "%s/%s@%.0fus/%.0fC",
+                          d.app->name(), d.config.c_str(), d.retentionUs,
+                          d.ambientC);
+        else
+            std::snprintf(prefix, sizeof(prefix), "%s/%s@%.0fus",
+                          d.app->name(), d.config.c_str(), d.retentionUs);
         LogPrefix scope(prefix);
         inform("simulating ...");
         RunResult r = runOnce(d.cfg, *d.app, spec.sim, spec.energy);
@@ -428,8 +473,7 @@ runSweep(SweepSpec spec, const std::string &cachePath)
             warn("degenerate SRAM baseline for %s (zero energy or "
                  "time); skipping its normalized rows",
                  base.app.c_str());
-        for (std::size_t p = 0;
-             p < spec.retentions.size() * spec.policies.size(); ++p) {
+        for (std::size_t p = 0; p < perApp; ++p) {
             const RunResult &r = results[i++];
             out.raw.push_back(r);
             if (usable)

@@ -40,6 +40,16 @@ struct SweepSpec
     EnergyParams energy = EnergyParams::calibrated();
 
     /**
+     * Ambient temperatures (deg C) for the thermal subsystem.  Empty
+     * (the default) runs the paper's isothermal machine — exactly the
+     * legacy sweep, byte for byte.  Non-empty adds ambient as an outer
+     * scenario axis: every (retention x policy) point is simulated once
+     * per ambient with activity-driven bank temperatures enabled.  The
+     * SRAM baseline is never thermal (SRAM retention is unlimited).
+     */
+    std::vector<double> ambients;
+
+    /**
      * Worker threads for the sweep: each (app, policy, retention) run
      * simulates on its own thread with its own CmpSystem/EventQueue.
      * 0 means $REFRINT_JOBS, or serial if that is unset.  Results are

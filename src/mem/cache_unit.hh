@@ -63,12 +63,42 @@ class CacheUnit
     /** Record a fresh install of @p line. */
     void installLine(CacheLine &line, Tick now);
 
+    // Per-unit activity taps.  The shared per-level StatGroup counters
+    // aggregate across all units of a level (the paper reports
+    // per-level energy), but the thermal model needs *this* unit's
+    // activity — so reads/writes are counted through these wrappers,
+    // which also bump a local tally the thermal driver samples per
+    // epoch.  Plain uint64 adds: zero cost when thermal is off.
+
+    /** Count @p n array reads on this unit. */
+    void
+    noteRead(std::uint64_t n = 1)
+    {
+        reads->inc(n);
+        accessTally += n;
+    }
+
+    /** Count one array write on this unit. */
+    void
+    noteWrite()
+    {
+        writes->inc();
+        accessTally += 1;
+    }
+
+    /** Count one refresh-engine line refresh on this unit. */
+    void noteRefresh() { refreshTally += 1; }
+
     CacheArray array;
     Tick latency;
     Tick busyUntil = 0;
 
     /** Refresh engine for eDRAM configurations; null for SRAM. */
     RefreshEngine *engine = nullptr;
+
+    /** Per-unit activity tallies (thermal model power integration). */
+    std::uint64_t accessTally = 0;
+    std::uint64_t refreshTally = 0;
 
     Counter *reads;
     Counter *writes;

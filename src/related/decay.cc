@@ -14,7 +14,7 @@ namespace
 RetentionParams
 decayRetention(const DecayConfig &cfg)
 {
-    return RetentionParams{cfg.interval, 1, {}};
+    return RetentionParams{cfg.interval, 1, {}, {}};
 }
 
 } // namespace

@@ -71,7 +71,7 @@ struct EngineFixture
         : target(lines)
     {
         RefreshPolicy pol{tp, dp, n, m};
-        RetentionParams ret{retention, kTickNever, {}};
+        RetentionParams ret{retention, kTickNever, {}, {}};
         EngineGeometry geom{groupSize, 4, 4};
         engine = makeRefreshEngine(target, pol, ret, geom, eq, stats);
     }
@@ -325,7 +325,7 @@ TEST(EngineDeath, SentryMarginMustFitRetention)
     MockTarget target(16);
     EventQueue eq;
     StatGroup sg{"eng"};
-    RetentionParams ret{10, kTickNever, {}};
+    RetentionParams ret{10, kTickNever, {}, {}};
     EngineGeometry geom{1, 4, 4};
     EXPECT_DEATH(makeRefreshEngine(
                      target, RefreshPolicy::refrint(DataPolicy::Valid),

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Golden-output tests for the report printers on a tiny fixed sweep:
+ * the exact text of printHeadline and the structure + filled rows of
+ * printFig61.  The SweepResult is constructed by hand (no simulation),
+ * so the goldens pin the formatting and the averaging, not the
+ * simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/report.hh"
+
+namespace refrint::test
+{
+
+namespace
+{
+
+/** Run @p fn against a temp FILE and return everything it printed. */
+std::string
+capture(const std::function<void(std::FILE *)> &fn)
+{
+    std::FILE *f = std::tmpfile();
+    EXPECT_NE(f, nullptr);
+    fn(f);
+    std::fflush(f);
+    const long size = std::ftell(f);
+    std::rewind(f);
+    std::string out(static_cast<std::size_t>(size), '\0');
+    const std::size_t got = std::fread(&out[0], 1, out.size(), f);
+    std::fclose(f);
+    EXPECT_EQ(got, out.size());
+    return out;
+}
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(text);
+    std::string line;
+    while (std::getline(ss, line))
+        out.push_back(line);
+    return out;
+}
+
+NormalizedResult
+row(const char *app, const char *config, double retUs)
+{
+    NormalizedResult n;
+    n.app = app;
+    n.config = config;
+    n.retentionUs = retUs;
+    return n;
+}
+
+/** Two apps at 50 us for the headline pair; fixed round numbers so the
+ *  printed averages are exact. */
+SweepResult
+tinySweep()
+{
+    SweepResult s;
+
+    NormalizedResult pAllFft = row("fft", "P.all", 50.0);
+    pAllFft.memEnergy = 0.50;
+    pAllFft.sysEnergy = 0.72;
+    pAllFft.time = 1.18;
+    pAllFft.l1 = 0.05;
+    pAllFft.l2 = 0.10;
+    pAllFft.l3 = 0.25;
+    pAllFft.dram = 0.10;
+
+    NormalizedResult pAllLu = row("lu", "P.all", 50.0);
+    pAllLu.memEnergy = 0.54;
+    pAllLu.sysEnergy = 0.76;
+    pAllLu.time = 1.22;
+    pAllLu.l1 = 0.07;
+    pAllLu.l2 = 0.12;
+    pAllLu.l3 = 0.27;
+    pAllLu.dram = 0.08;
+
+    NormalizedResult wbFft = row("fft", "R.WB(32,32)", 50.0);
+    wbFft.memEnergy = 0.36;
+    wbFft.sysEnergy = 0.61;
+    wbFft.time = 1.02;
+
+    s.normalized = {pAllFft, pAllLu, wbFft};
+    return s;
+}
+
+TEST(ReportGolden, HeadlineExactText)
+{
+    const SweepResult s = tinySweep();
+    const std::string got =
+        capture([&](std::FILE *f) { printHeadline(s, f); });
+
+    const std::string want =
+        "# Headline (paper abstract / §6, 50 us):\n"
+        "config                mem   paperMem        sys   paperSys"
+        "       time  paperTime\n"
+        "P.all               0.520       0.50      0.740       0.72"
+        "      1.200       1.18\n"
+        "R.WB(32,32)         0.360       0.36      0.610       0.61"
+        "      1.020       1.02\n";
+    EXPECT_EQ(got, want);
+}
+
+TEST(ReportGolden, Fig61StructureAndFilledRows)
+{
+    const SweepResult s = tinySweep();
+    const std::string got =
+        capture([&](std::FILE *f) { printFig61(s, f); });
+    const std::vector<std::string> ls = lines(got);
+
+    // 1 comment + 1 column header + 3 retentions x 14 policies.
+    ASSERT_EQ(ls.size(), 2u + 3u * 14u);
+    EXPECT_EQ(ls[0],
+              "# Fig 6.1 — L1/L2/L3/DRAM energy, averaged over all "
+              "apps (normalized to full-SRAM memory energy)");
+    EXPECT_EQ(ls[1],
+              "ret    policy             L1      L2      L3    DRAM"
+              "   total");
+
+    // The filled (P.all, 50 us) row averages fft and lu exactly.
+    EXPECT_EQ(ls[2],
+              "50     P.all         0.0600  0.1100  0.2600  0.0900"
+              "  0.5200");
+    // A config with no rows prints zeros (averages over nothing).
+    EXPECT_EQ(ls[3],
+              "50     P.valid       0.0000  0.0000  0.0000  0.0000"
+              "  0.0000");
+}
+
+TEST(ReportGolden, HeadlineIgnoresOtherRetentions)
+{
+    SweepResult s = tinySweep();
+    // A 100 us outlier with absurd values must not leak into the
+    // 50 us headline averages.
+    NormalizedResult outlier = row("fft", "P.all", 100.0);
+    outlier.memEnergy = 9.0;
+    outlier.sysEnergy = 9.0;
+    outlier.time = 9.0;
+    s.normalized.push_back(outlier);
+
+    const std::string got =
+        capture([&](std::FILE *f) { printHeadline(s, f); });
+    EXPECT_NE(got.find("P.all               0.520"), std::string::npos);
+    EXPECT_EQ(got.find("9.0"), std::string::npos);
+}
+
+} // namespace
+} // namespace refrint::test

@@ -16,7 +16,7 @@ tinyConfig(CellTech tech)
     // 4 banks -> shift 2; hashed index like the paper machine's L3
     c.l3Bank = CacheGeometry{32 * 1024, 8, 64, 4, 2, true};
     c.tech = tech;
-    c.retention = RetentionParams{usToTicks(5.0), kTickNever, {}};
+    c.retention = RetentionParams{usToTicks(5.0), kTickNever, {}, {}};
     c.l1Engine = EngineGeometry{1, 4, 16};
     c.l2Engine = EngineGeometry{4, 4, 32};
     c.l3Engine = EngineGeometry{16, 4, 64};

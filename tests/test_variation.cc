@@ -22,7 +22,7 @@ constexpr Addr kA = 0x10000;
 RetentionParams
 variedRetention(Tick nominal, double sigma, double minFactor = 0.70)
 {
-    RetentionParams r{nominal, kTickNever, {}};
+    RetentionParams r{nominal, kTickNever, {}, {}};
     r.variation.enabled = true;
     r.variation.sigma = sigma;
     r.variation.minFactor = minFactor;
@@ -32,7 +32,7 @@ variedRetention(Tick nominal, double sigma, double minFactor = 0.70)
 
 TEST(Variation, DisabledDrawsNothing)
 {
-    RetentionParams r{usToTicks(50.0), kTickNever, {}};
+    RetentionParams r{usToTicks(50.0), kTickNever, {}, {}};
     EXPECT_TRUE(r.drawLineRetentions(1024).empty());
 }
 

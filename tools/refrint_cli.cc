@@ -4,21 +4,27 @@
  *
  *   refrint_cli run --app fft --policy R.WB(32,32) --retention 50
  *                   [--refs N] [--seed S] [--sram] [--decay US]
+ *                   [--ambient C]
  *   refrint_cli sweep [--refs N]          reproduce the Table 5.4 sweep
  *   refrint_cli figures [--refs N]        print Figs. 6.1-6.4 + headline
+ *   refrint_cli thermal-study [--app fft] [--ambients 45,65,85]
+ *                   sweep the ambient-temperature scenario axis
  *   refrint_cli binning                   print Table 6.1 classification
  *   refrint_cli trace-record --app fft --out t.trc [--refs N] [--seed S]
  *   refrint_cli trace-run --in t.trc --policy P.all --retention 50
  *   refrint_cli list                      list applications and policies
  *
  * Every subcommand prints a normalized summary (against the matching
- * full-SRAM baseline where applicable).
+ * full-SRAM baseline where applicable).  Numeric arguments are parsed
+ * strictly: "--refs 1e6" is an error, not a silent 1.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/env.hh"
 #include "harness/binning.hh"
@@ -42,6 +48,9 @@ struct Args
     unsigned jobs = 0; ///< sweep workers; 0 = $REFRINT_JOBS or serial
     bool sram = false;
     double decayUs = 0.0;
+    double ambientC = 0.0; ///< 0 = thermal subsystem off
+    std::string ambients = "45,65,85"; ///< thermal-study axis
+    std::string cache; ///< result cache; empty = $REFRINT_CACHE/default
     std::string in, out;
 };
 
@@ -50,11 +59,39 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: refrint_cli <run|sweep|figures|binning|trace-record|"
-        "trace-run|list> [options]\n"
+        "usage: refrint_cli <run|sweep|figures|thermal-study|binning|"
+        "trace-record|trace-run|list> [options]\n"
         "  --app NAME --policy P --retention US --refs N --seed S\n"
-        "  --jobs N --sram --decay US --in FILE --out FILE\n");
+        "  --jobs N --sram --decay US --ambient C --ambients C1,C2,...\n"
+        "  --cache PATH --in FILE --out FILE\n");
     std::exit(2);
+}
+
+/** Strict decimal integer argument, or exit with a pointed message. */
+std::uint64_t
+argU64(const char *flag, const char *v)
+{
+    std::uint64_t out = 0;
+    if (!parseU64Strict(v, out)) {
+        std::fprintf(stderr,
+                     "%s wants a plain decimal integer, got '%s'\n",
+                     flag, v);
+        usage();
+    }
+    return out;
+}
+
+/** Strict finite floating-point argument, or exit with a message. */
+double
+argF64(const char *flag, const char *v)
+{
+    double out = 0;
+    if (!parseF64Strict(v, out)) {
+        std::fprintf(stderr, "%s wants a finite number, got '%s'\n",
+                     flag, v);
+        usage();
+    }
+    return out;
 }
 
 Args
@@ -72,15 +109,20 @@ parseArgs(int argc, char **argv, int first)
             a.app = val();
         else if (k == "--policy")
             a.policy = val();
-        else if (k == "--retention")
-            a.retentionUs = std::atof(val());
+        else if (k == "--retention") {
+            a.retentionUs = argF64("--retention", val());
+            if (a.retentionUs <= 0) {
+                std::fprintf(stderr, "--retention must be positive\n");
+                usage();
+            }
+        }
         else if (k == "--refs")
-            a.refs = std::strtoull(val(), nullptr, 10);
+            a.refs = argU64("--refs", val());
         else if (k == "--seed")
-            a.seed = std::strtoull(val(), nullptr, 10);
+            a.seed = argU64("--seed", val());
         else if (k == "--jobs") {
-            std::uint64_t n = 0;
-            if (!parseU64Strict(val(), n) || n == 0 || n > 4096) {
+            const std::uint64_t n = argU64("--jobs", val());
+            if (n == 0 || n > 4096) {
                 std::fprintf(stderr,
                              "--jobs wants an integer in [1, 4096]\n");
                 usage();
@@ -90,7 +132,20 @@ parseArgs(int argc, char **argv, int first)
         else if (k == "--sram")
             a.sram = true;
         else if (k == "--decay")
-            a.decayUs = std::atof(val());
+            a.decayUs = argF64("--decay", val());
+        else if (k == "--ambient") {
+            a.ambientC = argF64("--ambient", val());
+            if (a.ambientC <= 0) {
+                std::fprintf(stderr,
+                             "--ambient wants a temperature in deg C "
+                             "(> 0)\n");
+                usage();
+            }
+        }
+        else if (k == "--ambients")
+            a.ambients = val();
+        else if (k == "--cache")
+            a.cache = val();
         else if (k == "--in")
             a.in = val();
         else if (k == "--out")
@@ -98,7 +153,50 @@ parseArgs(int argc, char **argv, int first)
         else
             usage();
     }
+    if (a.sram && a.ambientC > 0.0) {
+        std::fprintf(stderr, "--ambient needs an eDRAM machine; drop "
+                             "--sram (SRAM retention is unlimited)\n");
+        usage();
+    }
+    if (a.decayUs > 0.0 && a.ambientC > 0.0) {
+        std::fprintf(stderr, "--decay (SRAM cache-decay comparator) "
+                             "and --ambient (eDRAM thermal) are "
+                             "mutually exclusive\n");
+        usage();
+    }
     return a;
+}
+
+/** Parse the --ambients comma list into strictly valid temperatures. */
+std::vector<double>
+parseAmbients(const std::string &list)
+{
+    std::vector<double> out;
+    std::string tok;
+    std::stringstream ss(list);
+    while (std::getline(ss, tok, ',')) {
+        double v = 0;
+        if (!parseF64Strict(tok.c_str(), v) || v <= 0) {
+            std::fprintf(stderr,
+                         "--ambients wants positive deg C values, got "
+                         "'%s'\n",
+                         tok.c_str());
+            usage();
+        }
+        out.push_back(v);
+    }
+    if (out.empty()) {
+        std::fprintf(stderr, "--ambients list is empty\n");
+        usage();
+    }
+    return out;
+}
+
+/** Resolve the sweep cache path: --cache beats $REFRINT_CACHE. */
+std::string
+cachePathFor(const Args &a)
+{
+    return a.cache.empty() ? defaultCachePath() : a.cache;
 }
 
 HierarchyConfig
@@ -108,6 +206,9 @@ machineFor(const Args &a)
         return HierarchyConfig::paperSramDecay(usToTicks(a.decayUs));
     if (a.sram)
         return HierarchyConfig::paperSram();
+    if (a.ambientC > 0.0)
+        return HierarchyConfig::paperEdramThermal(
+            parsePolicy(a.policy), usToTicks(a.retentionUs), a.ambientC);
     return HierarchyConfig::paperEdram(parsePolicy(a.policy),
                                        usToTicks(a.retentionUs));
 }
@@ -134,6 +235,11 @@ printRun(const Workload &app, const Args &a)
         std::printf("  policy %s  retention %.0f us",
                     cfg.l3Policy.name().c_str(), a.retentionUs);
     std::printf("\n");
+    if (cfg.thermal.enabled)
+        std::printf("thermal        ambient %.1f C  peak %.1f C  "
+                    "(retention x%.2f at peak)\n",
+                    r.ambientC, r.maxTempC,
+                    cfg.retention.thermal.factorAt(r.maxTempC));
     std::printf("exec time      %.3f ms  (%.3fx of SRAM)\n",
                 ticksToSeconds(r.execTicks) * 1e3, n.time);
     std::printf("mem energy     %.3f mJ  (%.3fx of SRAM)\n",
@@ -171,7 +277,7 @@ cmdSweepOrFigures(const Args &a, bool figures)
     SweepSpec spec;
     spec.sim.refsPerCore = a.refs;
     spec.jobs = a.jobs;
-    const SweepResult s = runSweep(std::move(spec));
+    const SweepResult s = runSweep(std::move(spec), cachePathFor(a));
     if (figures) {
         printFig61(s);
         for (int cls : {1, 2, 3, 0})
@@ -189,6 +295,51 @@ int
 cmdBinning()
 {
     printBinning();
+    return 0;
+}
+
+/**
+ * thermal-study: sweep the ambient-temperature axis for the paper's
+ * headline policy pair and show how the refresh/energy trade-off moves
+ * with die temperature — the scenario the isothermal evaluation cannot
+ * express.  Uses the shared result cache (ambient-keyed rows) and the
+ * parallel sweep engine, so repeated studies are warm and --jobs N is
+ * bit-identical to serial.
+ */
+int
+cmdThermalStudy(const Args &a)
+{
+    const Workload *app = findWorkload(a.app);
+    if (app == nullptr) {
+        std::fprintf(stderr, "unknown application '%s' (try 'list')\n",
+                     a.app.c_str());
+        return 1;
+    }
+    SweepSpec spec;
+    spec.apps = {app};
+    spec.retentions = {usToTicks(a.retentionUs)};
+    spec.policies = {RefreshPolicy::periodic(DataPolicy::All),
+                     RefreshPolicy::refrint(DataPolicy::WB, 32, 32)};
+    spec.ambients = parseAmbients(a.ambients);
+    spec.sim.refsPerCore = a.refs;
+    spec.sim.seed = a.seed;
+    spec.jobs = a.jobs;
+    const SweepResult s = runSweep(std::move(spec), cachePathFor(a));
+
+    const ThermalResponse resp; // default curve (DESIGN.md)
+    std::printf("# Thermal study — %s @ %.0f us nominal retention "
+                "(retention nominal at %.0f C, halving per %.0f C)\n",
+                app->name(), a.retentionUs, resp.refTempC,
+                resp.halvingCelsius);
+    std::printf("%-8s %-12s %8s %9s %9s %9s %9s\n", "ambient", "policy",
+                "peakC", "refresh", "mem", "sys", "time");
+    for (const NormalizedResult &n : s.normalized) {
+        std::printf("%-8.1f %-12s %8.1f %9.4f %9.4f %9.4f %9.4f\n",
+                    n.ambientC, n.config.c_str(), n.maxTempC, n.refresh,
+                    n.memEnergy, n.sysEnergy, n.time);
+    }
+    std::printf("(refresh/mem normalized to the full-SRAM memory "
+                "energy; sys/time to the full-SRAM run)\n");
     return 0;
 }
 
@@ -233,6 +384,8 @@ cmdList()
     std::printf("\n  plus the SmartRefresh comparator: S.valid, "
                 "S.WB(n,m), ...\n");
     std::printf("retentions: 50, 100, 200 (us)\n");
+    std::printf("ambients (thermal-study / run --ambient): deg C, "
+                "default 45,65,85\n");
     return 0;
 }
 
@@ -252,6 +405,8 @@ main(int argc, char **argv)
         return cmdSweepOrFigures(a, false);
     if (cmd == "figures")
         return cmdSweepOrFigures(a, true);
+    if (cmd == "thermal-study")
+        return cmdThermalStudy(a);
     if (cmd == "binning")
         return cmdBinning();
     if (cmd == "trace-record")
