@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Event-kernel and cache-probe microbenchmark, plus an optional
+ * wall-time snapshot of the headline sweep.
+ *
+ * Measures the two inner loops everything else in the reproduction sits
+ * on:
+ *
+ *  - events/sec: EventQueue schedule+dispatch throughput with a
+ *    core-like population of self-rescheduling clients, a band of
+ *    far-future deadlines, and cancellable-handle churn — the same mix
+ *    a simulation run produces.
+ *
+ *  - lookups/sec: CacheArray probe throughput (lookup + LRU touch with
+ *    a miss/install mix) on the paper's L3-bank geometry with set
+ *    hashing enabled.
+ *
+ * Usage:
+ *   bench_kernel [--json PATH] [--sweep] [--check BASELINE [--tol F]]
+ *
+ *   --json PATH   write the snapshot as JSON (CI artifact)
+ *   --sweep       also run the headline sweep (honours REFRINT_REFS /
+ *                 REFRINT_APPS / REFRINT_CACHE) and record its wall time
+ *   --check FILE  compare against a committed baseline JSON; exit 1 if
+ *                 events/sec or lookups/sec regress more than --tol
+ *                 (default 0.30) below it
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hh"
+#include "common/prng.hh"
+#include "mem/cache_array.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using namespace refrint;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/** Self-rescheduling client: the kernel's common case (a core). */
+struct Ticker : EventClient
+{
+    EventQueue *eq = nullptr;
+    Tick period = 1;
+    std::uint64_t fired = 0;
+
+    void
+    fire(Tick now, std::uint64_t) override
+    {
+        ++fired;
+        eq->schedule(now + period, this, 0);
+    }
+};
+
+/** Client that re-arms a cancellable deadline, cancelling the old one
+ *  half the time — the refresh-engine reschedule pattern. */
+struct Rearmer : EventClient
+{
+    EventQueue *eq = nullptr;
+    Tick horizon = 50'000;
+    std::uint64_t fired = 0;
+    EventHandle handle;
+
+    void
+    fire(Tick now, std::uint64_t) override
+    {
+        ++fired;
+        EventHandle stale =
+            eq->scheduleCancellable(now + horizon, this, 0);
+        if ((fired & 1) == 0) {
+            eq->cancel(stale);
+            handle = eq->scheduleCancellable(now + horizon / 2, this, 0);
+        } else {
+            handle = stale;
+        }
+    }
+};
+
+/** Kernel dispatch throughput over a simulation-like event mix. */
+double
+benchEvents(std::uint64_t targetEvents)
+{
+    EventQueue eq;
+    std::vector<Ticker> cores(16);
+    std::vector<Rearmer> engines(64);
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        cores[i].eq = &eq;
+        cores[i].period = 3 + static_cast<Tick>(i % 5);
+        eq.schedule(1 + static_cast<Tick>(i), &cores[i], 0);
+    }
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+        engines[i].eq = &eq;
+        engines[i].horizon = 20'000 + 1'000 * static_cast<Tick>(i % 16);
+        engines[i].handle = eq.scheduleCancellable(
+            100 + 37 * static_cast<Tick>(i), &engines[i], 0);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t dispatched = 0;
+    while (dispatched < targetEvents && eq.step())
+        ++dispatched;
+    const double dt = secondsSince(t0);
+    return static_cast<double>(dispatched) / dt;
+}
+
+/** Cache probe throughput on the paper's L3-bank shape. */
+double
+benchLookups(std::uint64_t targetLookups)
+{
+    CacheGeometry geom;
+    geom.sizeBytes = 512 * 1024; // one L3 bank (Table 5.1)
+    geom.assoc = 8;
+    geom.lineSize = 64;
+    geom.latency = 4;
+    geom.hashSets = true;
+    CacheArray arr(geom, "bench_l3");
+
+    // Address stream with cache-like locality: mostly re-touches of a
+    // hot region, a tail of cold fills.
+    Prng prng(0x5eed, 1);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t done = 0;
+    Tick now = 0;
+    while (done < targetLookups) {
+        const bool hot = (prng.next() & 7) != 0;
+        const Addr a = static_cast<Addr>(
+                           hot ? prng.below(8 * 1024)
+                               : 8 * 1024 + prng.below(1 << 20)) *
+                       64;
+        ++now;
+        CacheLine *l = arr.lookup(a);
+        if (l != nullptr) {
+            arr.touch(*l, now);
+        } else {
+            VictimRef v = arr.pickVictim(a);
+            if (v.line->valid())
+                arr.invalidate(*v.line);
+            arr.install(v, a, now, Mesi::Shared);
+        }
+        ++done;
+    }
+    const double dt = secondsSince(t0);
+    return static_cast<double>(done) / dt;
+}
+
+/** Pull "key": number out of a (flat) JSON snapshot. */
+double
+jsonNumber(const std::string &text, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos)
+        return -1.0;
+    return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace refrint;
+
+    const char *jsonPath = nullptr;
+    const char *checkPath = nullptr;
+    double tolerance = 0.30;
+    bool withSweep = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+            checkPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc) {
+            if (!parseF64Strict(argv[++i], tolerance)) {
+                std::fprintf(stderr, "bad --tol value '%s'\n", argv[i]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--sweep") == 0) {
+            withSweep = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_kernel [--json PATH] [--sweep] "
+                         "[--check BASELINE [--tol F]]\n");
+            return 2;
+        }
+    }
+
+    // Warm-up pass, then the measured pass (first-touch page faults and
+    // frequency ramp otherwise pollute the smaller CI machines).
+    benchEvents(2'000'000);
+    const double eventsPerSec = benchEvents(20'000'000);
+    benchLookups(2'000'000);
+    const double lookupsPerSec = benchLookups(20'000'000);
+
+    std::printf("events/sec  : %.3e\n", eventsPerSec);
+    std::printf("lookups/sec : %.3e\n", lookupsPerSec);
+
+    double sweepWall = -1.0;
+    std::size_t sweepSims = 0;
+    if (withSweep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const SweepResult s = bench::paperSweep();
+        sweepWall = secondsSince(t0);
+        sweepSims = s.simulations;
+        std::printf("sweep wall  : %.3f s (%zu simulations, %zu rows)\n",
+                    sweepWall, sweepSims, s.normalized.size());
+    }
+
+    if (jsonPath != nullptr) {
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", jsonPath);
+            return 1;
+        }
+        out << "{\n"
+            << "  \"bench\": \"kernel\",\n"
+            << "  \"events_per_sec\": " << eventsPerSec << ",\n"
+            << "  \"lookups_per_sec\": " << lookupsPerSec << ",\n"
+            << "  \"sweep_wall_s\": " << sweepWall << ",\n"
+            << "  \"sweep_simulations\": " << sweepSims << ",\n"
+            << "  \"refs_per_core\": " << bench::defaultRefs() << "\n"
+            << "}\n";
+    }
+
+    if (checkPath != nullptr) {
+        std::ifstream in(checkPath);
+        if (!in) {
+            std::fprintf(stderr, "cannot read baseline %s\n", checkPath);
+            return 1;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+        const std::string base = ss.str();
+        bool ok = true;
+        struct
+        {
+            const char *key;
+            double current;
+        } checks[] = {{"events_per_sec", eventsPerSec},
+                      {"lookups_per_sec", lookupsPerSec}};
+        for (const auto &c : checks) {
+            const double want = jsonNumber(base, c.key);
+            if (want <= 0)
+                continue; // metric absent from the baseline
+            const double floor = want * (1.0 - tolerance);
+            const bool pass = c.current >= floor;
+            std::printf("check %-16s %.3e vs baseline %.3e (floor "
+                        "%.3e): %s\n",
+                        c.key, c.current, want, floor,
+                        pass ? "ok" : "REGRESSION");
+            ok = ok && pass;
+        }
+        if (!ok)
+            return 1;
+    }
+    return 0;
+}

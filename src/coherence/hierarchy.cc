@@ -95,6 +95,15 @@ struct Hierarchy::TargetAdapter : public RefreshTarget
         unit.noteRefresh();
     }
 
+    bool supportsBulkRefresh() const override { return true; }
+
+    void
+    refreshLinesBulk(std::uint32_t count, Tick now) override
+    {
+        (void)now;
+        unit.noteRefresh(count);
+    }
+
     void
     writebackLine(std::uint32_t idx, Tick now) override
     {
@@ -151,6 +160,8 @@ Hierarchy::Hierarchy(const HierarchyConfig &cfg, EventQueue &eq)
     panicIf(cfg_.numCores > 16, "directory bitmask limited to 16 cores");
     panicIf(cfg_.torusDim * cfg_.torusDim != cfg_.numBanks,
             "banks must tile the torus");
+    bankShift_ = cfg_.l3Bank.lineBits();
+    bankMask_ = isPowerOfTwo(cfg_.numBanks) ? cfg_.numBanks - 1 : 0;
     for (CoreId c = 0; c < cfg_.numCores; ++c) {
         il1s_.push_back(
             std::make_unique<CacheUnit>("il1", cfg_.il1, il1Stats_));
@@ -394,10 +405,8 @@ Hierarchy::l3MissFill(std::uint32_t bank, Addr a, Tick &t)
         dropL3Line(bank, *v.line, t, /*refreshCaused=*/false);
     }
     t = dram_.read(t);
-    l3u.array.install(v, a, t);
+    l3u.array.install(v, a, t, Mesi::Shared); // "valid" marker at L3
     CacheLine &line = *v.line;
-    line.state = Mesi::Shared; // "valid" marker at L3
-    line.dirty = false;
     l3u.noteWrite(); // the fill writes the data array
     l3u.fills->inc();
     l3u.installLine(line, t);
@@ -424,9 +433,9 @@ Hierarchy::dropL3Line(std::uint32_t bank, CacheLine &line, Tick now,
         }
     }
     // Invalidate every private copy (inclusive hierarchy, §3.1).
-    for (CoreId s = 0; s < cfg_.numCores; ++s) {
-        if (!hasSharer(line, s))
-            continue;
+    // Iterate set bits of the sharer mask; most lines have 0-2 sharers.
+    for (unsigned m = line.sharers; m != 0; m &= m - 1) {
+        const auto s = static_cast<CoreId>(__builtin_ctz(m));
         if (line.owner < 0 || static_cast<CoreId>(line.owner) != s)
             net_.traverse(bank, s, MsgClass::Control);
         invalidatePrivateCopies(s, a, /*countBackInval=*/true);
@@ -434,7 +443,7 @@ Hierarchy::dropL3Line(std::uint32_t bank, CacheLine &line, Tick now,
     if (dataToDram)
         dram_.write(now);
     (void)refreshCaused;
-    line.invalidate();
+    l3s_[bank]->array.invalidate(line);
 }
 
 Tick
@@ -479,8 +488,9 @@ Hierarchy::invalidateSharers(std::uint32_t bank, CacheLine &line,
                              CoreId except, Tick t)
 {
     Tick maxLat = 0;
-    for (CoreId s = 0; s < cfg_.numCores; ++s) {
-        if (s == except || !hasSharer(line, s))
+    for (unsigned m = line.sharers; m != 0; m &= m - 1) {
+        const auto s = static_cast<CoreId>(__builtin_ctz(m));
+        if (s == except)
             continue;
         const Tick out = net_.traverse(bank, s, MsgClass::Control);
         const Tick back = net_.traverse(s, bank, MsgClass::Control);
@@ -496,17 +506,17 @@ Hierarchy::invalidatePrivateCopies(CoreId c, Addr a, bool countBackInval)
 {
     CacheLine *l2l = l2s_[c]->array.lookup(a);
     if (l2l != nullptr) {
-        l2l->invalidate();
+        l2s_[c]->array.invalidate(*l2l);
         if (countBackInval)
             l2s_[c]->backInvals->inc();
     }
     if (CacheLine *l = dl1s_[c]->array.lookup(a)) {
-        l->invalidate();
+        dl1s_[c]->array.invalidate(*l);
         if (countBackInval)
             dl1s_[c]->backInvals->inc();
     }
     if (CacheLine *l = il1s_[c]->array.lookup(a)) {
-        l->invalidate();
+        il1s_[c]->array.invalidate(*l);
         if (countBackInval)
             il1s_[c]->backInvals->inc();
     }
@@ -521,9 +531,8 @@ Hierarchy::l2Fill(CoreId c, Addr a, Mesi st, Tick now)
         l2u.evictions->inc();
         evictL2Victim(c, *v.line, now);
     }
-    l2u.array.install(v, a, now);
+    l2u.array.install(v, a, now, st);
     CacheLine &line = *v.line;
-    line.state = st;
     line.dirty = st == Mesi::Modified;
     l2u.noteWrite(); // fill write
     l2u.fills->inc();
@@ -539,8 +548,7 @@ Hierarchy::l1Fill(CacheUnit &l1, Addr a, Tick now)
     VictimRef v = l1.array.pickVictim(a);
     if (v.line->valid())
         l1.evictions->inc(); // L1 lines are clean: silent drop
-    l1.array.install(v, a, now);
-    v.line->state = Mesi::Shared;
+    l1.array.install(v, a, now, Mesi::Shared);
     l1.noteWrite();
     l1.fills->inc();
     l1.installLine(*v.line, now);
@@ -574,10 +582,10 @@ Hierarchy::evictL2Victim(CoreId c, CacheLine &victim, Tick now)
 
     // Inclusion: L1 copies go with the L2 line.
     if (CacheLine *l = dl1s_[c]->array.lookup(a))
-        l->invalidate();
+        dl1s_[c]->array.invalidate(*l);
     if (CacheLine *l = il1s_[c]->array.lookup(a))
-        l->invalidate();
-    victim.invalidate();
+        il1s_[c]->array.invalidate(*l);
+    l2s_[c]->array.invalidate(victim);
 }
 
 // ---------------------------------------------------------------------
@@ -652,11 +660,11 @@ Hierarchy::upperRefreshInvalidate(CacheUnit &unit, CoreId c,
         }
         net_.traverse(c, bankOf(a), MsgClass::Control);
         if (CacheLine *l = dl1s_[c]->array.lookup(a))
-            l->invalidate();
+            dl1s_[c]->array.invalidate(*l);
         if (CacheLine *l = il1s_[c]->array.lookup(a))
-            l->invalidate();
+            il1s_[c]->array.invalidate(*l);
     }
-    line.invalidate();
+    unit.array.invalidate(line);
 }
 
 // ---------------------------------------------------------------------
@@ -684,6 +692,14 @@ void
 Hierarchy::checkInvariants(Tick now) const
 {
     auto &self = const_cast<Hierarchy &>(*this);
+    // The packed probe mirrors must agree with the line structs.
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        il1s_[c]->array.checkProbeCoherence();
+        dl1s_[c]->array.checkProbeCoherence();
+        l2s_[c]->array.checkProbeCoherence();
+    }
+    for (std::uint32_t b = 0; b < cfg_.numBanks; ++b)
+        l3s_[b]->array.checkProbeCoherence();
     // L1 subset-of L2; L2 subset-of L3; directory exactness.
     for (CoreId c = 0; c < cfg_.numCores; ++c) {
         for (CacheUnit *l1 : {self.il1s_[c].get(), self.dl1s_[c].get()}) {
@@ -744,45 +760,45 @@ Hierarchy::checkInvariants(Tick now) const
 HierarchyCounts
 Hierarchy::counts() const
 {
+    // Direct counter reads — no per-run string-keyed map rebuild.
+    auto get = [](const StatGroup &g, const char *k) {
+        const Counter *c = g.findCounter(k);
+        return c == nullptr ? 0ull : c->value();
+    };
+    auto getd = [](const StatGroup &g, const char *k) {
+        const Accum *a = g.findAccum(k);
+        return a == nullptr ? 0.0 : a->value();
+    };
     HierarchyCounts n;
-    std::map<std::string, double> m;
-    dumpStats(m);
-    auto get = [&](const char *k) {
-        auto it = m.find(k);
-        return it == m.end() ? 0ull
-                             : static_cast<std::uint64_t>(it->second);
-    };
-    n.l1Reads = get("il1.reads") + get("dl1.reads");
-    n.l1Writes = get("il1.writes") + get("dl1.writes");
-    n.l2Reads = get("l2.reads");
-    n.l2Writes = get("l2.writes");
-    n.l3Reads = get("l3.reads");
-    n.l3Writes = get("l3.writes");
-    n.l1Refreshes = get("refresh.l1.line_refreshes");
-    n.l2Refreshes = get("refresh.l2.line_refreshes");
-    n.l3Refreshes = get("refresh.l3.line_refreshes");
-    n.dramAccesses = get("dram.reads") + get("dram.writes");
-    n.netHops = get("net.hops");
-    n.netDataMsgs = get("net.data_msgs");
-    n.netCtrlMsgs = get("net.ctrl_msgs");
-    n.l3Misses = get("l3.misses");
-    n.l2Misses = get("l2.misses");
-    n.dl1Misses = get("dl1.misses");
-    n.refreshWritebacks = get("refresh.l1.refresh_writebacks") +
-                          get("refresh.l2.refresh_writebacks") +
-                          get("refresh.l3.refresh_writebacks");
+    n.l1Reads = get(il1Stats_, "reads") + get(dl1Stats_, "reads");
+    n.l1Writes = get(il1Stats_, "writes") + get(dl1Stats_, "writes");
+    n.l2Reads = get(l2Stats_, "reads");
+    n.l2Writes = get(l2Stats_, "writes");
+    n.l3Reads = get(l3Stats_, "reads");
+    n.l3Writes = get(l3Stats_, "writes");
+    n.l1Refreshes = get(refreshL1Stats_, "line_refreshes");
+    n.l2Refreshes = get(refreshL2Stats_, "line_refreshes");
+    n.l3Refreshes = get(refreshL3Stats_, "line_refreshes");
+    n.dramAccesses = get(dramStats_, "reads") + get(dramStats_, "writes");
+    n.netHops = get(netStats_, "hops");
+    n.netDataMsgs = get(netStats_, "data_msgs");
+    n.netCtrlMsgs = get(netStats_, "ctrl_msgs");
+    n.l3Misses = get(l3Stats_, "misses");
+    n.l2Misses = get(l2Stats_, "misses");
+    n.dl1Misses = get(dl1Stats_, "misses");
+    n.refreshWritebacks = get(refreshL1Stats_, "refresh_writebacks") +
+                          get(refreshL2Stats_, "refresh_writebacks") +
+                          get(refreshL3Stats_, "refresh_writebacks");
     n.refreshInvalidations =
-        get("refresh.l1.refresh_invalidations") +
-        get("refresh.l2.refresh_invalidations") +
-        get("refresh.l3.refresh_invalidations");
-    n.decayedHits = get("il1.decayed_hits") + get("dl1.decayed_hits") +
-                    get("l2.decayed_hits") + get("l3.decayed_hits");
-    auto getd = [&](const char *k) {
-        auto it = m.find(k);
-        return it == m.end() ? 0.0 : it->second;
-    };
-    n.l2OffLineTicks = getd("refresh.l2.off_line_ticks");
-    n.l3OffLineTicks = getd("refresh.l3.off_line_ticks");
+        get(refreshL1Stats_, "refresh_invalidations") +
+        get(refreshL2Stats_, "refresh_invalidations") +
+        get(refreshL3Stats_, "refresh_invalidations");
+    n.decayedHits = get(il1Stats_, "decayed_hits") +
+                    get(dl1Stats_, "decayed_hits") +
+                    get(l2Stats_, "decayed_hits") +
+                    get(l3Stats_, "decayed_hits");
+    n.l2OffLineTicks = getd(refreshL2Stats_, "off_line_ticks");
+    n.l3OffLineTicks = getd(refreshL3Stats_, "off_line_ticks");
     return n;
 }
 

@@ -110,12 +110,17 @@ class Hierarchy
     /** Thermal driver, or null when the subsystem is disabled. */
     const ThermalDriver *thermal() const { return thermal_.get(); }
 
-    /** Home L3 bank of address @p a (static interleaving, §5). */
+    /** Home L3 bank of address @p a (static interleaving, §5).
+     *  Shift and mask are precomputed: this sits on the access path
+     *  several times per reference and the geometry would otherwise
+     *  recompute log2(lineSize) and a modulo on each call.  Odd torus
+     *  dimensions (non-power-of-two bank counts) keep the modulo. */
     std::uint32_t
     bankOf(Addr a) const
     {
+        const Addr idx = a >> bankShift_;
         return static_cast<std::uint32_t>(
-            (a >> cfg_.l3Bank.lineBits()) % cfg_.numBanks);
+            bankMask_ != 0 ? idx & bankMask_ : idx % cfg_.numBanks);
     }
 
     // --- refresh actions, shared with the RefreshTarget adapters ---
@@ -183,6 +188,11 @@ class Hierarchy
 
     HierarchyConfig cfg_;
     EventQueue &eq_;
+
+    /** Precomputed bankOf() slicing; mask 0 = non-power-of-two bank
+     *  count, fall back to modulo. */
+    unsigned bankShift_ = 0;
+    Addr bankMask_ = 0;
 
     StatGroup il1Stats_{"il1"}, dl1Stats_{"dl1"}, l2Stats_{"l2"},
         l3Stats_{"l3"}, netStats_{"net"}, dramStats_{"dram"},

@@ -6,30 +6,71 @@ namespace refrint
 Counter &
 StatGroup::counter(const std::string &name)
 {
-    return counters_[name];
+    auto [it, inserted] = counters_.try_emplace(name, nullptr);
+    if (inserted) {
+        counterStore_.emplace_back();
+        it->second = &counterStore_.back();
+        indexStale_ = true;
+    }
+    return *it->second;
 }
 
 Accum &
 StatGroup::accum(const std::string &name)
 {
-    return accums_[name];
+    auto [it, inserted] = accums_.try_emplace(name, nullptr);
+    if (inserted) {
+        accumStore_.emplace_back();
+        it->second = &accumStore_.back();
+        indexStale_ = true;
+    }
+    return *it->second;
+}
+
+const Counter *
+StatGroup::findCounter(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second;
+}
+
+const Accum *
+StatGroup::findAccum(const std::string &name) const
+{
+    const auto it = accums_.find(name);
+    return it == accums_.end() ? nullptr : it->second;
+}
+
+void
+StatGroup::rebuildIndex() const
+{
+    index_.clear();
+    index_.reserve(counters_.size() + accums_.size());
+    for (const auto &[name, c] : counters_)
+        index_.push_back(IndexEntry{prefix_ + "." + name, c, nullptr});
+    for (const auto &[name, a] : accums_)
+        index_.push_back(IndexEntry{prefix_ + "." + name, nullptr, a});
+    indexStale_ = false;
 }
 
 void
 StatGroup::dump(std::map<std::string, double> &out) const
 {
-    for (const auto &[name, c] : counters_)
-        out[prefix_ + "." + name] = static_cast<double>(c.value());
-    for (const auto &[name, a] : accums_)
-        out[prefix_ + "." + name] = a.value();
+    if (indexStale_)
+        rebuildIndex();
+    for (const IndexEntry &e : index_) {
+        out[e.fullName] = e.counter != nullptr
+                              ? static_cast<double>(e.counter->value())
+                              : e.accum->value();
+    }
 }
 
 void
 StatGroup::resetAll()
 {
-    for (auto &[name, c] : counters_)
+    for (Counter &c : counterStore_)
         c.reset();
-    for (auto &[name, a] : accums_)
+    for (Accum &a : accumStore_)
         a.reset();
 }
 

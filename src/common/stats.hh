@@ -13,6 +13,7 @@
 #define REFRINT_COMMON_STATS_HH
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
@@ -73,6 +74,13 @@ class StatGroup
     /** Register and return an accumulator named prefix.name. */
     Accum &accum(const std::string &name);
 
+    /** Counter registered as @p name, or nullptr.  Lets consumers keep
+     *  direct handles instead of rebuilding keyed string maps. */
+    const Counter *findCounter(const std::string &name) const;
+
+    /** Accumulator registered as @p name, or nullptr. */
+    const Accum *findAccum(const std::string &name) const;
+
     /** Flatten all registered stats into @p out (appends). */
     void dump(std::map<std::string, double> &out) const;
 
@@ -82,11 +90,30 @@ class StatGroup
     const std::string &prefix() const { return prefix_; }
 
   private:
+    /** (Re)build the cached dump index of prefixed names. */
+    void rebuildIndex() const;
+
     std::string prefix_;
-    // std::map guarantees pointer stability of mapped values, which the
-    // components rely on: they cache Counter& across the run.
-    std::map<std::string, Counter> counters_;
-    std::map<std::string, Accum> accums_;
+    // Stats live in deques (stable addresses — components cache
+    // Counter& across the run — and chunk-contiguous storage, so a
+    // group's hot counters share a couple of cache lines instead of
+    // one scattered map node each); the maps only index them by name.
+    std::deque<Counter> counterStore_;
+    std::deque<Accum> accumStore_;
+    std::map<std::string, Counter *> counters_;
+    std::map<std::string, Accum *> accums_;
+
+    /** Sorted (full name, stat) index built once per registration epoch
+     *  and reused by every dump() — the full-name strings are not
+     *  re-concatenated per call. */
+    struct IndexEntry
+    {
+        std::string fullName;
+        const Counter *counter; ///< one of counter/accum is set
+        const Accum *accum;
+    };
+    mutable std::vector<IndexEntry> index_;
+    mutable bool indexStale_ = true;
 };
 
 } // namespace refrint

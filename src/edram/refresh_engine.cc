@@ -1,5 +1,8 @@
 #include "edram/refresh_engine.hh"
 
+#include <algorithm>
+#include <functional>
+
 #include "common/log.hh"
 
 namespace refrint
@@ -10,7 +13,8 @@ RefreshEngine::RefreshEngine(RefreshTarget &target,
                              const RetentionParams &retention,
                              const EngineGeometry &geom, EventQueue &eq,
                              StatGroup &stats)
-    : target_(target), policy_(policy), geom_(geom), eq_(eq)
+    : target_(target), arr_(target.array()), policy_(policy), geom_(geom),
+      eq_(eq)
 {
     const std::uint32_t lines = target.array().numLines();
     cellRetention_ = retention.cellRetention;
@@ -30,7 +34,7 @@ RefreshEngine::RefreshEngine(RefreshTarget &target,
 bool
 RefreshEngine::visitLine(std::uint32_t idx, Tick now)
 {
-    CacheLine &line = target_.array().lineAt(idx);
+    CacheLine &line = arr_.lineAt(idx);
     visits_->inc();
     const RefreshAction action = decideRefresh(policy_, line);
     switch (action) {
@@ -116,9 +120,10 @@ RefreshEngine::setRetentionScale(double factor, Tick now)
     // Re-stamp every line clock affinely around now: expiries and the
     // engine deadlines that renew them scale together, so visit-before-
     // expiry is preserved in both the warming and cooling directions.
-    target_.array().forEachLine([&](std::uint32_t, CacheLine &line) {
+    arr_.forEachLine([&](std::uint32_t idx, CacheLine &line) {
         line.dataExpiry = rescaleStamp(line.dataExpiry, now, rho);
-        line.sentryExpiry = rescaleStamp(line.sentryExpiry, now, rho);
+        if (sentryMirror_ != nullptr)
+            sentryMirror_[idx] = rescaleStamp(sentryMirror_[idx], now, rho);
     });
     onRetentionRescaled(rho, now);
     return true;
@@ -135,6 +140,7 @@ PeriodicEngine::PeriodicEngine(RefreshTarget &target,
                                StatGroup &stats)
     : RefreshEngine(target, policy, retention, geom, eq, stats)
 {
+    kind_ = EngineKind::Periodic;
     // A periodic controller has no per-line retention knowledge: under
     // process variation the whole cache must be cycled at the weakest
     // line's period (§4.1 discussion; bench_ablation_variation).
@@ -157,6 +163,7 @@ PeriodicEngine::PeriodicEngine(RefreshTarget &target,
     // implicit since bursts are evenly staggered anyway.
     numBursts_ = (lines + linesPerBurst_ - 1) / linesPerBurst_;
     burstNext_.assign(numBursts_, 0);
+    burstEvents_.assign(numBursts_, EventHandle{});
     bursts_ = &stats.counter("periodic_bursts");
 }
 
@@ -170,47 +177,55 @@ PeriodicEngine::start(Tick now)
         const Tick phase =
             cellRetention_ * static_cast<Tick>(k) / numBursts_;
         burstNext_[k] = now + phase + 1;
-        eq_.schedule(burstNext_[k], this, burstTag(k, gen_));
+        burstEvents_[k] = eq_.scheduleCancellable(burstNext_[k], this, k);
     }
-}
-
-void
-PeriodicEngine::onInstall(std::uint32_t idx, Tick now)
-{
-    CacheLine &line = target_.array().lineAt(idx);
-    // The fill writes the cells: full (per-line) retention from now.
-    // The periodic schedule guarantees a visit within one period.
-    line.dataExpiry = now + cellRetentionOf(idx);
-    noteAccess(policy_, line);
-}
-
-void
-PeriodicEngine::onAccess(std::uint32_t idx, Tick now)
-{
-    CacheLine &line = target_.array().lineAt(idx);
-    line.dataExpiry = now + cellRetentionOf(idx);
-    noteAccess(policy_, line);
 }
 
 void
 PeriodicEngine::fire(Tick now, std::uint64_t tag)
 {
-    if (static_cast<std::uint32_t>(tag >> 32) != gen_)
-        return; // superseded schedule (retention was rescaled)
-    const std::uint64_t burstIdx = tag & 0xffffffffULL;
-    const std::uint32_t lines = target_.array().numLines();
-    const std::uint32_t lo =
-        static_cast<std::uint32_t>(burstIdx) * linesPerBurst_;
+    const std::uint32_t k = static_cast<std::uint32_t>(tag);
+    const std::uint32_t lines = arr_.numLines();
+    const std::uint32_t lo = k * linesPerBurst_;
     const std::uint32_t hi = std::min(lines, lo + linesPerBurst_);
 
     std::uint32_t serviced = 0;
-    for (std::uint32_t idx = lo; idx < hi; ++idx) {
-        if (visitLine(idx, now))
-            ++serviced;
-        else if (policy_.data != DataPolicy::All) {
-            // Invalidated/skipped lines still occupied the pipeline for
-            // their tag+state read, but that is off the data array; we
-            // only block for actual line refreshes.
+    if (policy_.data == DataPolicy::All && target_.supportsBulkRefresh()) {
+        // Fast path: under All every visit is a refresh, so the whole
+        // burst reduces to bulk counter charges plus the per-line clock
+        // re-stamp (visitLine would branch and virtual-call per line).
+        const std::uint32_t n = hi - lo;
+        visits_->inc(n);
+        refreshes_->inc(n);
+        target_.refreshLinesBulk(n, now);
+        for (std::uint32_t idx = lo; idx < hi; ++idx)
+            renewClocks(idx, arr_.lineAt(idx), now);
+        serviced = n;
+    } else if (policy_.data == DataPolicy::Valid &&
+               target_.supportsBulkRefresh()) {
+        // Fast path: Valid refreshes exactly the probe-valid lines and
+        // skips the rest; no action ever mutates line state.
+        visits_->inc(hi - lo);
+        const Addr *probe = arr_.probeData();
+        for (std::uint32_t idx = lo; idx < hi; ++idx) {
+            if (probe[idx] != 0) {
+                renewClocks(idx, arr_.lineAt(idx), now);
+                ++serviced;
+            }
+        }
+        refreshes_->inc(serviced);
+        skips_->inc((hi - lo) - serviced);
+        if (serviced > 0)
+            target_.refreshLinesBulk(serviced, now);
+    } else {
+        for (std::uint32_t idx = lo; idx < hi; ++idx) {
+            if (visitLine(idx, now))
+                ++serviced;
+            else if (policy_.data != DataPolicy::All) {
+                // Invalidated/skipped lines still occupied the pipeline
+                // for their tag+state read, but that is off the data
+                // array; we only block for actual line refreshes.
+            }
         }
     }
     bursts_->inc();
@@ -218,9 +233,8 @@ PeriodicEngine::fire(Tick now, std::uint64_t tag)
     // array, one line per cycle (Table 5.2: refresh time = access time).
     if (serviced > 0)
         target_.addBusy(now, serviced);
-    const std::uint32_t k = static_cast<std::uint32_t>(burstIdx);
     burstNext_[k] = now + cellRetention_;
-    eq_.schedule(burstNext_[k], this, burstTag(k, gen_));
+    burstEvents_[k] = eq_.scheduleCancellable(burstNext_[k], this, k);
 }
 
 void
@@ -232,13 +246,14 @@ PeriodicEngine::onRetentionRescaled(double rho, Tick now)
     // next firing moved affinely around now — each burst keeps its
     // phase position inside the (new) period, so the lines it renews
     // (whose expiries were re-stamped by the same map) are still
-    // visited before they decay.
-    ++gen_;
+    // visited before they decay.  Cancelling through the handles frees
+    // the retired events' kernel heap slots immediately.
     for (std::uint32_t k = 0; k < numBursts_; ++k) {
+        eq_.cancel(burstEvents_[k]);
         burstNext_[k] = rescaleStamp(burstNext_[k], now, rho);
         if (burstNext_[k] < now)
             burstNext_[k] = now;
-        eq_.schedule(burstNext_[k], this, burstTag(k, gen_));
+        burstEvents_[k] = eq_.scheduleCancellable(burstNext_[k], this, k);
     }
 }
 
@@ -253,13 +268,112 @@ RefrintEngine::RefrintEngine(RefreshTarget &target,
                              StatGroup &stats)
     : RefreshEngine(target, policy, retention, geom, eq, stats)
 {
+    kind_ = EngineKind::Refrint;
     const std::uint32_t lines = target.array().numLines();
     geom_.sentryGroupSize = std::max(1u, geom_.sentryGroupSize);
     numGroups_ =
         (lines + geom_.sentryGroupSize - 1) / geom_.sentryGroupSize;
-    groupStamp_.assign(numGroups_, 0);
-    groupArmed_.assign(numGroups_, false);
+    heap_.reset(numGroups_);
+    sentryM_.assign(lines, kTickNever);
+    sentryMirror_ = sentryM_.data();
     interrupts_ = &stats.counter("sentry_interrupts");
+}
+
+// Indexed 16-ary min-heap over armed groups -------------------------------
+
+void
+RefrintEngine::GroupHeap::siftUp(std::size_t i)
+{
+    const Tick heldExpiry = expiry_[i];
+    const std::uint32_t heldGroup = group_[i];
+    while (i != 0) {
+        const std::size_t parent = (i - 1) >> 4;
+        if (expiry_[parent] <= heldExpiry)
+            break;
+        expiry_[i] = expiry_[parent];
+        group_[i] = group_[parent];
+        pos_[group_[i]] = static_cast<std::uint32_t>(i);
+        i = parent;
+    }
+    expiry_[i] = heldExpiry;
+    group_[i] = heldGroup;
+    pos_[heldGroup] = static_cast<std::uint32_t>(i);
+}
+
+void
+RefrintEngine::GroupHeap::siftDown(std::size_t i)
+{
+    const Tick heldExpiry = expiry_[i];
+    const std::uint32_t heldGroup = group_[i];
+    const std::size_t n = expiry_.size();
+    for (;;) {
+        const std::size_t base = (i << 4) + 1;
+        if (base >= n)
+            break;
+        std::size_t best = base;
+        const std::size_t end = base + 16 < n ? base + 16 : n;
+        for (std::size_t c = base + 1; c < end; ++c) {
+            if (expiry_[c] < expiry_[best])
+                best = c;
+        }
+        if (heldExpiry <= expiry_[best])
+            break;
+        expiry_[i] = expiry_[best];
+        group_[i] = group_[best];
+        pos_[group_[i]] = static_cast<std::uint32_t>(i);
+        i = best;
+    }
+    expiry_[i] = heldExpiry;
+    group_[i] = heldGroup;
+    pos_[heldGroup] = static_cast<std::uint32_t>(i);
+}
+
+void
+RefrintEngine::GroupHeap::arm(std::uint32_t g, Tick expiry)
+{
+    std::uint32_t i = pos_[g];
+    if (i == kAbsent) {
+        i = static_cast<std::uint32_t>(expiry_.size());
+        expiry_.push_back(expiry);
+        group_.push_back(g);
+        pos_[g] = i;
+        siftUp(i);
+        return;
+    }
+    const Tick old = expiry_[i];
+    expiry_[i] = expiry;
+    if (expiry < old)
+        siftUp(i);
+    else if (expiry > old)
+        siftDown(i);
+}
+
+void
+RefrintEngine::GroupHeap::popTop()
+{
+    remove(group_.front());
+}
+
+void
+RefrintEngine::GroupHeap::remove(std::uint32_t g)
+{
+    const std::uint32_t i = pos_[g];
+    if (i == kAbsent)
+        return;
+    pos_[g] = kAbsent;
+    const std::size_t last = expiry_.size() - 1;
+    if (i != last) {
+        expiry_[i] = expiry_[last];
+        group_[i] = group_[last];
+        pos_[group_[i]] = i;
+        expiry_.pop_back();
+        group_.pop_back();
+        siftUp(i);
+        siftDown(i);
+    } else {
+        expiry_.pop_back();
+        group_.pop_back();
+    }
 }
 
 void
@@ -270,7 +384,7 @@ RefrintEngine::start(Tick now)
     // The All policy refreshes even invalid lines, so every sentry is
     // live from power-on.  Stagger initial phases uniformly to model the
     // steady state and avoid a synchronized interrupt storm.
-    CacheArray &arr = target_.array();
+    CacheArray &arr = arr_;
     for (std::uint32_t g = 0; g < numGroups_; ++g) {
         const Tick phase =
             1 + sentryRetention_ * static_cast<Tick>(g) / numGroups_;
@@ -279,9 +393,9 @@ RefrintEngine::start(Tick now)
             std::min(arr.numLines(), lo + geom_.sentryGroupSize);
         for (std::uint32_t idx = lo; idx < hi; ++idx) {
             CacheLine &line = arr.lineAt(idx);
-            line.sentryExpiry = now + phase;
             line.dataExpiry = now + phase + (cellRetention_ -
                                              sentryRetention_);
+            sentryM_[idx] = now + phase;
         }
         armGroup(g, now + phase);
     }
@@ -291,17 +405,24 @@ RefrintEngine::start(Tick now)
 Tick
 RefrintEngine::groupDeadline(std::uint32_t g) const
 {
-    CacheArray &arr = target_.array();
+    // Dense scan: packed sentry expiries gated by the packed validity
+    // probe — no CacheLine structs are touched.
     const std::uint32_t lo = g * geom_.sentryGroupSize;
     const std::uint32_t hi =
-        std::min(arr.numLines(), lo + geom_.sentryGroupSize);
+        std::min(arr_.numLines(), lo + geom_.sentryGroupSize);
+    const Tick *sm = sentryM_.data();
     Tick dl = kTickNever;
-    for (std::uint32_t idx = lo; idx < hi; ++idx) {
-        const CacheLine &line = arr.lineAt(idx);
-        const bool relevant =
-            policy_.data == DataPolicy::All || line.valid();
-        if (relevant && line.sentryExpiry < dl)
-            dl = line.sentryExpiry;
+    if (policy_.data == DataPolicy::All) {
+        for (std::uint32_t idx = lo; idx < hi; ++idx) {
+            if (sm[idx] < dl)
+                dl = sm[idx];
+        }
+    } else {
+        const Addr *probe = arr_.probeData();
+        for (std::uint32_t idx = lo; idx < hi; ++idx) {
+            if (probe[idx] != 0 && sm[idx] < dl)
+                dl = sm[idx];
+        }
     }
     return dl;
 }
@@ -309,18 +430,18 @@ RefrintEngine::groupDeadline(std::uint32_t g) const
 void
 RefrintEngine::armGroup(std::uint32_t g, Tick deadline)
 {
-    ++groupStamp_[g];
-    groupArmed_[g] = true;
-    heap_.push(HeapEntry{deadline, g, groupStamp_[g]});
+    heap_.arm(g, deadline);
 }
 
 void
 RefrintEngine::maybeSchedule()
 {
-    if (heap_.empty())
-        return;
-    const Tick top = heap_.top().expiry;
-    if (top < scheduledAt_) {
+    Tick top = kTickNever;
+    if (!heap_.empty())
+        top = heap_.topExpiry();
+    if (!ghosts_.empty() && ghosts_.front() < top)
+        top = ghosts_.front();
+    if (top != kTickNever && top < scheduledAt_) {
         scheduledAt_ = top;
         eq_.schedule(top, this, 0);
     }
@@ -329,16 +450,20 @@ RefrintEngine::maybeSchedule()
 void
 RefrintEngine::onRetentionRescaled(double, Tick)
 {
-    // Line sentry expiries were just re-stamped; push a fresh heap
-    // entry for every armed group at its new deadline.  Old entries
-    // (and any event scheduled for them) die via the lazy-deletion
-    // stamps when they pop.
+    // Line sentry expiries were just re-stamped; re-key every armed
+    // group to its new deadline in place.  The superseded deadline is
+    // kept as a ghost wake time so the engine's kernel wake schedule
+    // (and with it every later event's tie-break position) matches the
+    // historical duplicate-entry heap tick for tick.
     for (std::uint32_t g = 0; g < numGroups_; ++g) {
-        if (!groupArmed_[g])
+        if (!heap_.contains(g))
             continue;
+        ghosts_.push_back(heap_.expiryOf(g));
+        std::push_heap(ghosts_.begin(), ghosts_.end(),
+                       std::greater<>());
         const Tick dl = groupDeadline(g);
         if (dl == kTickNever)
-            groupArmed_[g] = false;
+            heap_.remove(g);
         else
             armGroup(g, dl);
     }
@@ -347,85 +472,80 @@ RefrintEngine::onRetentionRescaled(double, Tick)
 }
 
 void
-RefrintEngine::onInstall(std::uint32_t idx, Tick now)
-{
-    CacheLine &line = target_.array().lineAt(idx);
-    renewClocks(idx, line, now);
-    noteAccess(policy_, line);
-    const std::uint32_t g = groupOf(idx);
-    if (!groupArmed_[g]) {
-        armGroup(g, line.sentryExpiry);
-        maybeSchedule();
-    }
-}
-
-void
-RefrintEngine::onAccess(std::uint32_t idx, Tick now)
-{
-    // Accessing a line automatically refreshes both the line and its
-    // sentry (§3.2) — just push the clocks out.  The live heap entry, if
-    // any, re-arms itself lazily when it pops.
-    CacheLine &line = target_.array().lineAt(idx);
-    renewClocks(idx, line, now);
-    noteAccess(policy_, line);
-    const std::uint32_t g = groupOf(idx);
-    if (!groupArmed_[g]) {
-        armGroup(g, line.sentryExpiry);
-        maybeSchedule();
-    }
-}
-
-void
 RefrintEngine::fire(Tick now, std::uint64_t)
 {
     scheduledAt_ = kTickNever;
-    CacheArray &arr = target_.array();
+    CacheArray &arr = arr_;
 
-    while (!heap_.empty() && heap_.top().expiry <= now) {
-        const HeapEntry e = heap_.top();
-        heap_.pop();
-        if (e.stamp != groupStamp_[e.group])
-            continue; // superseded entry (lazy deletion)
+    // Expired ghost deadlines melt silently (see ghosts_).
+    while (!ghosts_.empty() && ghosts_.front() <= now) {
+        std::pop_heap(ghosts_.begin(), ghosts_.end(), std::greater<>());
+        ghosts_.pop_back();
+    }
+
+    // Drain every group whose armed deadline has passed: same-tick
+    // sentry interrupts are batched into this one kernel dispatch.
+    while (!heap_.empty() && heap_.topExpiry() <= now) {
+        const std::uint32_t g = heap_.topGroup();
 
         // Accesses may have pushed the real deadline out since this
-        // entry was armed; if so, re-arm at the true deadline.
-        const Tick dl = groupDeadline(e.group);
+        // group was armed; if so, re-key the root node in place (one
+        // sift) rather than pop + reinsert.
+        const Tick dl = groupDeadline(g);
         if (dl == kTickNever) {
-            groupArmed_[e.group] = false;
+            heap_.popTop();
             continue;
         }
         if (dl > now) {
-            armGroup(e.group, dl);
+            armGroup(g, dl);
             continue;
         }
 
         // Genuine sentry interrupt: service every line in the group in
         // a pipelined fashion (§4.2), with priority over plain R/W.
         interrupts_->inc();
-        const std::uint32_t lo = groupBase(e.group);
+        const std::uint32_t lo = groupBase(g);
         const std::uint32_t hi =
             std::min(arr.numLines(), lo + geom_.sentryGroupSize);
+        const bool all = policy_.data == DataPolicy::All;
+        const Addr *probe = arr.probeData();
         std::uint32_t serviced = 0;
-        bool anyAlive = false;
-        for (std::uint32_t idx = lo; idx < hi; ++idx) {
-            CacheLine &line = arr.lineAt(idx);
-            const bool relevant =
-                policy_.data == DataPolicy::All || line.valid();
-            if (!relevant)
-                continue;
-            if (visitLine(idx, now))
+        Tick next = kTickNever;
+        if ((all || policy_.data == DataPolicy::Valid) &&
+            target_.supportsBulkRefresh()) {
+            // Fast path: every relevant line is refreshed (All/Valid
+            // never write back, invalidate or mutate state), so the
+            // visit reduces to the clock re-stamp plus bulk charges —
+            // and the group's next deadline falls out of the renewed
+            // stamps, saving the post-service group re-scan.
+            for (std::uint32_t idx = lo; idx < hi; ++idx) {
+                if (!all && probe[idx] == 0)
+                    continue;
+                renewClocks(idx, arr.lineAt(idx), now);
+                if (sentryM_[idx] < next)
+                    next = sentryM_[idx];
                 ++serviced;
-            anyAlive = anyAlive || line.valid() ||
-                       policy_.data == DataPolicy::All;
+            }
+            visits_->inc(serviced);
+            refreshes_->inc(serviced);
+            if (serviced > 0)
+                target_.refreshLinesBulk(serviced, now);
+        } else {
+            for (std::uint32_t idx = lo; idx < hi; ++idx) {
+                if (!all && probe[idx] == 0)
+                    continue;
+                if (visitLine(idx, now))
+                    ++serviced;
+            }
+            next = groupDeadline(g);
         }
         if (serviced > 0)
             target_.addBusy(now, serviced);
 
-        const Tick next = groupDeadline(e.group);
         if (next != kTickNever)
-            armGroup(e.group, next);
+            armGroup(g, next); // re-keys the root in place
         else
-            groupArmed_[e.group] = false;
+            heap_.popTop();
     }
     maybeSchedule();
 }

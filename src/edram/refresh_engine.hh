@@ -22,7 +22,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/stats.hh"
@@ -49,6 +48,24 @@ class RefreshTarget
 
     /** Charge one line refresh (energy accounting). */
     virtual void refreshLine(std::uint32_t idx, Tick now) = 0;
+
+    /**
+     * Whether refreshLine() is a pure per-line tally (no per-index
+     * bookkeeping) so a burst may charge @p count refreshes in one call
+     * via refreshLinesBulk().  Targets that record per-line actions
+     * (test mocks, tracers) leave this false and keep the general
+     * per-line path.
+     */
+    virtual bool supportsBulkRefresh() const { return false; }
+
+    /** Charge @p count line refreshes at once (see supportsBulkRefresh). */
+    virtual void
+    refreshLinesBulk(std::uint32_t count, Tick now)
+    {
+        (void)count;
+        (void)now;
+        panic("refreshLinesBulk on a target without bulk support");
+    }
 
     /** Write the (dirty) line back to the next level; make it clean. */
     virtual void writebackLine(std::uint32_t idx, Tick now) = 0;
@@ -81,6 +98,16 @@ struct EngineGeometry
     /** SmartRefresh comparator: per-line timeout counter width k; the
      *  phase clock ticks 2^k times per retention period. */
     std::uint32_t smartCounterBits = 3;
+};
+
+/** Concrete engine kind, for hot-path devirtualization (CacheUnit
+ *  dispatches onAccess/onInstall through a switch on this instead of a
+ *  virtual call; see touchLine). */
+enum class EngineKind : std::uint8_t
+{
+    Other = 0, ///< SmartRefresh, Decay, test doubles
+    Periodic,
+    Refrint,
 };
 
 /** Common interface + bookkeeping shared by the two engines. */
@@ -146,6 +173,9 @@ class RefreshEngine : public EventClient
 
     const RefreshPolicy &policy() const { return policy_; }
 
+    /** Concrete kind for devirtualized hot-path dispatch. */
+    EngineKind kind() const { return kind_; }
+
     std::uint64_t lineRefreshes() const { return refreshes_->value(); }
     std::uint64_t writebacks() const { return wbs_->value(); }
     std::uint64_t invalidations() const { return invals_->value(); }
@@ -174,12 +204,15 @@ class RefreshEngine : public EventClient
         return cell > margin_ ? cell - margin_ : 1;
     }
 
-    /** Stamp fresh retention clocks on line @p idx. */
+    /** Stamp fresh retention clocks on line @p idx.  The sentry clock
+     *  lives only in the engine's packed mirror (engines without one —
+     *  Periodic, SmartRefresh, Decay — never read it). */
     void
     renewClocks(std::uint32_t idx, CacheLine &line, Tick now)
     {
         line.dataExpiry = now + cellRetentionOf(idx);
-        line.sentryExpiry = now + sentryRetentionOf(idx);
+        if (sentryMirror_ != nullptr)
+            sentryMirror_[idx] = now + sentryRetentionOf(idx);
     }
 
     /** Hook for engines to reshape their visit schedule after a
@@ -193,9 +226,18 @@ class RefreshEngine : public EventClient
     }
 
     RefreshTarget &target_;
+    CacheArray &arr_; ///< target_.array(), cached (no virtual dispatch)
     RefreshPolicy policy_;
     EngineGeometry geom_;
     EventQueue &eq_;
+    EngineKind kind_ = EngineKind::Other; ///< set by concrete ctors
+
+    /** Optional dense mirror of line.sentryExpiry, one Tick per flat
+     *  index, kept in lockstep by renewClocks()/setRetentionScale().
+     *  Engines that scan sentry deadlines on their hot path (Refrint)
+     *  point this at their own packed array so the scan touches dense
+     *  Ticks instead of striding CacheLine structs. */
+    Tick *sentryMirror_ = nullptr;
 
     Tick cellRetention_;   ///< current (possibly thermally rescaled)
     Tick sentryRetention_; ///< current cellRetention_ - margin_
@@ -227,8 +269,25 @@ class PeriodicEngine : public RefreshEngine
                    StatGroup &stats);
 
     void start(Tick now) override;
-    void onInstall(std::uint32_t idx, Tick now) override;
-    void onAccess(std::uint32_t idx, Tick now) override;
+
+    /** Inline: called once or twice per memory reference. */
+    void
+    onInstall(std::uint32_t idx, Tick now) override
+    {
+        CacheLine &line = arr_.lineAt(idx);
+        // The fill writes the cells: full (per-line) retention from
+        // now.  The periodic schedule guarantees a visit in-period.
+        line.dataExpiry = now + cellRetentionOf(idx);
+        noteAccess(policy_, line);
+    }
+
+    void
+    onAccess(std::uint32_t idx, Tick now) override
+    {
+        CacheLine &line = arr_.lineAt(idx);
+        line.dataExpiry = now + cellRetentionOf(idx);
+        noteAccess(policy_, line);
+    }
 
     void fire(Tick now, std::uint64_t tag) override;
 
@@ -238,22 +297,15 @@ class PeriodicEngine : public RefreshEngine
 
   protected:
     /** Reschedule every burst at its phase position compressed (or
-     *  stretched) to the new period; stale events die by generation. */
+     *  stretched) to the new period; the retired schedule is cancelled
+     *  through its event handles, vacating the kernel heap slots. */
     void onRetentionRescaled(double rho, Tick now) override;
 
   private:
-    /** Event tags pack (generation << 32 | burst) so that a retention
-     *  rescale can atomically retire the whole old schedule. */
-    static std::uint64_t
-    burstTag(std::uint32_t burst, std::uint32_t gen)
-    {
-        return (static_cast<std::uint64_t>(gen) << 32) | burst;
-    }
-
     std::uint32_t linesPerBurst_;
     std::uint32_t numBursts_;
-    std::uint32_t gen_ = 0;        ///< live schedule generation
     std::vector<Tick> burstNext_;  ///< next firing time per burst
+    std::vector<EventHandle> burstEvents_; ///< live event per burst
     bool started_ = false;
 
     Counter *bursts_;
@@ -269,8 +321,29 @@ class RefrintEngine : public RefreshEngine
                   StatGroup &stats);
 
     void start(Tick now) override;
-    void onInstall(std::uint32_t idx, Tick now) override;
-    void onAccess(std::uint32_t idx, Tick now) override;
+
+    /** Inline: called once or twice per memory reference.  An access
+     *  automatically refreshes line + sentry (§3.2) — push the clocks
+     *  out; the group's heap node, if any, re-keys itself lazily when
+     *  it reaches the top. */
+    void
+    onInstall(std::uint32_t idx, Tick now) override
+    {
+        CacheLine &line = arr_.lineAt(idx);
+        renewClocks(idx, line, now);
+        noteAccess(policy_, line);
+        const std::uint32_t g = groupOf(idx);
+        if (!heap_.contains(g)) {
+            armGroup(g, sentryM_[idx]);
+            maybeSchedule();
+        }
+    }
+
+    void
+    onAccess(std::uint32_t idx, Tick now) override
+    {
+        onInstall(idx, now); // identical bookkeeping (§3.2 auto-refresh)
+    }
 
     void fire(Tick now, std::uint64_t tag) override;
 
@@ -280,22 +353,58 @@ class RefrintEngine : public RefreshEngine
     std::uint32_t numGroups() const { return numGroups_; }
 
   protected:
-    /** Re-arm every armed group at its (re-stamped) deadline; old heap
-     *  entries die by the lazy-deletion stamps. */
+    /** Re-arm every armed group at its (re-stamped) deadline. */
     void onRetentionRescaled(double rho, Tick now) override;
 
   private:
-    struct HeapEntry
+    /**
+     * Indexed min-heap of armed sentry groups, keyed by expiry.  Each
+     * group owns at most one node (a position index supports in-place
+     * re-keying), so superseded deadlines never linger as dead heap
+     * slots the way stamped duplicate entries used to.  Flat 16-ary
+     * sift over SoA storage: re-keying the root (the common operation —
+     * every serviced or access-renewed group) walks log16 rungs, each a
+     * packed one-or-two-cache-line key scan.
+     */
+    class GroupHeap
     {
-        Tick expiry;
-        std::uint32_t group;
-        std::uint64_t stamp;
-
-        bool
-        operator>(const HeapEntry &o) const
+      public:
+        void
+        reset(std::uint32_t numGroups)
         {
-            return expiry > o.expiry;
+            expiry_.clear();
+            expiry_.reserve(numGroups);
+            group_.clear();
+            group_.reserve(numGroups);
+            pos_.assign(numGroups, kAbsent);
         }
+
+        bool empty() const { return expiry_.empty(); }
+        bool contains(std::uint32_t g) const { return pos_[g] != kAbsent; }
+        Tick topExpiry() const { return expiry_.front(); }
+        std::uint32_t topGroup() const { return group_.front(); }
+        Tick expiryOf(std::uint32_t g) const { return expiry_[pos_[g]]; }
+
+        /** Insert group @p g or move its existing node to @p expiry. */
+        void arm(std::uint32_t g, Tick expiry);
+
+        /** Remove the minimum node (heap must be non-empty). */
+        void popTop();
+
+        /** Remove group @p g's node if present. */
+        void remove(std::uint32_t g);
+
+      private:
+        static constexpr std::uint32_t kAbsent = 0xffffffffu;
+
+        void siftUp(std::size_t i);
+        void siftDown(std::size_t i);
+
+        // SoA node storage: the sift comparisons scan the packed key
+        // array (16 children = two cache lines); group ids ride along.
+        std::vector<Tick> expiry_;
+        std::vector<std::uint32_t> group_;
+        std::vector<std::uint32_t> pos_; ///< group -> node index
     };
 
     /** First line of sentry group @p g. */
@@ -317,18 +426,27 @@ class RefrintEngine : public RefreshEngine
      */
     Tick groupDeadline(std::uint32_t g) const;
 
-    /** Push a heap entry for group @p g at @p deadline. */
+    /** Arm (or re-key) group @p g at @p deadline. */
     void armGroup(std::uint32_t g, Tick deadline);
 
     /** Make sure an event is scheduled for the heap top. */
     void maybeSchedule();
 
     std::uint32_t numGroups_;
-    std::vector<std::uint64_t> groupStamp_; ///< live heap entry stamp
-    std::vector<bool> groupArmed_;
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
-        heap_;
+    GroupHeap heap_;
+    std::vector<Tick> sentryM_; ///< packed sentry expiries (mirror)
     Tick scheduledAt_ = kTickNever;
+
+    /**
+     * Deadlines superseded by a retention rescale, min-heap ordered.
+     * The engine still wakes at these times (a no-op wake that melts
+     * the ghost), reproducing the wake schedule of the historical
+     * duplicate-entry sentry heap exactly — without them, a cooling
+     * rescale would shift the sequence numbers of subsequent wakes and
+     * with them the same-tick interleaving against core events.
+     * Empty in isothermal runs.
+     */
+    std::vector<Tick> ghosts_;
 
     Counter *interrupts_; ///< sentry interrupts serviced (groups)
 };

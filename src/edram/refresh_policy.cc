@@ -80,51 +80,6 @@ RefreshPolicy::refrint(DataPolicy d, std::uint32_t n, std::uint32_t m)
     return RefreshPolicy{TimePolicy::Refrint, d, n, m};
 }
 
-RefreshAction
-decideRefresh(const RefreshPolicy &policy, CacheLine &line)
-{
-    switch (policy.data) {
-      case DataPolicy::All:
-        // Refresh every line, irrespective of validity (§3.2).
-        return RefreshAction::Refresh;
-
-      case DataPolicy::Valid:
-        return line.valid() ? RefreshAction::Refresh : RefreshAction::Skip;
-
-      case DataPolicy::Dirty:
-        // Refresh dirty lines; invalidate valid-clean ones; let the rest
-        // decay.  Equivalent to WB(inf, 0).
-        if (!line.valid())
-            return RefreshAction::Skip;
-        return line.dirty ? RefreshAction::Refresh
-                          : RefreshAction::Invalidate;
-
-      case DataPolicy::WB:
-        // Fig. 4.1.
-        if (!line.valid())
-            return RefreshAction::Skip;
-        if (line.count >= 1) {
-            --line.count;
-            return RefreshAction::Refresh;
-        }
-        if (line.dirty) {
-            // Write back; the write-back itself refreshes the line and
-            // it continues life as Valid-Clean with Count = m.
-            line.count = policy.m;
-            return RefreshAction::Writeback;
-        }
-        return RefreshAction::Invalidate;
-    }
-    panic("unreachable data policy");
-}
-
-void
-noteAccess(const RefreshPolicy &policy, CacheLine &line)
-{
-    if (policy.data == DataPolicy::WB)
-        line.count = line.dirty ? policy.n : policy.m;
-}
-
 RefreshPolicy
 parsePolicy(const std::string &s)
 {

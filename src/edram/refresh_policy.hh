@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/log.hh"
 #include "common/types.hh"
 #include "mem/line_state.hh"
 
@@ -86,15 +87,58 @@ const char *refreshActionName(RefreshAction a);
  * The line is identified as dirty via its local dirty flag — at the
  * shared L3 this deliberately ignores Modified copies in upper levels,
  * reproducing the visibility limitation discussed in §3.2.
+ *
+ * Inline: this runs once per line visit, millions of times per run.
  */
-RefreshAction decideRefresh(const RefreshPolicy &policy, CacheLine &line);
+inline RefreshAction
+decideRefresh(const RefreshPolicy &policy, CacheLine &line)
+{
+    switch (policy.data) {
+      case DataPolicy::All:
+        // Refresh every line, irrespective of validity (§3.2).
+        return RefreshAction::Refresh;
+
+      case DataPolicy::Valid:
+        return line.valid() ? RefreshAction::Refresh : RefreshAction::Skip;
+
+      case DataPolicy::Dirty:
+        // Refresh dirty lines; invalidate valid-clean ones; let the rest
+        // decay.  Equivalent to WB(inf, 0).
+        if (!line.valid())
+            return RefreshAction::Skip;
+        return line.dirty ? RefreshAction::Refresh
+                          : RefreshAction::Invalidate;
+
+      case DataPolicy::WB:
+        // Fig. 4.1.
+        if (!line.valid())
+            return RefreshAction::Skip;
+        if (line.count >= 1) {
+            --line.count;
+            return RefreshAction::Refresh;
+        }
+        if (line.dirty) {
+            // Write back; the write-back itself refreshes the line and
+            // it continues life as Valid-Clean with Count = m.
+            line.count = policy.m;
+            return RefreshAction::Writeback;
+        }
+        return RefreshAction::Invalidate;
+    }
+    panic("unreachable data policy");
+}
 
 /**
  * Reset the WB(n,m) Count on a normal (non-refresh) access, per §3.2:
  * "On any normal, non-refresh access to the line, Count is reset to its
  * reference value" — n if the line is dirty, m if clean.
  */
-void noteAccess(const RefreshPolicy &policy, CacheLine &line);
+inline void
+noteAccess(const RefreshPolicy &policy, CacheLine &line)
+{
+    if (policy.data == DataPolicy::WB)
+        line.count = line.dirty ? policy.n : policy.m;
+}
 
 /** Parse "R.WB(32,32)" / "P.valid" style names (round-trips name()). */
 RefreshPolicy parsePolicy(const std::string &s);

@@ -20,51 +20,43 @@ mesiName(Mesi s)
 }
 
 CacheArray::CacheArray(const CacheGeometry &geom, const char *name)
-    : geom_(geom), numLines_(geom.numLines()), lines_(geom.numLines())
+    : geom_(geom),
+      numLines_(geom.numLines()),
+      lines_(geom.numLines()),
+      probe_(geom.numLines(), 0),
+      lastTouch_(geom.numLines(), 0)
 {
     geom_.check(name);
-}
-
-CacheLine *
-CacheArray::lookup(Addr addr)
-{
-    const std::uint32_t set = geom_.setIndex(addr);
-    const Addr tag = geom_.tagOf(addr);
-    CacheLine *base = lines_.data() +
-                      static_cast<std::size_t>(set) * geom_.assoc;
-    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
-        CacheLine &l = base[w];
-        if (l.state != Mesi::Invalid && l.tag == tag)
-            return &l;
-    }
-    return nullptr;
-}
-
-const CacheLine *
-CacheArray::lookup(Addr addr) const
-{
-    return const_cast<CacheArray *>(this)->lookup(addr);
+    // The probe word carries validity in bit 0 of the line-aligned tag.
+    panicIf(geom_.lineSize < 2, "probe encoding needs lineSize >= 2");
+    setShift_ = geom_.lineBits() + geom_.indexShift;
+    setBits_ = geom_.setBits();
+    setMask_ = geom_.numSets() - 1;
+    lineMask_ = static_cast<Addr>(geom_.lineSize) - 1;
+    assoc_ = geom_.assoc;
+    hashSets_ = geom_.hashSets;
 }
 
 VictimRef
 CacheArray::pickVictim(Addr addr)
 {
-    const std::uint32_t set = geom_.setIndex(addr);
-    const std::uint32_t base =
-        set * geom_.assoc;
-    // Prefer an invalid way.
-    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
-        CacheLine &l = lines_[base + w];
-        if (l.state == Mesi::Invalid)
-            return {&l, base + w};
+    const std::uint32_t set = setIndexOf(addr);
+    const std::uint32_t base = set * assoc_;
+    // Prefer an invalid way (packed probe scan).
+    const Addr *p = probe_.data() + base;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (p[w] == 0)
+            return {&lines_[base + w], base + w};
     }
     // Otherwise evict true-LRU (earliest lastTouch; way order ties).
-    std::uint32_t best = base;
-    for (std::uint32_t w = 1; w < geom_.assoc; ++w) {
-        if (lines_[base + w].lastTouch < lines_[best].lastTouch)
-            best = base + w;
+    // Packed scan: one cache line of Ticks covers an 8-way set.
+    const Tick *lt = lastTouch_.data() + base;
+    std::uint32_t best = 0;
+    for (std::uint32_t w = 1; w < assoc_; ++w) {
+        if (lt[w] < lt[best])
+            best = w;
     }
-    return {&lines_[best], best};
+    return {&lines_[base + best], base + best};
 }
 
 std::uint32_t
@@ -83,6 +75,20 @@ CacheArray::countDirty() const
     for (const auto &l : lines_)
         n += (l.state != Mesi::Invalid && l.dirty) ? 1 : 0;
     return n;
+}
+
+void
+CacheArray::checkProbeCoherence() const
+{
+    for (std::uint32_t i = 0; i < numLines_; ++i) {
+        const Addr want = lines_[i].valid() ? (lines_[i].tag | 1) : 0;
+        if (probe_[i] != want) {
+            panic("probe mirror diverged at line %u (probe=%llx "
+                  "want=%llx)",
+                  i, static_cast<unsigned long long>(probe_[i]),
+                  static_cast<unsigned long long>(want));
+        }
+    }
 }
 
 } // namespace refrint

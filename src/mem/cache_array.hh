@@ -6,6 +6,14 @@
  * state-only (no data payloads — the simulator is state-accurate, not
  * value-accurate) and exposes flat line indices so the eDRAM refresh
  * engines can address lines the way the hardware's sentry wires do.
+ *
+ * Probe path: lookup() and pickVictim() scan a packed per-set probe
+ * array (one 8-byte word per way encoding tag + valid) instead of
+ * striding full CacheLine structs, so an associativity-wide search
+ * touches one or two cache lines.  The probe array is a derived mirror
+ * of the authoritative CacheLine state, kept coherent at the two
+ * choke points every Invalid<->valid transition passes through:
+ * install() and invalidate().
  */
 
 #ifndef REFRINT_MEM_CACHE_ARRAY_HH
@@ -38,9 +46,48 @@ class CacheArray
     const CacheGeometry &geometry() const { return geom_; }
     std::uint32_t numLines() const { return numLines_; }
 
+    /**
+     * Set index of @p addr.  Same slicing as CacheGeometry::setIndex,
+     * but the shifts/masks are precomputed at construction — the
+     * geometry recomputes log2s and divisions per call, which is far
+     * too slow for the probe path.
+     */
+    std::uint32_t
+    setIndexOf(Addr addr) const
+    {
+        Addr idx = addr >> setShift_;
+        if (hashSets_) {
+            Addr folded = 0;
+            for (Addr v = idx; v != 0; v >>= setBits_)
+                folded ^= v;
+            idx = folded;
+        }
+        return static_cast<std::uint32_t>(idx & setMask_);
+    }
+
+    /** Line-aligned tag of @p addr (== geometry().tagOf). */
+    Addr tagOf(Addr addr) const { return addr & ~lineMask_; }
+
     /** Find the line holding @p addr, or nullptr on miss. */
-    CacheLine *lookup(Addr addr);
-    const CacheLine *lookup(Addr addr) const;
+    CacheLine *
+    lookup(Addr addr)
+    {
+        const std::uint32_t set = setIndexOf(addr);
+        const Addr want = tagOf(addr) | 1;
+        const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+        const Addr *p = probe_.data() + base;
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (p[w] == want)
+                return &lines_[base + w];
+        }
+        return nullptr;
+    }
+
+    const CacheLine *
+    lookup(Addr addr) const
+    {
+        return const_cast<CacheArray *>(this)->lookup(addr);
+    }
 
     /** Flat index of @p line (must belong to this array). */
     std::uint32_t
@@ -53,6 +100,11 @@ class CacheArray
     CacheLine &lineAt(std::uint32_t idx) { return lines_[idx]; }
     const CacheLine &lineAt(std::uint32_t idx) const { return lines_[idx]; }
 
+    /** Raw packed probe words ((tag | 1) when valid, 0 otherwise), one
+     *  per flat line index.  Lets the refresh engines test validity
+     *  from a dense array instead of striding line structs. */
+    const Addr *probeData() const { return probe_.data(); }
+
     /**
      * Choose a victim way in @p addr's set: an invalid way if one
      * exists, otherwise the LRU way.  Does not modify the line.
@@ -60,28 +112,50 @@ class CacheArray
     VictimRef pickVictim(Addr addr);
 
     /**
-     * Install @p addr into @p v (caller already evicted the victim).
-     * Resets state to Invalid-like defaults; caller sets MESI state.
+     * Install @p addr into @p v (caller already evicted the victim)
+     * with initial MESI state @p st.  Resets all other metadata to
+     * clean defaults.
      */
     void
-    install(VictimRef v, Addr addr, Tick now)
+    install(VictimRef v, Addr addr, Tick now, Mesi st)
     {
         CacheLine &l = *v.line;
-        l.tag = geom_.tagOf(addr);
-        l.state = Mesi::Invalid;
+        l.tag = tagOf(addr);
+        l.state = st;
         l.dirty = false;
         l.sharers = 0;
         l.owner = -1;
         l.count = 0;
-        l.lastTouch = now;
+        lastTouch_[v.index] = now;
+        probe_[v.index] = st != Mesi::Invalid ? (l.tag | 1) : 0;
+    }
+
+    /** Invalidate @p line (MESI + directory residue + probe mirror).
+     *  The single choke point for every valid -> Invalid transition. */
+    void
+    invalidate(CacheLine &line)
+    {
+        line.invalidate();
+        probe_[indexOf(&line)] = 0;
     }
 
     /** Update LRU on an access. */
-    void touch(CacheLine &line, Tick now) { line.lastTouch = now; }
+    void
+    touch(const CacheLine &line, Tick now)
+    {
+        lastTouch_[indexOf(&line)] = now;
+    }
+
+    /** LRU timestamp of line @p idx (ties broken by way order). */
+    Tick lastTouchOf(std::uint32_t idx) const { return lastTouch_[idx]; }
 
     /** Count lines in a given validity predicate (tests/diagnostics). */
     std::uint32_t countValid() const;
     std::uint32_t countDirty() const;
+
+    /** Verify the packed probe mirror against the authoritative line
+     *  structs; panics on divergence.  Invariant-checker hook. */
+    void checkProbeCoherence() const;
 
     /** Iterate every line (refresh engines, invariant checkers). */
     template <typename Fn>
@@ -95,7 +169,23 @@ class CacheArray
   private:
     CacheGeometry geom_;
     std::uint32_t numLines_;
+
+    // Precomputed address slicing (see setIndexOf).
+    unsigned setShift_ = 0;
+    unsigned setBits_ = 0;
+    Addr setMask_ = 0;
+    Addr lineMask_ = 0;
+    std::uint32_t assoc_ = 1;
+    bool hashSets_ = false;
+
     std::vector<CacheLine> lines_;
+
+    /** Packed probe word per line: (tag | 1) when valid, 0 otherwise.
+     *  Tags are line-aligned so bit 0 is free to carry validity. */
+    std::vector<Addr> probe_;
+
+    /** Packed LRU timestamps, one per flat line index. */
+    std::vector<Tick> lastTouch_;
 };
 
 } // namespace refrint

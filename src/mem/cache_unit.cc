@@ -1,38 +1,3 @@
+// CacheUnit is header-only (the access taps sit on the simulation hot
+// path and must inline); this TU just validates the header standalone.
 #include "mem/cache_unit.hh"
-
-#include "edram/refresh_engine.hh"
-
-namespace refrint
-{
-
-/**
- * The hierarchy walk is synchronous: an access starting at event time
- * T0 may touch a lower level at T0 + ~100 cycles, before refresh events
- * scheduled in (T0, T0+100) have fired.  The decay check tolerates that
- * lookahead window; genuine refresh-engine bugs miss deadlines by a
- * whole retention period, orders of magnitude beyond this slack.
- */
-static constexpr Tick kWalkLookaheadSlack = 256;
-
-void
-CacheUnit::touchLine(CacheLine &line, Tick now)
-{
-    // kTickNever marks non-decaying cells (SRAM under the decay
-    // comparator); the addition would wrap on it.
-    if (engine != nullptr && line.dataExpiry != kTickNever &&
-        line.dataExpiry + kWalkLookaheadSlack < now)
-        decayed->inc();
-    line.lastTouch = now;
-    if (engine != nullptr)
-        engine->onAccess(array.indexOf(&line), now);
-}
-
-void
-CacheUnit::installLine(CacheLine &line, Tick now)
-{
-    line.lastTouch = now;
-    if (engine != nullptr)
-        engine->onInstall(array.indexOf(&line), now);
-}
-
-} // namespace refrint

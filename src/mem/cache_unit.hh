@@ -13,12 +13,14 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "edram/refresh_engine.hh"
 #include "mem/cache_array.hh"
 
 namespace refrint
 {
 
-class RefreshEngine;
+/** Hierarchy-walk lookahead tolerated by the decay check (touchLine). */
+constexpr Tick kWalkLookaheadSlack = 256;
 
 class CacheUnit
 {
@@ -57,11 +59,35 @@ class CacheUnit
     }
 
     /** Record a demand access to a resident line: LRU, WB(n,m) Count
-     *  reset and the automatic line+sentry refresh. */
-    void touchLine(CacheLine &line, Tick now);
+     *  reset and the automatic line+sentry refresh.
+     *
+     * The decay check tolerates the hierarchy walk's synchronous
+     * lookahead: an access starting at event time T0 may touch a lower
+     * level at T0 + ~100 cycles, before refresh events scheduled in
+     * (T0, T0+100) have fired.  Genuine refresh-engine bugs miss
+     * deadlines by a whole retention period, far beyond this slack.
+     */
+    void
+    touchLine(CacheLine &line, Tick now)
+    {
+        // kTickNever marks non-decaying cells (SRAM under the decay
+        // comparator); the addition would wrap on it.
+        if (engine != nullptr && line.dataExpiry != kTickNever &&
+            line.dataExpiry + kWalkLookaheadSlack < now)
+            decayed->inc();
+        array.touch(line, now);
+        if (engine != nullptr)
+            notifyAccess(array.indexOf(&line), now);
+    }
 
     /** Record a fresh install of @p line. */
-    void installLine(CacheLine &line, Tick now);
+    void
+    installLine(CacheLine &line, Tick now)
+    {
+        array.touch(line, now);
+        if (engine != nullptr)
+            notifyInstall(array.indexOf(&line), now);
+    }
 
     // Per-unit activity taps.  The shared per-level StatGroup counters
     // aggregate across all units of a level (the paper reports
@@ -86,8 +112,48 @@ class CacheUnit
         accessTally += 1;
     }
 
-    /** Count one refresh-engine line refresh on this unit. */
-    void noteRefresh() { refreshTally += 1; }
+    /** Count @p n refresh-engine line refreshes on this unit. */
+    void noteRefresh(std::uint64_t n = 1) { refreshTally += n; }
+
+    /** Engine callback on a demand access, devirtualized for the two
+     *  concrete engine kinds (qualified calls compile to direct,
+     *  inlinable calls — this runs once or twice per reference). */
+    void
+    notifyAccess(std::uint32_t idx, Tick now)
+    {
+        switch (engine->kind()) {
+          case EngineKind::Refrint:
+            static_cast<RefrintEngine *>(engine)->RefrintEngine::onAccess(
+                idx, now);
+            break;
+          case EngineKind::Periodic:
+            static_cast<PeriodicEngine *>(engine)
+                ->PeriodicEngine::onAccess(idx, now);
+            break;
+          case EngineKind::Other:
+            engine->onAccess(idx, now);
+            break;
+        }
+    }
+
+    /** Engine callback on a line install (see notifyAccess). */
+    void
+    notifyInstall(std::uint32_t idx, Tick now)
+    {
+        switch (engine->kind()) {
+          case EngineKind::Refrint:
+            static_cast<RefrintEngine *>(engine)
+                ->RefrintEngine::onInstall(idx, now);
+            break;
+          case EngineKind::Periodic:
+            static_cast<PeriodicEngine *>(engine)
+                ->PeriodicEngine::onInstall(idx, now);
+            break;
+          case EngineKind::Other:
+            engine->onInstall(idx, now);
+            break;
+        }
+    }
 
     CacheArray array;
     Tick latency;

@@ -36,33 +36,29 @@ const char *mesiName(Mesi s);
  */
 struct CacheLine
 {
+    // 32 bytes: two lines per hardware cache line.  Hot per-line data
+    // that is scanned rather than point-accessed lives in packed SoA
+    // arrays instead of here: the tag/valid probe word and the LRU
+    // timestamp in CacheArray, and the Sentry decay clock (paper §4.1)
+    // in the Refrint engine's sentry-expiry mirror.
+
     Addr tag = 0;
-    Mesi state = Mesi::Invalid;
 
-    /** Local data is newer than the next level (L2/L3 write-back). */
-    bool dirty = false;
-
-    /** LRU timestamp; ties broken by way order. */
-    Tick lastTouch = 0;
-
-    // ---- eDRAM refresh metadata (paper §3.2, §4.1) ----
-
-    /** Tick at which the Sentry bit decays and raises an interrupt. */
-    Tick sentryExpiry = kTickNever;
-
-    /** Tick at which the data cells themselves decay. */
+    /** Tick at which the data cells themselves decay (§3.2). */
     Tick dataExpiry = kTickNever;
 
     /** WB(n,m) Count field: refreshes remaining before WB/invalidate. */
     std::uint32_t count = 0;
 
-    /** Lazy-deletion stamp for the per-bank sentry heap. */
-    std::uint64_t stamp = 0;
-
     // ---- directory state (valid only at the shared L3) ----
 
     /** Bitmask of cores whose private hierarchy may hold this line. */
     std::uint16_t sharers = 0;
+
+    Mesi state = Mesi::Invalid;
+
+    /** Local data is newer than the next level (L2/L3 write-back). */
+    bool dirty = false;
 
     /** Core whose L2 holds the line Modified/Exclusive, or -1. */
     std::int8_t owner = -1;

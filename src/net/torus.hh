@@ -15,6 +15,7 @@
 #define REFRINT_NET_TORUS_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/log.hh"
 #include "common/stats.hh"
@@ -52,15 +53,36 @@ class TorusNetwork
         return d <= dim_ / 2 ? d : dim_ - d;
     }
 
-    /** Dimension-order hop count between nodes @p src and @p dst. */
-    std::uint32_t hops(std::uint32_t src, std::uint32_t dst) const;
+    /** Dimension-order hop count between nodes @p src and @p dst.
+     *  Table lookup: traverse() runs several times per memory access
+     *  and the divide/modulo coordinate math is too slow there. */
+    std::uint32_t
+    hops(std::uint32_t src, std::uint32_t dst) const
+    {
+        panicIf(src >= numNodes() || dst >= numNodes(),
+                "node out of range");
+        return hopTable_[src * numNodes() + dst];
+    }
 
     /**
      * Account for one message and return its traversal latency.
      * Zero-hop (local bank) messages still pay the network-interface
      * serialization for data but no hop latency.
      */
-    Tick traverse(std::uint32_t src, std::uint32_t dst, MsgClass cls);
+    Tick
+    traverse(std::uint32_t src, std::uint32_t dst, MsgClass cls)
+    {
+        const std::uint32_t h = hops(src, dst);
+        if (cls == MsgClass::Data)
+            dataMsgs_->inc();
+        else
+            ctrlMsgs_->inc();
+        hopsCtr_->inc(h);
+        Tick lat = static_cast<Tick>(h) * hopLatency_;
+        if (cls == MsgClass::Data)
+            lat += dataSerial_;
+        return lat;
+    }
 
     /** Latency without accounting (lookahead paths, tests). */
     Tick latencyOf(std::uint32_t src, std::uint32_t dst,
@@ -77,6 +99,9 @@ class TorusNetwork
     std::uint32_t dim_;
     Tick hopLatency_;
     Tick dataSerial_;
+
+    /** Precomputed dimension-order hop counts, numNodes x numNodes. */
+    std::vector<std::uint8_t> hopTable_;
 
     Counter *ctrlMsgs_;
     Counter *dataMsgs_;

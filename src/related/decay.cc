@@ -52,9 +52,8 @@ DecayEngine::onInstall(std::uint32_t idx, Tick now)
     }
     // SRAM data never expires; keep the retention clocks inert so the
     // decayed-hit detector in CacheUnit stays silent.
-    CacheLine &line = target_.array().lineAt(idx);
+    CacheLine &line = arr_.lineAt(idx);
     line.dataExpiry = kTickNever;
-    line.sentryExpiry = kTickNever;
 }
 
 void
@@ -78,13 +77,13 @@ DecayEngine::finish(Tick now)
 void
 DecayEngine::fire(Tick now, std::uint64_t)
 {
-    CacheArray &arr = target_.array();
+    CacheArray &arr = arr_;
     const std::uint32_t lines = arr.numLines();
     for (std::uint32_t idx = 0; idx < lines; ++idx) {
         CacheLine &line = arr.lineAt(idx);
         if (!line.valid() || offSince_[idx] != kTickNever)
             continue;
-        if (line.lastTouch + cfg_.interval > now)
+        if (arr.lastTouchOf(idx) + cfg_.interval > now)
             continue;
         // Idle past the decay interval: write back if dirty (the
         // adapter routes through the hierarchy, rescuing Modified

@@ -28,13 +28,12 @@ SmartRefreshEngine::start(Tick now)
     // needs a deadline from power-on; stagger them across the period so
     // steady state has no synchronized burst.
     if (policy_.data == DataPolicy::All) {
-        CacheArray &arr = target_.array();
+        CacheArray &arr = arr_;
         const std::uint32_t lines = arr.numLines();
         for (std::uint32_t idx = 0; idx < lines; ++idx) {
             CacheLine &line = arr.lineAt(idx);
             line.dataExpiry =
                 now + 1 + cellRetention_ * static_cast<Tick>(idx) / lines;
-            line.sentryExpiry = line.dataExpiry;
         }
     }
     eq_.schedule(now + phaseLen_, this, 0);
@@ -43,7 +42,7 @@ SmartRefreshEngine::start(Tick now)
 void
 SmartRefreshEngine::onInstall(std::uint32_t idx, Tick now)
 {
-    CacheLine &line = target_.array().lineAt(idx);
+    CacheLine &line = arr_.lineAt(idx);
     renew(idx, line, now); // counter reset: full retention from the fill
     noteAccess(policy_, line);
 }
@@ -51,7 +50,7 @@ SmartRefreshEngine::onInstall(std::uint32_t idx, Tick now)
 void
 SmartRefreshEngine::onAccess(std::uint32_t idx, Tick now)
 {
-    CacheLine &line = target_.array().lineAt(idx);
+    CacheLine &line = arr_.lineAt(idx);
     renew(idx, line, now);
     noteAccess(policy_, line);
 }
@@ -64,7 +63,7 @@ SmartRefreshEngine::fire(Tick now, std::uint64_t)
     // walks a dedicated counter array off the data-array critical path
     // (Ghosh & Lee keep the counters beside the tags), so only actual
     // line refreshes block the bank.
-    CacheArray &arr = target_.array();
+    CacheArray &arr = arr_;
     const std::uint32_t lines = arr.numLines();
     const Tick horizon = now + phaseLen_;
 

@@ -56,9 +56,6 @@ class SmartRefreshEngine : public RefreshEngine
     renew(std::uint32_t idx, CacheLine &line, Tick now)
     {
         line.dataExpiry = now + cellRetentionOf(idx);
-        // The sentry clock is unused by this engine but kept coherent
-        // so diagnostics that read it stay meaningful.
-        line.sentryExpiry = line.dataExpiry;
     }
 
     std::uint32_t numPhases_;

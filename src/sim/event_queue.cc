@@ -3,35 +3,73 @@
 namespace refrint
 {
 
-bool
-EventQueue::step()
+void
+EventQueue::dispatchFn(const Val &v)
 {
-    if (heap_.empty())
-        return false;
-    Entry e = heap_.top();
-    heap_.pop();
-    now_ = e.when;
-    if (e.client != nullptr)
-        e.client->fire(now_, e.tag);
-    else
-        e.fn(now_);
-    return true;
+    const auto idx = static_cast<std::uint32_t>(v.tag);
+    // Move the callable out and free its slab slot *before* calling:
+    // the body may schedule further one-shots (chain patterns).
+    std::function<void(Tick)> fn = std::move(fns_[idx]);
+    fns_[idx] = nullptr;
+    freeFns_.push_back(idx);
+    fn(now_);
+}
+
+void
+EventQueue::promoteFar()
+{
+    // Pull everything inside the next horizon window into the heap and
+    // compact the remainder in place; each entry is promoted at most
+    // once, so the rescans amortize to O(1) per event.  Cancelled far
+    // entries evaporate here without ever touching the heap.
+    const Tick limit = farMin_ > kTickNever - kFarHorizon
+                           ? kTickNever
+                           : farMin_ + kFarHorizon;
+    Tick newMin = kTickNever;
+    std::size_t out = 0;
+    for (const Entry &e : far_) {
+        if (dead(e.key))
+            continue;
+        if (e.key.when <= limit) {
+            push(e.key, e.val);
+        } else {
+            far_[out++] = e;
+            if (e.key.when < newMin)
+                newMin = e.key.when;
+        }
+    }
+    far_.resize(out);
+    farMin_ = newMin;
 }
 
 Tick
 EventQueue::run(Tick limit)
 {
-    while (!heap_.empty() && heap_.top().when <= limit)
-        step();
+    while (prepareTop() && keys_.front().when <= limit) {
+        const Key k = keys_.front();
+        const Val v = vals_.front();
+        popTop();
+        dispatch(k, v);
+    }
     return now_;
 }
 
 void
 EventQueue::clear()
 {
-    heap_ = {};
+    keys_.clear();
+    vals_.clear();
+    far_.clear();
+    farMin_ = kTickNever;
+    fns_.clear();
+    freeFns_.clear();
+    slotLive_.clear();
+    freeSlots_.clear();
+    live_ = 0;
     now_ = 0;
-    seq_ = 0;
+    // seq_ deliberately survives: ordering is relative, and keeping it
+    // monotonic guarantees a pre-clear EventHandle can never alias a
+    // post-clear event that recycles its slot.
 }
 
 } // namespace refrint

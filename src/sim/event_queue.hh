@@ -2,10 +2,23 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * A single global-ordered queue of (tick, sequence, callback) entries.
- * Components either derive from EventClient and schedule themselves, or
- * enqueue one-shot lambdas.  Sequence numbers break ties so simultaneous
- * events fire in scheduling order, which makes runs fully deterministic.
+ * A single global-ordered queue of (tick, sequence) entries.  Components
+ * either derive from EventClient and schedule themselves, or enqueue
+ * one-shot lambdas.  Sequence numbers break ties so simultaneous events
+ * fire in scheduling order, which makes runs fully deterministic.
+ *
+ * Hot-path layout: entries live in a flat 4-ary implicit heap, split
+ * SoA-style into 16-byte ordering keys (tick, seq, cancellation slot)
+ * and 16-byte payloads (client*, tag) so sift comparisons scan packed
+ * keys only.  The 99% case (an EventClient callback) never touches a
+ * std::function; one-shot lambdas are parked in a side slab and
+ * referenced by index.  Entries due beyond a horizon wait in an
+ * unsorted far band (O(1) admission, batch promotion), keeping the
+ * heap at core-count scale instead of holding every retention deadline.
+ *
+ * Cancellation is lazy and O(1): a handle names a slot stamped with its
+ * event's sequence number; cancel() retires the stamp and the dead
+ * entry is skipped (without advancing time) when it surfaces.
  */
 
 #ifndef REFRINT_SIM_EVENT_QUEUE_HH
@@ -13,7 +26,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/log.hh"
@@ -38,6 +51,22 @@ class EventClient
 };
 
 /**
+ * Names one cancellable scheduled event.  Default-constructed handles
+ * are inert: cancel() on them is a no-op returning false.  A handle is
+ * spent once the event fires or is cancelled; cancelling a spent handle
+ * is safe (the slot's live sequence number no longer matches).
+ */
+struct EventHandle
+{
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+    std::uint32_t slot = kNoSlot;
+    std::uint32_t seq = 0; ///< sequence number of the named event
+
+    bool pending() const { return slot != kNoSlot; }
+};
+
+/**
  * The global event queue.  Not thread-safe by design: the entire
  * simulation is a single deterministic thread.
  */
@@ -54,7 +83,47 @@ class EventQueue
     schedule(Tick when, EventClient *client, std::uint64_t tag = 0)
     {
         panicIf(when < now_, "event scheduled in the past");
-        heap_.push(Entry{when, seq_++, client, tag, {}});
+        admit(Key{when, nextSeq(), EventHandle::kNoSlot},
+              Val{client, tag});
+        ++live_;
+    }
+
+    /**
+     * Schedule @p client->fire(when, tag) and return a handle that can
+     * revoke it before it fires.  Consumes the same global sequence
+     * number a plain schedule() would, so interleavings with other
+     * same-tick events are unchanged.
+     */
+    EventHandle
+    scheduleCancellable(Tick when, EventClient *client,
+                        std::uint64_t tag = 0)
+    {
+        panicIf(when < now_, "event scheduled in the past");
+        const std::uint32_t slot = allocSlot();
+        const std::uint32_t seq = nextSeq();
+        slotLive_[slot] = seq;
+        admit(Key{when, seq, slot}, Val{client, tag});
+        ++live_;
+        return EventHandle{slot, seq};
+    }
+
+    /**
+     * Revoke the event named by @p h.  O(1): the heap entry is marked
+     * dead by retiring the slot's live sequence number and melts away
+     * when popped.
+     * @return true if the event was still pending (and is now dead).
+     */
+    bool
+    cancel(const EventHandle &h)
+    {
+        // The size check also covers handles that predate a clear():
+        // clear() empties the slot table, spending every handle.
+        if (!h.pending() || h.slot >= slotLive_.size() ||
+            slotLive_[h.slot] != h.seq)
+            return false; // inert, already fired, or already cancelled
+        freeSlot(h.slot);
+        --live_;
+        return true;
     }
 
     /** Schedule a one-shot callable. */
@@ -62,17 +131,32 @@ class EventQueue
     scheduleFn(Tick when, std::function<void(Tick)> fn)
     {
         panicIf(when < now_, "event scheduled in the past");
-        heap_.push(Entry{when, seq_++, nullptr, 0, std::move(fn)});
+        const std::uint32_t idx = allocFn(std::move(fn));
+        admit(Key{when, nextSeq(), EventHandle::kNoSlot},
+              Val{nullptr, idx});
+        ++live_;
     }
 
     /** Current simulation time (last dispatched event's tick). */
     Tick now() const { return now_; }
 
-    bool empty() const { return heap_.empty(); }
-    std::size_t size() const { return heap_.size(); }
+    /** Live (non-cancelled) pending events. */
+    bool empty() const { return live_ == 0; }
+    std::size_t size() const { return live_; }
 
-    /** Dispatch the single earliest event.  @return false if empty. */
-    bool step();
+    /** Dispatch the single earliest live event.  @return false if no
+     *  live event remains.  Inline: this is the simulation main loop. */
+    bool
+    step()
+    {
+        if (!prepareTop())
+            return false;
+        const Key k = keys_.front();
+        const Val v = vals_.front();
+        popTop();
+        dispatch(k, v);
+        return true;
+    }
 
     /**
      * Run until the queue drains or simulated time would pass @p limit.
@@ -85,26 +169,223 @@ class EventQueue
     void clear();
 
   private:
-    struct Entry
+    /** Ordering key, 16 bytes: four keys per cache line, so the sift
+     *  children scans touch a single line per rung. */
+    struct Key
     {
         Tick when;
-        std::uint64_t seq;
-        EventClient *client;
-        std::uint64_t tag;
-        std::function<void(Tick)> fn;
+        std::uint32_t seq;  ///< tie-break; doubles as cancel stamp
+        std::uint32_t slot; ///< cancellation slot, or kNoSlot
 
         bool
-        operator>(const Entry &o) const
+        before(const Key &o) const
         {
-            if (when != o.when)
-                return when > o.when;
-            return seq > o.seq;
+            return when != o.when ? when < o.when : seq < o.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    /** Dispatch payload, 16 bytes; moved alongside its key but never
+     *  read during sift comparisons. */
+    struct Val
+    {
+        EventClient *client; ///< nullptr => one-shot fn; tag = fn index
+        std::uint64_t tag;
+    };
+
+    /** Far-band entry (unsorted storage; never sifted). */
+    struct Entry
+    {
+        Key key;
+        Val val;
+    };
+
+    static constexpr std::uint32_t kSeqLimit = 0xfffffff0u;
+
+    /**
+     * Horizon splitting the two kernel bands.  Entries due within the
+     * horizon go straight to the near heap; later ones sit in an
+     * unsorted far band (O(1) admission) and are promoted in batches
+     * when the heap would otherwise run past them.  Keeping the heap
+     * small — cores and imminent refresh wakes, not every retention
+     * deadline tens of thousands of ticks out — makes every sift touch
+     * two or three rungs instead of five.
+     */
+    static constexpr Tick kFarHorizon = 4096;
+
+    std::uint32_t
+    nextSeq()
+    {
+        panicIf(seq_ >= kSeqLimit, "event sequence space exhausted");
+        return seq_++;
+    }
+
+    /** Route a new entry to the near heap or the far band. */
+    void
+    admit(const Key &k, const Val &v)
+    {
+        if (k.when >= now_ + kFarHorizon) {
+            far_.push_back(Entry{k, v});
+            if (k.when < farMin_)
+                farMin_ = k.when;
+        } else {
+            push(k, v);
+        }
+    }
+
+    /** 4-ary implicit heap: children of i are 4i+1 .. 4i+4.  Sifts use
+     *  a hole (move parents/children over it, place the element once);
+     *  comparisons read only the packed key array. */
+    void
+    push(const Key &k, const Val &v)
+    {
+        keys_.push_back(k); // grow; the value is re-placed below
+        vals_.push_back(v);
+        std::size_t i = keys_.size() - 1;
+        while (i != 0) {
+            const std::size_t parent = (i - 1) >> 2;
+            if (!k.before(keys_[parent]))
+                break;
+            keys_[i] = keys_[parent];
+            vals_[i] = vals_[parent];
+            i = parent;
+        }
+        keys_[i] = k;
+        vals_[i] = v;
+    }
+
+    /** Remove the top entry (heap must be non-empty). */
+    void
+    popTop()
+    {
+        const Key movedK = keys_.back();
+        const Val movedV = vals_.back();
+        keys_.pop_back();
+        vals_.pop_back();
+        const std::size_t n = keys_.size();
+        if (n == 0)
+            return;
+        std::size_t i = 0;
+        for (;;) {
+            const std::size_t base = (i << 2) + 1;
+            if (base >= n)
+                break;
+            std::size_t best = base;
+            const std::size_t end = base + 4 < n ? base + 4 : n;
+            for (std::size_t c = base + 1; c < end; ++c) {
+                if (keys_[c].before(keys_[best]))
+                    best = c;
+            }
+            if (!keys_[best].before(movedK))
+                break;
+            keys_[i] = keys_[best];
+            vals_[i] = vals_[best];
+            i = best;
+        }
+        keys_[i] = movedK;
+        vals_[i] = movedV;
+    }
+
+    /** Whether a popped entry was cancelled after being armed. */
+    bool
+    dead(const Key &k) const
+    {
+        return k.slot != EventHandle::kNoSlot &&
+               slotLive_[k.slot] != k.seq;
+    }
+
+    /**
+     * Make the globally earliest live entry the heap top: discard
+     * cancelled tops and pull the far band in whenever its earliest
+     * entry could order before (or tie-break against) the heap top.
+     * @return false when no live entry remains anywhere.
+     */
+    bool
+    prepareTop()
+    {
+        for (;;) {
+            while (!keys_.empty() && dead(keys_.front()))
+                popTop();
+            if (far_.empty())
+                return !keys_.empty();
+            if (!keys_.empty() && keys_.front().when < farMin_)
+                return true; // strict <: an equal-tick far entry could
+                             // carry a smaller seq
+            promoteFar();
+        }
+    }
+
+    /** Move the far band's next horizon window into the near heap. */
+    void promoteFar();
+
+    static constexpr std::uint32_t kNoLiveSeq = 0xffffffffu;
+
+    std::uint32_t
+    allocSlot()
+    {
+        if (!freeSlots_.empty()) {
+            const std::uint32_t s = freeSlots_.back();
+            freeSlots_.pop_back();
+            return s;
+        }
+        slotLive_.push_back(kNoLiveSeq);
+        return static_cast<std::uint32_t>(slotLive_.size() - 1);
+    }
+
+    /** Retire the slot's live event (fired or cancelled) and make the
+     *  slot reusable.  Sequence numbers are unique, so a stale handle
+     *  or heap entry can never match a later occupant. */
+    void
+    freeSlot(std::uint32_t slot)
+    {
+        slotLive_[slot] = kNoLiveSeq;
+        freeSlots_.push_back(slot);
+    }
+
+    std::uint32_t
+    allocFn(std::function<void(Tick)> fn)
+    {
+        if (!freeFns_.empty()) {
+            const std::uint32_t i = freeFns_.back();
+            freeFns_.pop_back();
+            fns_[i] = std::move(fn);
+            return i;
+        }
+        fns_.push_back(std::move(fn));
+        return static_cast<std::uint32_t>(fns_.size() - 1);
+    }
+
+    /** Dispatch a live popped entry (already removed from the heap). */
+    void
+    dispatch(const Key &k, const Val &v)
+    {
+        --live_;
+        now_ = k.when;
+        if (k.slot != EventHandle::kNoSlot)
+            freeSlot(k.slot); // the handle is spent once the event fires
+        if (v.client != nullptr)
+            v.client->fire(now_, v.tag);
+        else
+            dispatchFn(v);
+    }
+
+    /** One-shot slab path, out of line (the rare case). */
+    void dispatchFn(const Val &v);
+
+    std::vector<Key> keys_; ///< near band (implicit 4-ary heap), keys
+    std::vector<Val> vals_; ///< near band payloads, parallel to keys_
+    std::vector<Entry> far_; ///< far band (unsorted; batch-promoted)
+    Tick farMin_ = kTickNever; ///< earliest `when` in the far band
+    std::vector<std::function<void(Tick)>> fns_; ///< one-shot slab
+    std::vector<std::uint32_t> freeFns_;
+    std::vector<std::uint32_t> slotLive_; ///< live event seq per slot
+    std::vector<std::uint32_t> freeSlots_;
+    std::size_t live_ = 0;
     Tick now_ = 0;
-    std::uint64_t seq_ = 0;
+
+    /** 32-bit so the heap key stays 16 bytes; ~4.3e9 events per queue
+     *  lifetime, guarded by nextSeq()'s clean panic.  The largest
+     *  paper-scale runs schedule tens of millions. */
+    std::uint32_t seq_ = 0;
 };
 
 } // namespace refrint

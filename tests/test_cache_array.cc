@@ -69,8 +69,7 @@ TEST(CacheArray, InstallThenHit)
 {
     CacheArray arr(geom8x2(), "t");
     VictimRef v = arr.pickVictim(0x40);
-    arr.install(v, 0x40, 10);
-    v.line->state = Mesi::Shared;
+    arr.install(v, 0x40, 10, Mesi::Shared);
     CacheLine *hit = arr.lookup(0x7f); // same line
     ASSERT_NE(hit, nullptr);
     EXPECT_EQ(hit->tag, 0x40u);
@@ -81,8 +80,7 @@ TEST(CacheArray, VictimPrefersInvalidWay)
 {
     CacheArray arr(geom8x2(), "t");
     VictimRef v1 = arr.pickVictim(0x40);
-    arr.install(v1, 0x40, 1);
-    v1.line->state = Mesi::Shared;
+    arr.install(v1, 0x40, 1, Mesi::Shared);
     // Same set (addresses 0x40 and 0x240 with 8 sets share set 1).
     VictimRef v2 = arr.pickVictim(0x240);
     EXPECT_NE(v2.line, v1.line) << "must pick the invalid way";
@@ -93,11 +91,9 @@ TEST(CacheArray, LruEvictsOldest)
     CacheArray arr(geom8x2(), "t");
     // Fill both ways of set 1.
     VictimRef a = arr.pickVictim(0x40);
-    arr.install(a, 0x40, 1);
-    a.line->state = Mesi::Shared;
+    arr.install(a, 0x40, 1, Mesi::Shared);
     VictimRef b = arr.pickVictim(0x240);
-    arr.install(b, 0x240, 2);
-    b.line->state = Mesi::Shared;
+    arr.install(b, 0x240, 2, Mesi::Shared);
 
     // Touch the first line more recently than the second.
     arr.touch(*arr.lookup(0x40), 50);
@@ -117,12 +113,11 @@ TEST(CacheArray, CountDirtyTracksState)
 {
     CacheArray arr(geom8x2(), "t");
     VictimRef v = arr.pickVictim(0x0);
-    arr.install(v, 0x0, 1);
-    v.line->state = Mesi::Modified;
+    arr.install(v, 0x0, 1, Mesi::Modified);
     v.line->dirty = true;
     EXPECT_EQ(arr.countValid(), 1u);
     EXPECT_EQ(arr.countDirty(), 1u);
-    v.line->invalidate();
+    arr.invalidate(*v.line);
     EXPECT_EQ(arr.countValid(), 0u);
     EXPECT_EQ(arr.countDirty(), 0u);
 }
@@ -131,14 +126,13 @@ TEST(CacheArray, InstallResetsDirectoryResidue)
 {
     CacheArray arr(geom8x2(), "t");
     VictimRef v = arr.pickVictim(0x0);
-    arr.install(v, 0x0, 1);
-    v.line->state = Mesi::Shared;
+    arr.install(v, 0x0, 1, Mesi::Shared);
     v.line->sharers = 0xffff;
     v.line->owner = 3;
     v.line->count = 9;
-    v.line->invalidate();
+    arr.invalidate(*v.line);
     VictimRef v2 = arr.pickVictim(0x200);
-    arr.install(v2, 0x200, 2);
+    arr.install(v2, 0x200, 2, Mesi::Shared);
     EXPECT_EQ(v2.line->sharers, 0u);
     EXPECT_EQ(v2.line->owner, -1);
     EXPECT_EQ(v2.line->count, 0u);
@@ -149,6 +143,57 @@ TEST(CacheArrayDeath, BadGeometryIsFatal)
     CacheGeometry g{1000, 2, 64, 1}; // not a power-of-two layout
     EXPECT_EXIT(CacheArray(g, "bad"), ::testing::ExitedWithCode(1),
                 "bad cache geometry");
+}
+
+TEST(CacheArray, ProbeMirrorStaysCoherent)
+{
+    // Drive a chain of install/invalidate/install over several sets and
+    // verify the packed probe mirror against the line structs.
+    CacheArray arr(geom8x2(), "t");
+    arr.checkProbeCoherence(); // empty array
+
+    std::vector<Addr> addrs = {0x0, 0x40, 0x240, 0x440, 0x1c0, 0x7c0};
+    for (Addr a : addrs) {
+        VictimRef v = arr.pickVictim(a);
+        if (v.line->valid())
+            arr.invalidate(*v.line);
+        arr.install(v, a, 1, Mesi::Shared);
+        arr.checkProbeCoherence();
+    }
+    // Invalidate every other line.
+    for (std::size_t i = 0; i < addrs.size(); i += 2) {
+        if (CacheLine *l = arr.lookup(addrs[i]))
+            arr.invalidate(*l);
+        arr.checkProbeCoherence();
+    }
+    // Lookups agree with the struct state.
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        CacheLine *l = arr.lookup(addrs[i]);
+        if (l != nullptr) {
+            EXPECT_EQ(l->tag, addrs[i]);
+        }
+    }
+}
+
+TEST(CacheArray, SetIndexMatchesGeometry)
+{
+    // The precomputed slicing must agree with the geometry's reference
+    // implementation, hash folding included.
+    CacheGeometry g = geom8x2();
+    g.hashSets = true;
+    CacheArray arr(g, "t");
+    for (Addr a = 0; a < 0x4000; a += 64)
+        EXPECT_EQ(arr.setIndexOf(a), g.setIndex(a)) << "addr " << a;
+}
+
+TEST(CacheArray, PackedLruTracksTouches)
+{
+    CacheArray arr(geom8x2(), "t");
+    VictimRef a = arr.pickVictim(0x40);
+    arr.install(a, 0x40, 5, Mesi::Shared);
+    EXPECT_EQ(arr.lastTouchOf(a.index), 5u);
+    arr.touch(*a.line, 9);
+    EXPECT_EQ(arr.lastTouchOf(a.index), 9u);
 }
 
 } // namespace refrint::test

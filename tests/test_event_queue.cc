@@ -1,13 +1,16 @@
 /**
  * @file
  * Unit tests for the discrete-event kernel: ordering, tie-breaking,
- * client dispatch, run limits.
+ * client dispatch, run limits, cancellable handles, and a randomized
+ * differential test against a reference stable-order model.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
+#include "common/prng.hh"
 #include "sim/event_queue.hh"
 
 namespace refrint::test
@@ -124,6 +127,263 @@ TEST(EventQueueDeath, SchedulingInThePastPanics)
     eq.scheduleFn(100, [](Tick) {});
     eq.run();
     EXPECT_DEATH(eq.scheduleFn(50, [](Tick) {}), "past");
+}
+
+// ---------------------------------------------------------------------
+// 4-ary heap ordering under load
+// ---------------------------------------------------------------------
+
+TEST(EventQueue, SameTickFifoAcrossManyEventsAndKinds)
+{
+    // Hundreds of same-tick events, mixing one-shot fns, plain client
+    // events and cancellable ones: dispatch must stay in scheduling
+    // order across every internal path (near heap, fn slab, slots).
+    EventQueue eq;
+    std::vector<int> order;
+    struct Rec : EventClient
+    {
+        std::vector<int> *order;
+        void
+        fire(Tick, std::uint64_t tag) override
+        {
+            order->push_back(static_cast<int>(tag));
+        }
+    };
+    Rec rec;
+    rec.order = &order;
+    for (int i = 0; i < 300; ++i) {
+        switch (i % 3) {
+          case 0:
+            eq.scheduleFn(7, [&order, i](Tick) { order.push_back(i); });
+            break;
+          case 1:
+            eq.schedule(7, &rec, static_cast<std::uint64_t>(i));
+            break;
+          default:
+            eq.scheduleCancellable(7, &rec,
+                                   static_cast<std::uint64_t>(i));
+            break;
+        }
+    }
+    eq.run();
+    ASSERT_EQ(order.size(), 300u);
+    for (int i = 0; i < 300; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, FarFutureEventsInterleaveCorrectly)
+{
+    // Events far beyond the near/far split must still dispatch in
+    // global (tick, seq) order with near events scheduled later.
+    EventQueue eq;
+    std::vector<Tick> fired;
+    auto rec = [&](Tick t) { fired.push_back(t); };
+    eq.scheduleFn(1'000'000, rec); // far band
+    eq.scheduleFn(500'000, rec);   // far band
+    eq.scheduleFn(3, rec);         // near heap
+    eq.scheduleFn(0, [&](Tick t) {
+        fired.push_back(t);
+        // Scheduled mid-run: lands between the two far events.
+        eq.scheduleFn(750'000, rec);
+    });
+    eq.run();
+    ASSERT_EQ(fired.size(), 5u);
+    EXPECT_EQ(fired, (std::vector<Tick>{0, 3, 500'000, 750'000,
+                                        1'000'000}));
+}
+
+// ---------------------------------------------------------------------
+// Cancellable handles
+// ---------------------------------------------------------------------
+
+namespace
+{
+struct CountingClient : EventClient
+{
+    int fired = 0;
+    void fire(Tick, std::uint64_t) override { ++fired; }
+};
+} // namespace
+
+TEST(EventQueue, CancelledHandleNeverFires)
+{
+    EventQueue eq;
+    CountingClient c;
+    EventHandle h = eq.scheduleCancellable(10, &c, 0);
+    eq.schedule(20, &c, 0);
+    EXPECT_EQ(eq.size(), 2u);
+    EXPECT_TRUE(eq.cancel(h));
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_EQ(c.fired, 1); // only the un-cancelled event
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, CancelIsSingleShotAndSpentAfterFire)
+{
+    EventQueue eq;
+    CountingClient c;
+    EventHandle h = eq.scheduleCancellable(5, &c, 0);
+    EXPECT_TRUE(eq.cancel(h));
+    EXPECT_FALSE(eq.cancel(h)) << "second cancel must be a no-op";
+
+    EventHandle h2 = eq.scheduleCancellable(6, &c, 0);
+    eq.run();
+    EXPECT_EQ(c.fired, 1);
+    EXPECT_FALSE(eq.cancel(h2)) << "handle is spent once fired";
+
+    EXPECT_FALSE(eq.cancel(EventHandle{})) << "inert default handle";
+}
+
+TEST(EventQueue, CancelledSlotReuseCannotAliasNewEvent)
+{
+    // Cancel an event, schedule a replacement (which recycles the
+    // slot), and make sure the stale handle cannot kill the new event.
+    EventQueue eq;
+    CountingClient c;
+    EventHandle stale = eq.scheduleCancellable(10, &c, 0);
+    EXPECT_TRUE(eq.cancel(stale));
+    EventHandle fresh = eq.scheduleCancellable(10, &c, 0);
+    EXPECT_FALSE(eq.cancel(stale));
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_EQ(c.fired, 1);
+    EXPECT_FALSE(eq.cancel(fresh));
+}
+
+TEST(EventQueue, CancelAfterClearIsSpent)
+{
+    // clear() resets the slot table; handles issued before it must be
+    // inert afterwards (not index out of bounds, not kill new events).
+    EventQueue eq;
+    CountingClient c;
+    EventHandle stale = eq.scheduleCancellable(10, &c, 0);
+    eq.clear();
+    EXPECT_FALSE(eq.cancel(stale));
+    EventHandle fresh = eq.scheduleCancellable(10, &c, 0);
+    EXPECT_FALSE(eq.cancel(stale));
+    eq.run();
+    EXPECT_EQ(c.fired, 1);
+    EXPECT_FALSE(eq.cancel(fresh));
+}
+
+TEST(EventQueue, CancelDeepInFarBand)
+{
+    // Far-band entries are lazily deleted too: cancel a far event and
+    // drain past its tick.
+    EventQueue eq;
+    CountingClient c;
+    EventHandle far = eq.scheduleCancellable(900'000, &c, 0);
+    eq.schedule(950'000, &c, 0);
+    EXPECT_TRUE(eq.cancel(far));
+    eq.run();
+    EXPECT_EQ(c.fired, 1);
+    EXPECT_EQ(eq.now(), 950'000u);
+}
+
+TEST(EventQueue, RunLimitBoundaryWithCancellations)
+{
+    EventQueue eq;
+    CountingClient c;
+    eq.schedule(10, &c, 0);
+    EventHandle atLimit = eq.scheduleCancellable(20, &c, 0);
+    eq.schedule(20, &c, 0);
+    eq.schedule(21, &c, 0);
+    EXPECT_TRUE(eq.cancel(atLimit));
+    eq.run(20);
+    EXPECT_EQ(c.fired, 2) << "tick-20 survivor fires, tick-21 waits";
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(c.fired, 3);
+}
+
+// ---------------------------------------------------------------------
+// Randomized differential test: kernel order vs reference model
+// ---------------------------------------------------------------------
+
+TEST(EventQueue, DifferentialOrderAgainstReferenceModel)
+{
+    // A reference model of the kernel contract: dispatch strictly by
+    // (tick, schedule order), cancelled entries silently gone.  Random
+    // schedules span the near/far split and random cancellations hit
+    // fired, pending and already-cancelled events.
+    struct RefEvent
+    {
+        Tick when;
+        std::uint64_t seq;
+        int id;
+    };
+
+    Prng prng(1234, 7);
+    for (int round = 0; round < 20; ++round) {
+        EventQueue eq;
+        std::vector<RefEvent> ref;
+        std::vector<int> expect, got;
+        std::vector<EventHandle> handles;
+        std::vector<int> handleIds;
+        std::uint64_t seq = 0;
+        int nextId = 0;
+
+        struct Rec : EventClient
+        {
+            std::vector<int> *got;
+            void
+            fire(Tick, std::uint64_t tag) override
+            {
+                got->push_back(static_cast<int>(tag));
+            }
+        };
+        Rec rec;
+        rec.got = &got;
+
+        const int ops = 400;
+        for (int i = 0; i < ops; ++i) {
+            const std::uint32_t dice = prng.below(10);
+            if (dice < 7 || handles.empty()) {
+                // Schedule at a random tick spanning both bands.
+                const Tick when = prng.below(2) == 0
+                                      ? prng.below(1'000)
+                                      : prng.below(2'000'000);
+                const int id = nextId++;
+                if (prng.below(2) == 0) {
+                    eq.schedule(when, &rec,
+                                static_cast<std::uint64_t>(id));
+                    ref.push_back(RefEvent{when, seq++, id});
+                } else {
+                    handles.push_back(eq.scheduleCancellable(
+                        when, &rec, static_cast<std::uint64_t>(id)));
+                    handleIds.push_back(id);
+                    ref.push_back(RefEvent{when, seq++, id});
+                }
+            } else {
+                // Cancel a random handle (possibly already spent).
+                const std::uint32_t pick =
+                    prng.below(static_cast<std::uint32_t>(
+                        handles.size()));
+                if (eq.cancel(handles[pick])) {
+                    const int id = handleIds[pick];
+                    ref.erase(std::find_if(ref.begin(), ref.end(),
+                                           [&](const RefEvent &e) {
+                                               return e.id == id;
+                                           }));
+                }
+                handles.erase(handles.begin() + pick);
+                handleIds.erase(handleIds.begin() + pick);
+            }
+        }
+
+        std::stable_sort(ref.begin(), ref.end(),
+                         [](const RefEvent &a, const RefEvent &b) {
+                             return a.when != b.when ? a.when < b.when
+                                                     : a.seq < b.seq;
+                         });
+        for (const RefEvent &e : ref)
+            expect.push_back(e.id);
+
+        eq.run();
+        EXPECT_EQ(got, expect) << "round " << round;
+        EXPECT_TRUE(eq.empty());
+    }
 }
 
 } // namespace refrint::test

@@ -45,7 +45,7 @@ struct MockTarget : RefreshTarget
     invalidateLine(std::uint32_t idx, Tick now) override
     {
         invalidated.emplace_back(idx, now);
-        arr.lineAt(idx).invalidate();
+        arr.invalidate(arr.lineAt(idx));
     }
 
     void
@@ -81,8 +81,9 @@ struct EngineFixture
     install(std::uint32_t idx, Tick now, bool dirty = false)
     {
         CacheLine &l = target.arr.lineAt(idx);
-        l.tag = static_cast<Addr>(idx) * 64;
-        l.state = dirty ? Mesi::Modified : Mesi::Shared;
+        target.arr.install(VictimRef{&l, idx},
+                           static_cast<Addr>(idx) * 64, now,
+                           dirty ? Mesi::Modified : Mesi::Shared);
         l.dirty = dirty;
         engine->onInstall(idx, now);
         return l;
