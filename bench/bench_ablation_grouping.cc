@@ -30,10 +30,10 @@ main()
     for (std::uint32_t g : {1u, 4u, 16u, 64u, 256u}) {
         HierarchyConfig cfg =
             HierarchyConfig::paperEdram(pol, usToTicks(50.0));
-        cfg.l3Engine.sentryGroupSize = g;
+        cfg.llc().engine.sentryGroupSize = g;
         RunResult r = runOnce(cfg, *app, sim);
         const std::uint32_t inputs =
-            cfg.l3Bank.numLines() / g;
+            cfg.llc().geom.numLines() / g;
         std::printf("%-10u %16u %14llu %12.5f\n", g, inputs,
                     static_cast<unsigned long long>(
                         r.counts.l3Refreshes),

@@ -90,13 +90,16 @@ struct Rearmer : EventClient
     }
 };
 
-/** Kernel dispatch throughput over a simulation-like event mix. */
+/** Kernel dispatch throughput over a simulation-like event mix.
+ *  @p coreCount scales the client population the way MachineConfig
+ *  scales the machine: N core-like tickers plus 4N engine-like
+ *  rearmers (the paper machine's engine-to-core ratio). */
 double
-benchEvents(std::uint64_t targetEvents)
+benchEvents(std::uint64_t targetEvents, std::uint32_t coreCount = 16)
 {
     EventQueue eq;
-    std::vector<Ticker> cores(16);
-    std::vector<Rearmer> engines(64);
+    std::vector<Ticker> cores(coreCount);
+    std::vector<Rearmer> engines(4 * static_cast<std::size_t>(coreCount));
     for (std::size_t i = 0; i < cores.size(); ++i) {
         cores[i].eq = &eq;
         cores[i].period = 3 + static_cast<Tick>(i % 5);
@@ -203,11 +206,16 @@ main(int argc, char **argv)
     // frequency ramp otherwise pollute the smaller CI machines).
     benchEvents(2'000'000);
     const double eventsPerSec = benchEvents(20'000'000);
+    // Scaling point: the same mix at a 32-core machine's population
+    // (tracks how dispatch throughput holds up as --cores grows).
+    benchEvents(2'000'000, 32);
+    const double eventsPerSec32 = benchEvents(20'000'000, 32);
     benchLookups(2'000'000);
     const double lookupsPerSec = benchLookups(20'000'000);
 
-    std::printf("events/sec  : %.3e\n", eventsPerSec);
-    std::printf("lookups/sec : %.3e\n", lookupsPerSec);
+    std::printf("events/sec      : %.3e\n", eventsPerSec);
+    std::printf("events/sec (32c): %.3e\n", eventsPerSec32);
+    std::printf("lookups/sec     : %.3e\n", lookupsPerSec);
 
     double sweepWall = -1.0;
     std::size_t sweepSims = 0;
@@ -229,6 +237,7 @@ main(int argc, char **argv)
         out << "{\n"
             << "  \"bench\": \"kernel\",\n"
             << "  \"events_per_sec\": " << eventsPerSec << ",\n"
+            << "  \"events_per_sec_c32\": " << eventsPerSec32 << ",\n"
             << "  \"lookups_per_sec\": " << lookupsPerSec << ",\n"
             << "  \"sweep_wall_s\": " << sweepWall << ",\n"
             << "  \"sweep_simulations\": " << sweepSims << ",\n"
@@ -251,6 +260,7 @@ main(int argc, char **argv)
             const char *key;
             double current;
         } checks[] = {{"events_per_sec", eventsPerSec},
+                      {"events_per_sec_c32", eventsPerSec32},
                       {"lookups_per_sec", lookupsPerSec}};
         for (const auto &c : checks) {
             const double want = jsonNumber(base, c.key);

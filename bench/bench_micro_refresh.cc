@@ -17,23 +17,16 @@ namespace
 
 using namespace refrint;
 
-HierarchyConfig
+MachineConfig
 tinyEdram(const RefreshPolicy &pol)
 {
-    HierarchyConfig c;
-    c.numCores = 4;
-    c.numBanks = 4;
-    c.torusDim = 2;
-    c.il1 = CacheGeometry{2 * 1024, 2, 64, 1};
-    c.dl1 = CacheGeometry{2 * 1024, 4, 64, 1};
-    c.l2 = CacheGeometry{8 * 1024, 8, 64, 2};
-    c.l3Bank = CacheGeometry{32 * 1024, 8, 64, 4, 2};
-    c.tech = CellTech::Edram;
-    c.l3Policy = pol;
+    MachineConfig c = MachineConfig::paper(4);
+    c.il1().geom = CacheGeometry{2 * 1024, 2, 64, 1};
+    c.dl1().geom = CacheGeometry{2 * 1024, 4, 64, 1};
+    c.l2().geom = CacheGeometry{8 * 1024, 8, 64, 2};
+    c.llc().geom = CacheGeometry{32 * 1024, 8, 64, 4, 2};
+    c.setLlcPolicy(pol);
     c.retention = RetentionParams{usToTicks(5.0), kTickNever, {}, {}};
-    c.l1Engine = EngineGeometry{1, 4, 16};
-    c.l2Engine = EngineGeometry{4, 4, 32};
-    c.l3Engine = EngineGeometry{16, 4, 64};
     return c;
 }
 

@@ -8,61 +8,6 @@
 namespace refrint
 {
 
-const char *
-cellTechName(CellTech t)
-{
-    return t == CellTech::Sram ? "SRAM" : "eDRAM";
-}
-
-HierarchyConfig
-HierarchyConfig::scaledDown(std::uint32_t factor) const
-{
-    HierarchyConfig c = *this;
-    c.il1.sizeBytes /= factor;
-    c.dl1.sizeBytes /= factor;
-    c.l2.sizeBytes /= factor;
-    c.l3Bank.sizeBytes /= factor;
-    return c;
-}
-
-HierarchyConfig
-HierarchyConfig::paperSram()
-{
-    HierarchyConfig c;
-    c.tech = CellTech::Sram;
-    return c;
-}
-
-HierarchyConfig
-HierarchyConfig::paperSramDecay(Tick interval)
-{
-    HierarchyConfig c;
-    c.tech = CellTech::Sram;
-    c.decay.enabled = true;
-    c.decay.interval = interval;
-    return c;
-}
-
-HierarchyConfig
-HierarchyConfig::paperEdram(const RefreshPolicy &policy, Tick retention)
-{
-    HierarchyConfig c;
-    c.tech = CellTech::Edram;
-    c.l3Policy = policy;
-    c.retention.cellRetention = retention;
-    return c;
-}
-
-HierarchyConfig
-HierarchyConfig::paperEdramThermal(const RefreshPolicy &policy,
-                                   Tick retention, double ambientC)
-{
-    HierarchyConfig c = paperEdram(policy, retention);
-    c.thermal.enabled = true;
-    c.thermal.ambientC = ambientC;
-    return c;
-}
-
 /**
  * Adapter binding a refresh engine to one cache unit within the
  * hierarchy.  Heavy actions (write-back, invalidation) route back into
@@ -81,6 +26,22 @@ struct Hierarchy::TargetAdapter : public RefreshTarget
                   std::string nm)
         : hier(h), unit(u), level(lvl), unitId(id), label(std::move(nm))
     {
+    }
+
+    /** Protocol role class of a descriptor (both L1s are one class). */
+    static Level
+    of(LevelRole r)
+    {
+        switch (r) {
+          case LevelRole::IL1:
+          case LevelRole::DL1:
+            return Level::L1;
+          case LevelRole::L2:
+            return Level::L2;
+          case LevelRole::LLC:
+            return Level::L3;
+        }
+        panic("bad level role");
     }
 
     CacheArray &array() override { return unit.array; }
@@ -151,30 +112,20 @@ struct Hierarchy::TargetAdapter : public RefreshTarget
     std::string label;
 };
 
-Hierarchy::Hierarchy(const HierarchyConfig &cfg, EventQueue &eq)
+Hierarchy::Hierarchy(const MachineConfig &cfg, EventQueue &eq)
     : cfg_(cfg),
       eq_(eq),
       net_(cfg.torusDim, cfg.hopLatency, cfg.dataSerialization, netStats_),
       dram_(cfg.dramLatency, cfg.dramMinGap, dramStats_)
 {
-    panicIf(cfg_.numCores > 16, "directory bitmask limited to 16 cores");
-    panicIf(cfg_.torusDim * cfg_.torusDim != cfg_.numBanks,
-            "banks must tile the torus");
-    bankShift_ = cfg_.l3Bank.lineBits();
+    cfg_.validate();
+    llcGeom_ = cfg_.llc().geom;
+    refreshAtLlc_ = cfg_.llc().refreshed();
+    bankShift_ = llcGeom_.lineBits();
     bankMask_ = isPowerOfTwo(cfg_.numBanks) ? cfg_.numBanks - 1 : 0;
-    for (CoreId c = 0; c < cfg_.numCores; ++c) {
-        il1s_.push_back(
-            std::make_unique<CacheUnit>("il1", cfg_.il1, il1Stats_));
-        dl1s_.push_back(
-            std::make_unique<CacheUnit>("dl1", cfg_.dl1, dl1Stats_));
-        l2s_.push_back(std::make_unique<CacheUnit>("l2", cfg_.l2,
-                                                   l2Stats_));
-    }
-    for (std::uint32_t b = 0; b < cfg_.numBanks; ++b) {
-        l3s_.push_back(std::make_unique<CacheUnit>("l3", cfg_.l3Bank,
-                                                   l3Stats_));
-    }
-    if (cfg_.refreshEnabled())
+
+    buildUnits();
+    if (cfg_.anyEdram())
         buildRefreshEngines();
     else if (cfg_.decay.enabled)
         buildDecayEngines();
@@ -184,65 +135,136 @@ Hierarchy::Hierarchy(const HierarchyConfig &cfg, EventQueue &eq)
 
 Hierarchy::~Hierarchy() = default;
 
+const Hierarchy::Level &
+Hierarchy::levelOf(LevelRole r) const
+{
+    for (const Level &lv : levels_)
+        if (lv.spec->role == r)
+            return lv;
+    panic("hierarchy has no %s level", levelRoleName(r));
+}
+
+void
+Hierarchy::buildUnits()
+{
+    // One Level per descriptor, in descriptor order; refresh stats are
+    // shared per role class (the paper reports three refresh levels).
+    for (const CacheLevelSpec &spec : cfg_.levels) {
+        Level lv;
+        lv.spec = &spec;
+        lv.stats = std::make_unique<StatGroup>(spec.name);
+        switch (TargetAdapter::of(spec.role)) {
+          case TargetAdapter::Level::L1:
+            lv.refreshStats = &refreshL1Stats_;
+            break;
+          case TargetAdapter::Level::L2:
+            lv.refreshStats = &refreshL2Stats_;
+            break;
+          case TargetAdapter::Level::L3:
+            lv.refreshStats = &refreshL3Stats_;
+            break;
+        }
+        levels_.push_back(std::move(lv));
+    }
+
+    // Instantiate units: core-major across the private levels (one
+    // tile's caches are adjacent), then the shared levels per bank.
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        for (Level &lv : levels_) {
+            if (lv.spec->sharing != Sharing::Private)
+                continue;
+            lv.units.push_back(std::make_unique<CacheUnit>(
+                lv.spec->name, lv.spec->geom, *lv.stats));
+        }
+    }
+    for (Level &lv : levels_) {
+        if (lv.spec->sharing != Sharing::BankedShared)
+            continue;
+        for (std::uint32_t b = 0; b < cfg_.numBanks; ++b) {
+            lv.units.push_back(std::make_unique<CacheUnit>(
+                lv.spec->name, lv.spec->geom, *lv.stats));
+        }
+    }
+
+    // Resolve the protocol's role handles.
+    il1L_ = &levelOf(LevelRole::IL1);
+    dl1L_ = &levelOf(LevelRole::DL1);
+    l2L_ = &levelOf(LevelRole::L2);
+    llcL_ = &levelOf(LevelRole::LLC);
+    auto view = [](const Level &lv) {
+        std::vector<CacheUnit *> v;
+        v.reserve(lv.units.size());
+        for (const auto &u : lv.units)
+            v.push_back(u.get());
+        return v;
+    };
+    il1s_ = view(*il1L_);
+    dl1s_ = view(*dl1L_);
+    l2s_ = view(*l2L_);
+    l3s_ = view(*llcL_);
+}
+
 void
 Hierarchy::buildRefreshEngines()
 {
-    const RefreshPolicy upper = cfg_.upperPolicy();
-    auto build = [&](CacheUnit &u, TargetAdapter::Level lvl,
-                     std::uint32_t id, const char *nm,
-                     const RefreshPolicy &pol, const EngineGeometry &geom,
-                     StatGroup &sg) {
-        targets_.push_back(
-            std::make_unique<TargetAdapter>(*this, u, lvl, id, nm));
-        engines_.push_back(makeRefreshEngine(*targets_.back(), pol,
-                                             cfg_.retention, geom, eq_,
-                                             sg));
+    auto build = [&](Level &lv, CacheUnit &u, std::uint32_t id) {
+        targets_.push_back(std::make_unique<TargetAdapter>(
+            *this, u, TargetAdapter::of(lv.spec->role), id, lv.spec->name));
+        engines_.push_back(makeRefreshEngine(*targets_.back(),
+                                             lv.spec->policy,
+                                             cfg_.retention,
+                                             lv.spec->engine, eq_,
+                                             *lv.refreshStats));
         u.engine = engines_.back().get();
     };
 
+    // Engine order mirrors unit order (core-major private levels, then
+    // the shared banks): engine start order determines same-tick event
+    // FIFO order, so this order is part of the machine's definition.
     for (CoreId c = 0; c < cfg_.numCores; ++c) {
-        build(*il1s_[c], TargetAdapter::Level::L1, c, "il1", upper,
-              cfg_.l1Engine, refreshL1Stats_);
-        build(*dl1s_[c], TargetAdapter::Level::L1, c + cfg_.numCores,
-              "dl1", upper, cfg_.l1Engine, refreshL1Stats_);
-        build(*l2s_[c], TargetAdapter::Level::L2, c, "l2", upper,
-              cfg_.l2Engine, refreshL2Stats_);
+        for (Level &lv : levels_) {
+            if (lv.spec->sharing != Sharing::Private ||
+                !lv.spec->refreshed())
+                continue;
+            build(lv, *lv.units[c], c);
+        }
     }
-    for (std::uint32_t b = 0; b < cfg_.numBanks; ++b) {
-        build(*l3s_[b], TargetAdapter::Level::L3, b, "l3", cfg_.l3Policy,
-              cfg_.l3Engine, refreshL3Stats_);
+    for (Level &lv : levels_) {
+        if (lv.spec->sharing != Sharing::BankedShared ||
+            !lv.spec->refreshed())
+            continue;
+        for (std::uint32_t b = 0; b < cfg_.numBanks; ++b)
+            build(lv, *lv.units[b], b);
     }
 }
 
 void
 Hierarchy::buildDecayEngines()
 {
-    auto build = [&](CacheUnit &u, TargetAdapter::Level lvl,
-                     std::uint32_t id, const char *nm, StatGroup &sg) {
-        targets_.push_back(
-            std::make_unique<TargetAdapter>(*this, u, lvl, id, nm));
+    auto build = [&](Level &lv, CacheUnit &u, std::uint32_t id) {
+        targets_.push_back(std::make_unique<TargetAdapter>(
+            *this, u, TargetAdapter::of(lv.spec->role), id, lv.spec->name));
         engines_.push_back(std::make_unique<DecayEngine>(
-            *targets_.back(), cfg_.decay, eq_, sg));
+            *targets_.back(), cfg_.decay, eq_, *lv.refreshStats));
         u.engine = engines_.back().get();
     };
 
-    if (cfg_.decay.atL2) {
-        for (CoreId c = 0; c < cfg_.numCores; ++c)
-            build(*l2s_[c], TargetAdapter::Level::L2, c, "l2",
-                  refreshL2Stats_);
-    }
-    if (cfg_.decay.atL3) {
-        for (std::uint32_t b = 0; b < cfg_.numBanks; ++b)
-            build(*l3s_[b], TargetAdapter::Level::L3, b, "l3",
-                  refreshL3Stats_);
+    for (Level &lv : levels_) {
+        const bool wanted =
+            (lv.spec->role == LevelRole::L2 && cfg_.decay.atL2) ||
+            (lv.spec->role == LevelRole::LLC && cfg_.decay.atL3);
+        if (!wanted)
+            continue;
+        for (std::uint32_t i = 0; i < lv.units.size(); ++i)
+            build(lv, *lv.units[i], i);
     }
 }
 
 void
 Hierarchy::buildThermal()
 {
-    panicIf(!cfg_.refreshEnabled(),
-            "thermal model requires an eDRAM hierarchy (SRAM retention "
+    panicIf(!cfg_.anyEdram(),
+            "thermal model requires an eDRAM level (SRAM retention "
             "is not temperature-limited)");
     thermal_ = std::make_unique<ThermalDriver>(
         cfg_.thermal, cfg_.retention.thermal, eq_, thermalStats_);
@@ -251,13 +273,42 @@ Hierarchy::buildThermal()
     // model uses, with the Table 5.2 eDRAM leakage ratio applied.
     const EnergyParams &ep = cfg_.thermal.energy;
     const double lr = ep.edramLeakRatio;
+    auto coeffs = [&](LevelRole r, double &leakW, double &accessJ) {
+        switch (TargetAdapter::of(r)) {
+          case TargetAdapter::Level::L1:
+            leakW = ep.leakL1;
+            accessJ = ep.eL1Access;
+            break;
+          case TargetAdapter::Level::L2:
+            leakW = ep.leakL2;
+            accessJ = ep.eL2Access;
+            break;
+          case TargetAdapter::Level::L3:
+            leakW = ep.leakL3Bank;
+            accessJ = ep.eL3Access;
+            break;
+        }
+    };
+    // Node order mirrors unit order (see buildRefreshEngines).
     for (CoreId c = 0; c < cfg_.numCores; ++c) {
-        thermal_->addUnit(*il1s_[c], ep.leakL1 * lr, ep.eL1Access);
-        thermal_->addUnit(*dl1s_[c], ep.leakL1 * lr, ep.eL1Access);
-        thermal_->addUnit(*l2s_[c], ep.leakL2 * lr, ep.eL2Access);
+        for (Level &lv : levels_) {
+            if (lv.spec->sharing != Sharing::Private ||
+                !lv.spec->refreshed())
+                continue;
+            double leakW = 0, accessJ = 0;
+            coeffs(lv.spec->role, leakW, accessJ);
+            thermal_->addUnit(*lv.units[c], leakW * lr, accessJ);
+        }
     }
-    for (std::uint32_t b = 0; b < cfg_.numBanks; ++b)
-        thermal_->addUnit(*l3s_[b], ep.leakL3Bank * lr, ep.eL3Access);
+    for (Level &lv : levels_) {
+        if (lv.spec->sharing != Sharing::BankedShared ||
+            !lv.spec->refreshed())
+            continue;
+        double leakW = 0, accessJ = 0;
+        coeffs(lv.spec->role, leakW, accessJ);
+        for (std::uint32_t b = 0; b < cfg_.numBanks; ++b)
+            thermal_->addUnit(*lv.units[b], leakW * lr, accessJ);
+    }
 }
 
 void
@@ -285,7 +336,7 @@ Hierarchy::access(CoreId c, Addr a, AccessType type, Tick now,
                   std::uint32_t blocks)
 {
     panicIf(c >= cfg_.numCores, "core id out of range");
-    a = cfg_.l3Bank.lineAddr(a);
+    a = llcGeom_.lineAddr(a);
 
     const bool isStore = type == AccessType::Store;
     CacheUnit &l1 = type == AccessType::Fetch ? *il1s_[c] : *dl1s_[c];
@@ -337,7 +388,7 @@ Hierarchy::access(CoreId c, Addr a, AccessType type, Tick now,
     if (l2Line == nullptr)
         l2u.misses->inc();
 
-    // ---- L3 home bank / directory ----
+    // ---- LLC home bank / directory ----
     const std::uint32_t bank = bankOf(a);
     t += net_.traverse(c, bank, MsgClass::Control);
     CacheUnit &l3u = *l3s_[bank];
@@ -357,11 +408,11 @@ Hierarchy::access(CoreId c, Addr a, AccessType type, Tick now,
     if (isStore) {
         // Request for ownership: every other copy must go.
         t += invalidateSharers(bank, *line, c, t);
-        line->sharers = static_cast<std::uint16_t>(1u << c);
+        line->sharers = std::uint64_t{1} << c;
         line->owner = static_cast<std::int8_t>(c);
     } else {
-        line->sharers |= static_cast<std::uint16_t>(1u << c);
-        if (line->sharers == (1u << c) && line->owner < 0)
+        line->sharers |= std::uint64_t{1} << c;
+        if (line->sharers == (std::uint64_t{1} << c) && line->owner < 0)
             line->owner = static_cast<std::int8_t>(c); // grant Exclusive
     }
 
@@ -405,7 +456,7 @@ Hierarchy::l3MissFill(std::uint32_t bank, Addr a, Tick &t)
         dropL3Line(bank, *v.line, t, /*refreshCaused=*/false);
     }
     t = dram_.read(t);
-    l3u.array.install(v, a, t, Mesi::Shared); // "valid" marker at L3
+    l3u.array.install(v, a, t, Mesi::Shared); // "valid" marker at LLC
     CacheLine &line = *v.line;
     l3u.noteWrite(); // the fill writes the data array
     l3u.fills->inc();
@@ -434,8 +485,8 @@ Hierarchy::dropL3Line(std::uint32_t bank, CacheLine &line, Tick now,
     }
     // Invalidate every private copy (inclusive hierarchy, §3.1).
     // Iterate set bits of the sharer mask; most lines have 0-2 sharers.
-    for (unsigned m = line.sharers; m != 0; m &= m - 1) {
-        const auto s = static_cast<CoreId>(__builtin_ctz(m));
+    for (std::uint64_t m = line.sharers; m != 0; m &= m - 1) {
+        const auto s = static_cast<CoreId>(__builtin_ctzll(m));
         if (line.owner < 0 || static_cast<CoreId>(line.owner) != s)
             net_.traverse(bank, s, MsgClass::Control);
         invalidatePrivateCopies(s, a, /*countBackInval=*/true);
@@ -463,7 +514,7 @@ Hierarchy::ownerIntervention(std::uint32_t bank, CacheLine &line, Tick t,
     const bool wasModified = ol->state == Mesi::Modified;
 
     if (wasModified) {
-        // Data flows back to the L3 (and becomes the L3's dirty copy).
+        // Data flows back to the LLC (and becomes the LLC's dirty copy).
         lat = (ot - t) + net_.traverse(o, bank, MsgClass::Data);
         line.dirty = true;
         l3u.noteWrite();
@@ -473,7 +524,7 @@ Hierarchy::ownerIntervention(std::uint32_t bank, CacheLine &line, Tick t,
 
     if (invalidateOwner) {
         invalidatePrivateCopies(o, line.tag, /*countBackInval=*/false);
-        line.sharers &= static_cast<std::uint16_t>(~(1u << o));
+        line.sharers &= ~(std::uint64_t{1} << o);
     } else {
         // Downgrade to Shared; owner keeps a clean copy.
         ol->state = Mesi::Shared;
@@ -488,8 +539,8 @@ Hierarchy::invalidateSharers(std::uint32_t bank, CacheLine &line,
                              CoreId except, Tick t)
 {
     Tick maxLat = 0;
-    for (unsigned m = line.sharers; m != 0; m &= m - 1) {
-        const auto s = static_cast<CoreId>(__builtin_ctz(m));
+    for (std::uint64_t m = line.sharers; m != 0; m &= m - 1) {
+        const auto s = static_cast<CoreId>(__builtin_ctzll(m));
         if (s == except)
             continue;
         const Tick out = net_.traverse(bank, s, MsgClass::Control);
@@ -564,9 +615,9 @@ Hierarchy::evictL2Victim(CoreId c, CacheLine &victim, Tick now)
     panicIf(l3l == nullptr, "inclusion violated: L2 line missing in L3");
 
     if (victim.state == Mesi::Modified) {
-        // Dirty write-back to the L3: the L3 copy becomes dirty and the
-        // access refreshes the L3 line.  This is the "visibility" the
-        // paper's Class 1/2 applications give the last-level cache.
+        // Dirty write-back to the LLC: the LLC copy becomes dirty and
+        // the access refreshes the LLC line.  This is the "visibility"
+        // the paper's Class 1/2 applications give the last-level cache.
         net_.traverse(c, bank, MsgClass::Data);
         l3u.noteWrite();
         l3l->dirty = true;
@@ -578,7 +629,7 @@ Hierarchy::evictL2Victim(CoreId c, CacheLine &victim, Tick now)
     }
     if (l3l->owner >= 0 && static_cast<CoreId>(l3l->owner) == c)
         l3l->owner = -1;
-    l3l->sharers &= static_cast<std::uint16_t>(~(1u << c));
+    l3l->sharers &= ~(std::uint64_t{1} << c);
 
     // Inclusion: L1 copies go with the L2 line.
     if (CacheLine *l = dl1s_[c]->array.lookup(a))
@@ -646,7 +697,7 @@ Hierarchy::upperRefreshInvalidate(CacheUnit &unit, CoreId c,
     panicIf(!line.valid(), "refresh invalidation of an invalid line");
     const Addr a = line.tag;
 
-    const bool isL2 = &unit == l2s_[c].get();
+    const bool isL2 = &unit == l2s_[c];
     if (isL2) {
         if (line.state == Mesi::Modified)
             l2RefreshWriteback(c, idx, now);
@@ -656,7 +707,7 @@ Hierarchy::upperRefreshInvalidate(CacheUnit &unit, CoreId c,
         if (l3l != nullptr) {
             if (l3l->owner >= 0 && static_cast<CoreId>(l3l->owner) == c)
                 l3l->owner = -1;
-            l3l->sharers &= static_cast<std::uint16_t>(~(1u << c));
+            l3l->sharers &= ~(std::uint64_t{1} << c);
         }
         net_.traverse(c, bankOf(a), MsgClass::Control);
         if (CacheLine *l = dl1s_[c]->array.lookup(a))
@@ -680,7 +731,7 @@ Hierarchy::flushDirty()
                 dram_.accountUntimedWrite();
         });
     }
-    for (auto &bank : l3s_) {
+    for (CacheUnit *bank : l3s_) {
         bank->array.forEachLine([&](std::uint32_t, CacheLine &l) {
             if (l.valid() && l.dirty)
                 dram_.accountUntimedWrite();
@@ -693,16 +744,12 @@ Hierarchy::checkInvariants(Tick now) const
 {
     auto &self = const_cast<Hierarchy &>(*this);
     // The packed probe mirrors must agree with the line structs.
-    for (CoreId c = 0; c < cfg_.numCores; ++c) {
-        il1s_[c]->array.checkProbeCoherence();
-        dl1s_[c]->array.checkProbeCoherence();
-        l2s_[c]->array.checkProbeCoherence();
-    }
-    for (std::uint32_t b = 0; b < cfg_.numBanks; ++b)
-        l3s_[b]->array.checkProbeCoherence();
+    for (const Level &lv : levels_)
+        for (const auto &u : lv.units)
+            u->array.checkProbeCoherence();
     // L1 subset-of L2; L2 subset-of L3; directory exactness.
     for (CoreId c = 0; c < cfg_.numCores; ++c) {
-        for (CacheUnit *l1 : {self.il1s_[c].get(), self.dl1s_[c].get()}) {
+        for (CacheUnit *l1 : {self.il1s_[c], self.dl1s_[c]}) {
             l1->array.forEachLine([&](std::uint32_t, CacheLine &l) {
                 if (!l.valid())
                     return;
@@ -748,7 +795,7 @@ Hierarchy::checkInvariants(Tick now) const
                 panicIf(self.l2s_[s]->array.lookup(l.tag) == nullptr,
                         "directory sharer without an L2 copy");
             }
-            if (cfg_.refreshEnabled()) {
+            if (refreshAtLlc_) {
                 // 256-tick slack: see kWalkLookaheadSlack in cache_unit.
                 panicIf(l.dataExpiry + 256 < now,
                         "valid L3 line past its retention deadline");
@@ -769,13 +816,17 @@ Hierarchy::counts() const
         const Accum *a = g.findAccum(k);
         return a == nullptr ? 0.0 : a->value();
     };
+    const StatGroup &il1Stats = *il1L_->stats;
+    const StatGroup &dl1Stats = *dl1L_->stats;
+    const StatGroup &l2Stats = *l2L_->stats;
+    const StatGroup &l3Stats = *llcL_->stats;
     HierarchyCounts n;
-    n.l1Reads = get(il1Stats_, "reads") + get(dl1Stats_, "reads");
-    n.l1Writes = get(il1Stats_, "writes") + get(dl1Stats_, "writes");
-    n.l2Reads = get(l2Stats_, "reads");
-    n.l2Writes = get(l2Stats_, "writes");
-    n.l3Reads = get(l3Stats_, "reads");
-    n.l3Writes = get(l3Stats_, "writes");
+    n.l1Reads = get(il1Stats, "reads") + get(dl1Stats, "reads");
+    n.l1Writes = get(il1Stats, "writes") + get(dl1Stats, "writes");
+    n.l2Reads = get(l2Stats, "reads");
+    n.l2Writes = get(l2Stats, "writes");
+    n.l3Reads = get(l3Stats, "reads");
+    n.l3Writes = get(l3Stats, "writes");
     n.l1Refreshes = get(refreshL1Stats_, "line_refreshes");
     n.l2Refreshes = get(refreshL2Stats_, "line_refreshes");
     n.l3Refreshes = get(refreshL3Stats_, "line_refreshes");
@@ -783,9 +834,9 @@ Hierarchy::counts() const
     n.netHops = get(netStats_, "hops");
     n.netDataMsgs = get(netStats_, "data_msgs");
     n.netCtrlMsgs = get(netStats_, "ctrl_msgs");
-    n.l3Misses = get(l3Stats_, "misses");
-    n.l2Misses = get(l2Stats_, "misses");
-    n.dl1Misses = get(dl1Stats_, "misses");
+    n.l3Misses = get(l3Stats, "misses");
+    n.l2Misses = get(l2Stats, "misses");
+    n.dl1Misses = get(dl1Stats, "misses");
     n.refreshWritebacks = get(refreshL1Stats_, "refresh_writebacks") +
                           get(refreshL2Stats_, "refresh_writebacks") +
                           get(refreshL3Stats_, "refresh_writebacks");
@@ -793,10 +844,10 @@ Hierarchy::counts() const
         get(refreshL1Stats_, "refresh_invalidations") +
         get(refreshL2Stats_, "refresh_invalidations") +
         get(refreshL3Stats_, "refresh_invalidations");
-    n.decayedHits = get(il1Stats_, "decayed_hits") +
-                    get(dl1Stats_, "decayed_hits") +
-                    get(l2Stats_, "decayed_hits") +
-                    get(l3Stats_, "decayed_hits");
+    n.decayedHits = get(il1Stats, "decayed_hits") +
+                    get(dl1Stats, "decayed_hits") +
+                    get(l2Stats, "decayed_hits") +
+                    get(l3Stats, "decayed_hits");
     n.l2OffLineTicks = getd(refreshL2Stats_, "off_line_ticks");
     n.l3OffLineTicks = getd(refreshL3Stats_, "off_line_ticks");
     return n;
@@ -805,10 +856,8 @@ Hierarchy::counts() const
 void
 Hierarchy::dumpStats(std::map<std::string, double> &out) const
 {
-    il1Stats_.dump(out);
-    dl1Stats_.dump(out);
-    l2Stats_.dump(out);
-    l3Stats_.dump(out);
+    for (const Level &lv : levels_)
+        lv.stats->dump(out);
     netStats_.dump(out);
     dramStats_.dump(out);
     refreshL1Stats_.dump(out);

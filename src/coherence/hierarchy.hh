@@ -1,17 +1,26 @@
 /**
  * @file
  * The coherent three-level CMP memory hierarchy (paper Table 5.1):
- * per-core IL1/DL1/L2, a 16-bank shared inclusive L3 with a full-map
- * directory MESI protocol, a 4x4 torus interconnect and off-chip DRAM.
+ * per-core IL1/DL1/L2, a banked shared inclusive LLC with a full-map
+ * directory MESI protocol, a square-torus interconnect and off-chip
+ * DRAM.
+ *
+ * The machine is built from a MachineConfig's level descriptors: the
+ * constructor iterates cfg.levels, instantiating one CacheUnit per
+ * core for private levels and one per bank for the shared LLC, and
+ * wiring refresh engines and thermal nodes per descriptor.  The MESI
+ * walk itself resolves role handles (IL1/DL1/L2/LLC) out of the
+ * descriptor set once at construction, so the hot path pays nothing
+ * for the generality.
  *
  * The simulator is state-accurate and timing-approximate: a memory
  * reference walks the hierarchy synchronously, updating all cache and
  * directory state and accumulating latency (cache latencies, torus
  * hops, DRAM, and refresh-induced port blocking).  Refresh engines run
  * on the shared event queue and interact with the hierarchy through
- * RefreshTarget adapters — a refresh-triggered invalidation at L3, for
- * example, back-invalidates upper-level copies exactly like an L3
- * eviction does (§3.1: inclusivity).
+ * RefreshTarget adapters — a refresh-triggered invalidation at the
+ * LLC, for example, back-invalidates upper-level copies exactly like
+ * an LLC eviction does (§3.1: inclusivity).
  */
 
 #ifndef REFRINT_COHERENCE_HIERARCHY_HH
@@ -62,7 +71,7 @@ struct HierarchyCounts
 class Hierarchy
 {
   public:
-    Hierarchy(const HierarchyConfig &cfg, EventQueue &eq);
+    Hierarchy(const MachineConfig &cfg, EventQueue &eq);
     ~Hierarchy();
 
     Hierarchy(const Hierarchy &) = delete;
@@ -91,7 +100,7 @@ class Hierarchy
      *  violation.  Used by the property tests. */
     void checkInvariants(Tick now) const;
 
-    const HierarchyConfig &config() const { return cfg_; }
+    const MachineConfig &config() const { return cfg_; }
 
     HierarchyCounts counts() const;
 
@@ -110,11 +119,11 @@ class Hierarchy
     /** Thermal driver, or null when the subsystem is disabled. */
     const ThermalDriver *thermal() const { return thermal_.get(); }
 
-    /** Home L3 bank of address @p a (static interleaving, §5).
+    /** Home LLC bank of address @p a (static interleaving, §5).
      *  Shift and mask are precomputed: this sits on the access path
      *  several times per reference and the geometry would otherwise
-     *  recompute log2(lineSize) and a modulo on each call.  Odd torus
-     *  dimensions (non-power-of-two bank counts) keep the modulo. */
+     *  recompute log2(lineSize) and a modulo on each call.  Non-power-
+     *  of-two bank counts keep the modulo. */
     std::uint32_t
     bankOf(Addr a) const
     {
@@ -125,11 +134,11 @@ class Hierarchy
 
     // --- refresh actions, shared with the RefreshTarget adapters ---
 
-    /** Refresh-triggered write-back of a dirty L3 line to DRAM. */
+    /** Refresh-triggered write-back of a dirty LLC line to DRAM. */
     void l3RefreshWriteback(std::uint32_t bank, std::uint32_t idx,
                             Tick now);
 
-    /** Refresh-triggered invalidation of an L3 line (back-invalidates
+    /** Refresh-triggered invalidation of an LLC line (back-invalidates
      *  every upper-level copy; rescues Modified data to DRAM). */
     void l3RefreshInvalidate(std::uint32_t bank, std::uint32_t idx,
                              Tick now);
@@ -142,6 +151,17 @@ class Hierarchy
                                 std::uint32_t idx, Tick now);
 
   private:
+    /** One constructed level: the descriptor it was built from, its
+     *  per-level demand StatGroup and its units (per core for private
+     *  levels, per bank for the shared LLC). */
+    struct Level
+    {
+        const CacheLevelSpec *spec;
+        std::unique_ptr<StatGroup> stats;
+        StatGroup *refreshStats; ///< shared per role class (L1/L2/L3)
+        std::vector<std::unique_ptr<CacheUnit>> units;
+    };
+
     /** One-line helpers over the directory bitmask. */
     static bool
     hasSharer(const CacheLine &l, CoreId c)
@@ -149,20 +169,23 @@ class Hierarchy
         return (l.sharers >> c) & 1u;
     }
 
+    void buildUnits();
     void buildRefreshEngines();
     void buildDecayEngines();
     void buildThermal();
 
-    /** L3 miss: evict a victim, fetch from DRAM, install.  Advances
+    const Level &levelOf(LevelRole r) const;
+
+    /** LLC miss: evict a victim, fetch from DRAM, install.  Advances
      *  @p t past the DRAM access. */
     CacheLine *l3MissFill(std::uint32_t bank, Addr a, Tick &t);
 
-    /** Evict/invalidate an L3 line: back-invalidate all upper copies,
+    /** Evict/invalidate an LLC line: back-invalidate all upper copies,
      *  rescue dirty data to DRAM. */
     void dropL3Line(std::uint32_t bank, CacheLine &line, Tick now,
                     bool refreshCaused);
 
-    /** Fetch Modified data from the owning L2 into L3 (read path:
+    /** Fetch Modified data from the owning L2 into the LLC (read path:
      *  downgrade to Shared; write path: invalidate).  Returns added
      *  latency on the requester's critical path. */
     Tick ownerIntervention(std::uint32_t bank, CacheLine &line, Tick t,
@@ -186,7 +209,7 @@ class Hierarchy
     /** Handle eviction of a valid L2 victim (write-back + dir update). */
     void evictL2Victim(CoreId c, CacheLine &victim, Tick now);
 
-    HierarchyConfig cfg_;
+    MachineConfig cfg_;
     EventQueue &eq_;
 
     /** Precomputed bankOf() slicing; mask 0 = non-power-of-two bank
@@ -194,12 +217,25 @@ class Hierarchy
     unsigned bankShift_ = 0;
     Addr bankMask_ = 0;
 
-    StatGroup il1Stats_{"il1"}, dl1Stats_{"dl1"}, l2Stats_{"l2"},
-        l3Stats_{"l3"}, netStats_{"net"}, dramStats_{"dram"},
+    /** LLC bank geometry, copied out of the descriptor for the hot
+     *  access path (line alignment, index math). */
+    CacheGeometry llcGeom_;
+
+    /** Refresh engines exist (the LLC is eDRAM). */
+    bool refreshAtLlc_ = false;
+
+    StatGroup netStats_{"net"}, dramStats_{"dram"},
         refreshL1Stats_{"refresh.l1"}, refreshL2Stats_{"refresh.l2"},
         refreshL3Stats_{"refresh.l3"}, thermalStats_{"thermal"};
 
-    std::vector<std::unique_ptr<CacheUnit>> il1s_, dl1s_, l2s_, l3s_;
+    /** Constructed levels, in descriptor order. */
+    std::vector<Level> levels_;
+
+    /** Non-owning role views into levels_ for the protocol hot path. */
+    std::vector<CacheUnit *> il1s_, dl1s_, l2s_, l3s_;
+    const Level *il1L_ = nullptr, *dl1L_ = nullptr, *l2L_ = nullptr,
+                *llcL_ = nullptr;
+
     TorusNetwork net_;
     Dram dram_;
 

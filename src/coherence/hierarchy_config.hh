@@ -1,112 +1,13 @@
 /**
  * @file
- * Configuration of the full CMP memory hierarchy (paper Table 5.1)
- * including the cell technology and refresh setup (Tables 5.2/5.4).
+ * Compatibility shim: the fixed-shape HierarchyConfig grew into the
+ * level-descriptor-driven MachineConfig (src/config/machine_config.hh).
+ * Includers of the old header keep working through this alias.
  */
 
 #ifndef REFRINT_COHERENCE_HIERARCHY_CONFIG_HH
 #define REFRINT_COHERENCE_HIERARCHY_CONFIG_HH
 
-#include <cstdint>
-
-#include "common/types.hh"
-#include "edram/refresh_engine.hh"
-#include "edram/refresh_policy.hh"
-#include "edram/retention.hh"
-#include "mem/cache_geometry.hh"
-#include "related/decay.hh"
-#include "thermal/thermal_model.hh"
-
-namespace refrint
-{
-
-/** Memory cell technology of the on-chip hierarchy (Table 5.2). */
-enum class CellTech : std::uint8_t
-{
-    Sram = 0, ///< baseline: high leakage, no refresh
-    Edram,    ///< proposed: quarter leakage, needs refresh
-};
-
-const char *cellTechName(CellTech t);
-
-struct HierarchyConfig
-{
-    std::uint32_t numCores = 16;
-    std::uint32_t numBanks = 16;
-    std::uint32_t torusDim = 4;
-
-    // Table 5.1 cache parameters; latencies in cycles at 1 GHz.
-    CacheGeometry il1{32 * 1024, 2, 64, 1};
-    CacheGeometry dl1{32 * 1024, 4, 64, 1};
-    CacheGeometry l2{256 * 1024, 8, 64, 2};
-    // The L3 bank's set index skips the 4 bank-select bits (indexShift).
-    // hashSets: the shared L3 XOR-folds the index (see cache_geometry.hh).
-    CacheGeometry l3Bank{1024 * 1024, 8, 64, 4, 4, true};
-
-    Tick hopLatency = 2;         ///< per torus router+link traversal
-    Tick dataSerialization = 4;  ///< extra cycles for a 64B payload
-    Tick dramLatency = 40;       ///< Table 5.1: 40 ns
-    Tick dramMinGap = 4;         ///< channel occupancy per access
-
-    CellTech tech = CellTech::Edram;
-
-    /** Swept refresh policy, applied at the shared L3 (§6.2). */
-    RefreshPolicy l3Policy = RefreshPolicy::refrint(DataPolicy::Valid);
-
-    /**
-     * Data policy pinned at L1/L2.  The paper always runs the private
-     * levels at Valid because they carry almost no refresh energy and
-     * replacement already evicts their dead lines quickly (§6.2).
-     */
-    DataPolicy upperDataPolicy = DataPolicy::Valid;
-
-    RetentionParams retention{usToTicks(50.0), kTickNever, {}, {}};
-
-    /** Activity-driven per-bank temperatures feeding back into the
-     *  retention (src/thermal/); disabled by default, which preserves
-     *  the paper's isothermal evaluation bit for bit. */
-    ThermalParams thermal;
-
-    /** Cache-decay comparator settings (SRAM machines only, §7). */
-    DecayConfig decay;
-
-    // Engine microarchitecture (paper §5): sentry interrupt grouping of
-    // 1/4/16 lines for L1/L2/L3 and 4 periodic groups per bank.
-    EngineGeometry l1Engine{1, 4, 16};
-    EngineGeometry l2Engine{4, 4, 32};
-    EngineGeometry l3Engine{16, 4, 64};
-
-    bool refreshEnabled() const { return tech == CellTech::Edram; }
-
-    /** Refresh policy effective at the private levels. */
-    RefreshPolicy
-    upperPolicy() const
-    {
-        RefreshPolicy p = l3Policy;
-        p.data = upperDataPolicy;
-        return p;
-    }
-
-    /** Shrink every cache by @p factor (power of two) for fast tests. */
-    HierarchyConfig scaledDown(std::uint32_t factor) const;
-
-    /** The paper's evaluated machine with an SRAM hierarchy. */
-    static HierarchyConfig paperSram();
-
-    /** The SRAM machine with cache decay enabled at L2/L3 (§7). */
-    static HierarchyConfig paperSramDecay(Tick interval);
-
-    /** The paper's machine with eDRAM + the given policy/retention. */
-    static HierarchyConfig paperEdram(const RefreshPolicy &policy,
-                                      Tick retention);
-
-    /** The eDRAM machine with the thermal subsystem enabled at the
-     *  given ambient temperature (deg C). */
-    static HierarchyConfig paperEdramThermal(const RefreshPolicy &policy,
-                                             Tick retention,
-                                             double ambientC);
-};
-
-} // namespace refrint
+#include "config/machine_config.hh"
 
 #endif // REFRINT_COHERENCE_HIERARCHY_CONFIG_HH

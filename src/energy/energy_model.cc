@@ -5,13 +5,18 @@ namespace refrint
 
 EnergyBreakdown
 computeEnergy(const EnergyParams &p, const HierarchyCounts &n,
-              const HierarchyConfig &cfg, Tick execTicks,
+              const MachineConfig &cfg, Tick execTicks,
               std::uint64_t totalInstrs)
 {
     EnergyBreakdown e;
     const double sec = ticksToSeconds(execTicks);
-    const double leakRatio =
-        cfg.tech == CellTech::Edram ? p.edramLeakRatio : 1.0;
+
+    // Leakage ratio per level: Table 5.2's quarter-leakage applies to
+    // eDRAM levels only, so hybrid machines keep full SRAM leakage in
+    // the levels that stay SRAM.
+    auto ratio = [&](CellTech t) {
+        return t == CellTech::Edram ? p.edramLeakRatio : 1.0;
+    };
 
     // Per-level dynamic.
     const double l1Dyn =
@@ -36,16 +41,30 @@ computeEnergy(const EnergyParams &p, const HierarchyCounts &n,
                              static_cast<double>(execTicks);
         return std::min(1.0, offLineTicks / denom);
     };
-    const std::uint64_t l2Lines =
-        std::uint64_t{cfg.l2.numLines()} * cfg.numCores;
-    const std::uint64_t l3Lines =
-        std::uint64_t{cfg.l3Bank.numLines()} * cfg.numBanks;
 
-    const double l1Leak =
-        p.leakL1 * 2.0 * cfg.numCores * leakRatio * sec;
-    const double l2Leak = p.leakL2 * cfg.numCores * leakRatio * sec *
+    // Instance counts and line totals come from the level descriptors,
+    // not from a hardwired Table 5.1 shape: the L1 class has one unit
+    // per descriptor per core (IL1 + DL1 = 2 on the paper machine).
+    double l1UnitsPerCore = 0.0;
+    for (const CacheLevelSpec &l : cfg.levels) {
+        if (l.role == LevelRole::IL1 || l.role == LevelRole::DL1)
+            l1UnitsPerCore += 1.0;
+    }
+    const CacheLevelSpec &l1Spec = cfg.il1();
+    const CacheLevelSpec &l2Spec = cfg.l2();
+    const CacheLevelSpec &llcSpec = cfg.llc();
+    const std::uint64_t l2Lines =
+        std::uint64_t{l2Spec.geom.numLines()} * cfg.numCores;
+    const std::uint64_t l3Lines =
+        std::uint64_t{llcSpec.geom.numLines()} * cfg.numBanks;
+
+    const double l1Leak = p.leakL1 * l1UnitsPerCore * cfg.numCores *
+                          ratio(l1Spec.tech) * sec;
+    const double l2Leak = p.leakL2 * cfg.numCores * ratio(l2Spec.tech) *
+                          sec *
                           (1.0 - offFraction(n.l2OffLineTicks, l2Lines));
-    const double l3Leak = p.leakL3Bank * cfg.numBanks * leakRatio * sec *
+    const double l3Leak = p.leakL3Bank * cfg.numBanks *
+                          ratio(llcSpec.tech) * sec *
                           (1.0 - offFraction(n.l3OffLineTicks, l3Lines));
 
     e.l1 = l1Dyn + l1Ref + l1Leak;

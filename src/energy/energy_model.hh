@@ -53,7 +53,7 @@ struct EnergyBreakdown
  */
 EnergyBreakdown computeEnergy(const EnergyParams &p,
                               const HierarchyCounts &n,
-                              const HierarchyConfig &cfg, Tick execTicks,
+                              const MachineConfig &cfg, Tick execTicks,
                               std::uint64_t totalInstrs);
 
 /**

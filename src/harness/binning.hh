@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "config/machine_config.hh"
 #include "workload/workload.hh"
 
 namespace refrint
@@ -47,8 +48,16 @@ struct BinningThresholds
     std::uint64_t visibilityRefs = 30'000;
 };
 
+/**
+ * Classify @p app on @p cfg's machine.  Footprint is judged against
+ * the configured machine's LLC capacity (cfg.llcBytes()) and line
+ * size — a 32-core machine doubles the LLC, so an application that is
+ * Class 1 (large-footprint) on the paper's 16 MB machine can bin as
+ * Class 2/3 on a larger one.
+ */
 BinningMeasurement measureBinning(
-    const Workload &app, const BinningThresholds &thr = {});
+    const Workload &app, const BinningThresholds &thr = {},
+    const MachineConfig &cfg = MachineConfig::paperSram());
 
 } // namespace refrint
 

@@ -194,4 +194,25 @@ printHeadline(const SweepResult &s, std::FILE *out)
     }
 }
 
+void
+printThermalStudy(const SweepResult &s, const char *appName,
+                  double retentionUs, std::FILE *out)
+{
+    const ThermalResponse resp; // default curve (DESIGN.md)
+    std::fprintf(out,
+                 "# Thermal study — %s @ %.0f us nominal retention "
+                 "(retention nominal at %.0f C, halving per %.0f C)\n",
+                 appName, retentionUs, resp.refTempC,
+                 resp.halvingCelsius);
+    std::fprintf(out, "%-8s %-12s %8s %9s %9s %9s %9s\n", "ambient",
+                 "policy", "peakC", "refresh", "mem", "sys", "time");
+    for (const NormalizedResult &n : s.normalized) {
+        std::fprintf(out, "%-8.1f %-12s %8.1f %9.4f %9.4f %9.4f %9.4f\n",
+                     n.ambientC, n.config.c_str(), n.maxTempC, n.refresh,
+                     n.memEnergy, n.sysEnergy, n.time);
+    }
+    std::fprintf(out, "(refresh/mem normalized to the full-SRAM memory "
+                      "energy; sys/time to the full-SRAM run)\n");
+}
+
 } // namespace refrint

@@ -42,6 +42,11 @@ void printBinning(std::FILE *out = stdout);
 /** Abstract/§6 headline numbers: P.all and R.WB(32,32) at 50 us. */
 void printHeadline(const SweepResult &s, std::FILE *out = stdout);
 
+/** Thermal-study table: one row per (ambient, policy) of a sweep run
+ *  with a non-empty ambient axis (see refrint_cli thermal-study). */
+void printThermalStudy(const SweepResult &s, const char *appName,
+                       double retentionUs, std::FILE *out = stdout);
+
 } // namespace refrint
 
 #endif // REFRINT_HARNESS_REPORT_HH

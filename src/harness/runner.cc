@@ -6,7 +6,7 @@ namespace refrint
 {
 
 RunResult
-runOnce(const HierarchyConfig &cfg, const Workload &app,
+runOnce(const MachineConfig &cfg, const Workload &app,
         const SimParams &params, const EnergyParams &energy)
 {
     CmpSystem sys(cfg, app, params);
@@ -14,7 +14,8 @@ runOnce(const HierarchyConfig &cfg, const Workload &app,
 
     RunResult r;
     r.app = app.name();
-    r.config = cfg.tech == CellTech::Sram ? "SRAM" : cfg.l3Policy.name();
+    r.config = cfg.configName();
+    r.machine = cfg.machineId;
     r.retentionUs = static_cast<double>(cfg.retention.cellRetention) / 1e3;
     r.execTicks = sys.execTicks();
     r.instructions = sys.totalInstructions();
@@ -48,6 +49,7 @@ normalize(const RunResult &r, const RunResult &base)
     NormalizedResult n;
     n.app = r.app;
     n.config = r.config;
+    n.machine = r.machine;
     n.retentionUs = r.retentionUs;
     n.ambientC = r.ambientC;
     n.maxTempC = r.maxTempC;

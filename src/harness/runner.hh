@@ -23,6 +23,11 @@ struct RunResult
 {
     std::string app;
     std::string config; ///< "SRAM" or the policy name, e.g. "R.WB(32,32)"
+
+    /** Machine label (MachineConfig::machineId): empty for the paper's
+     *  default 16-core machine, "c32" / "hyb" / ... otherwise. */
+    std::string machine;
+
     double retentionUs = 0;
 
     /** Thermal scenario: ambient temperature in deg C, or 0 when the
@@ -44,6 +49,7 @@ struct NormalizedResult
 {
     std::string app;
     std::string config;
+    std::string machine; ///< "" = the default 16-core machine
     double retentionUs = 0;
     double ambientC = 0; ///< 0 = thermal subsystem disabled
     double maxTempC = 0;
@@ -58,7 +64,7 @@ struct NormalizedResult
 };
 
 /** Run @p app on @p cfg and collect the result. */
-RunResult runOnce(const HierarchyConfig &cfg, const Workload &app,
+RunResult runOnce(const MachineConfig &cfg, const Workload &app,
                   const SimParams &params,
                   const EnergyParams &energy = EnergyParams::calibrated());
 

@@ -95,13 +95,15 @@ namespace
 
 /**
  * Stable textual key identifying one run in the cache.  Thermal runs
- * (@p ambientC != 0) get an extra "|amb=" segment, so they can never
- * collide with — or be satisfied by — a legacy isothermal row, while
- * legacy keys stay exactly as they were.
+ * (@p ambientC != 0) get an extra "|amb=" segment and non-default
+ * machines (@p machine != "") an extra "|mach=" segment, so they can
+ * never collide with — or be satisfied by — a legacy row, while legacy
+ * keys stay exactly as they were.
  */
 std::string
 runKey(const std::string &app, const std::string &config,
-       double retentionUs, const SimParams &sim, double ambientC)
+       double retentionUs, const SimParams &sim, double ambientC,
+       const std::string &machine)
 {
     char buf[256];
     std::snprintf(buf, sizeof(buf), "%s|%s|%.1f|%llu|%llu", app.c_str(),
@@ -113,14 +115,21 @@ runKey(const std::string &app, const std::string &config,
         std::snprintf(buf, sizeof(buf), "|amb=%.2f", ambientC);
         key += buf;
     }
+    if (!machine.empty())
+        key += "|mach=" + machine;
     return key;
 }
 
 // v4 introduced named-field serialization (no struct-layout
 // reinterpret_cast), %.17g precision so every double round-trips
 // exactly, and full-rewrite-only persistence (no append path, no
-// duplicate keys).  v5 adds the thermal fields (ambientC, maxTempC).
-constexpr int kCacheVersion = 5;
+// duplicate keys).  v5 added the thermal fields (ambientC, maxTempC).
+// v6 adds machine-keyed rows ("|mach=" key segment) for the machine
+// sweep axis; the row payload is unchanged, so a v5 cache is read in
+// place (its rows are all default-machine rows) and rewritten as v6
+// only if the sweep simulates something new.
+constexpr int kCacheVersion = 6;
+constexpr int kOldestReadableVersion = 5;
 
 /** The numeric payload serialized per run. */
 struct CacheRow
@@ -179,11 +188,13 @@ toRow(const RunResult &r)
 
 RunResult
 fromRow(const std::string &app, const std::string &config,
-        double retentionUs, const CacheRow &c)
+        double retentionUs, const std::string &machine,
+        const CacheRow &c)
 {
     RunResult r;
     r.app = app;
     r.config = config;
+    r.machine = machine;
     r.retentionUs = retentionUs;
     r.execTicks = static_cast<Tick>(c.execTicks);
     r.instructions = static_cast<std::uint64_t>(c.instructions);
@@ -226,8 +237,13 @@ class RunCache
         if (!in)
             return;
         std::string line;
-        if (!std::getline(in, line) ||
-            line != "v" + std::to_string(kCacheVersion)) {
+        bool ok = std::getline(in, line).good();
+        if (ok) {
+            ok = false;
+            for (int v = kOldestReadableVersion; v <= kCacheVersion; ++v)
+                ok = ok || line == "v" + std::to_string(v);
+        }
+        if (!ok) {
             warn("ignoring sweep cache with stale version: %s",
                  path_.c_str());
             return;
@@ -381,17 +397,22 @@ runSweep(SweepSpec spec, const std::string &cachePath)
     RunCache cache(cachePath);
 
     // Flatten the sweep into a deterministic run list in spec order:
-    // per app, the SRAM baseline first, then retention x policy.  The
-    // list — not completion order — dictates where every result lands,
-    // so jobs=N output is identical to jobs=1.
+    // per machine, per app, the SRAM baseline first, then retention x
+    // policy.  The list — not completion order — dictates where every
+    // result lands, so jobs=N output is identical to jobs=1.
     struct RunDesc
     {
         const Workload *app;
-        HierarchyConfig cfg;
+        MachineConfig cfg;
         double retentionUs;
         std::string config;
         double ambientC; ///< 0 = thermal disabled
     };
+    // The machine axis: an empty list means the paper's default
+    // machine (exact legacy behavior, legacy cache keys).
+    std::vector<MachineAxis> machines = spec.machines;
+    if (machines.empty())
+        machines.push_back(MachineAxis{});
     // The ambient axis: an empty list means one isothermal pass with
     // the thermal subsystem off (exact legacy behavior).
     const std::size_t perApp = spec.retentions.size() *
@@ -399,30 +420,37 @@ runSweep(SweepSpec spec, const std::string &cachePath)
                                std::max<std::size_t>(1,
                                                      spec.ambients.size());
     std::vector<RunDesc> runs;
-    runs.reserve(spec.apps.size() * (1 + perApp));
-    for (const Workload *app : spec.apps) {
-        runs.push_back(
-            {app, HierarchyConfig::paperSram(), 0.0, "SRAM", 0.0});
-        auto pushEdram = [&](double ambientC) {
-            for (Tick ret : spec.retentions) {
-                const double retUs = static_cast<double>(ret) / 1e3;
-                for (const RefreshPolicy &pol : spec.policies) {
-                    HierarchyConfig cfg =
-                        ambientC == 0.0
-                            ? HierarchyConfig::paperEdram(pol, ret)
-                            : HierarchyConfig::paperEdramThermal(
-                                  pol, ret, ambientC);
-                    cfg.thermal.energy = spec.energy;
-                    runs.push_back(
-                        {app, cfg, retUs, pol.name(), ambientC});
+    runs.reserve(machines.size() * spec.apps.size() * (1 + perApp));
+    for (const MachineAxis &m : machines) {
+        for (const Workload *app : spec.apps) {
+            runs.push_back({app, MachineConfig::paperSram(m.cores), 0.0,
+                            "SRAM", 0.0});
+            auto pushEdram = [&](double ambientC) {
+                for (Tick ret : spec.retentions) {
+                    const double retUs = static_cast<double>(ret) / 1e3;
+                    for (const RefreshPolicy &pol : spec.policies) {
+                        MachineConfig cfg =
+                            m.hybrid
+                                ? MachineConfig::paperHybrid(pol, ret,
+                                                             m.cores)
+                                : MachineConfig::paperEdram(pol, ret,
+                                                            m.cores);
+                        if (ambientC != 0.0) {
+                            cfg.thermal.enabled = true;
+                            cfg.thermal.ambientC = ambientC;
+                        }
+                        cfg.thermal.energy = spec.energy;
+                        runs.push_back(
+                            {app, cfg, retUs, pol.name(), ambientC});
+                    }
                 }
+            };
+            if (spec.ambients.empty()) {
+                pushEdram(0.0);
+            } else {
+                for (double amb : spec.ambients)
+                    pushEdram(amb);
             }
-        };
-        if (spec.ambients.empty()) {
-            pushEdram(0.0);
-        } else {
-            for (double amb : spec.ambients)
-                pushEdram(amb);
         }
     }
 
@@ -433,21 +461,24 @@ runSweep(SweepSpec spec, const std::string &cachePath)
         const RunDesc &d = runs[i];
         const std::string key = runKey(d.app->name(), d.config,
                                        d.retentionUs, spec.sim,
-                                       d.ambientC);
+                                       d.ambientC, d.cfg.machineId);
         CacheRow row;
         if (cache.lookup(key, row)) {
-            results[i] =
-                fromRow(d.app->name(), d.config, d.retentionUs, row);
+            results[i] = fromRow(d.app->name(), d.config, d.retentionUs,
+                                 d.cfg.machineId, row);
             return;
         }
         char prefix[128];
         if (d.ambientC != 0.0)
-            std::snprintf(prefix, sizeof(prefix), "%s/%s@%.0fus/%.0fC",
+            std::snprintf(prefix, sizeof(prefix), "%s/%s@%.0fus/%.0fC%s%s",
                           d.app->name(), d.config.c_str(), d.retentionUs,
-                          d.ambientC);
+                          d.ambientC, d.cfg.machineId.empty() ? "" : "/",
+                          d.cfg.machineId.c_str());
         else
-            std::snprintf(prefix, sizeof(prefix), "%s/%s@%.0fus",
-                          d.app->name(), d.config.c_str(), d.retentionUs);
+            std::snprintf(prefix, sizeof(prefix), "%s/%s@%.0fus%s%s",
+                          d.app->name(), d.config.c_str(), d.retentionUs,
+                          d.cfg.machineId.empty() ? "" : "/",
+                          d.cfg.machineId.c_str());
         LogPrefix scope(prefix);
         inform("simulating ...");
         RunResult r = runOnce(d.cfg, *d.app, spec.sim, spec.energy);
@@ -461,23 +492,28 @@ runSweep(SweepSpec spec, const std::string &cachePath)
     cache.flush();
 
     // Assemble output in the same spec order the serial sweep used.
+    // Each machine's runs normalize against that machine's own SRAM
+    // baseline (a 32-core run is compared to the 32-core SRAM run).
     SweepResult out;
     out.simulations = simulated.load();
     std::size_t i = 0;
-    for (const Workload *app : spec.apps) {
-        (void)app;
-        const RunResult &base = results[i++];
-        out.raw.push_back(base);
-        const bool usable = usableBaseline(base);
-        if (!usable)
-            warn("degenerate SRAM baseline for %s (zero energy or "
-                 "time); skipping its normalized rows",
-                 base.app.c_str());
-        for (std::size_t p = 0; p < perApp; ++p) {
-            const RunResult &r = results[i++];
-            out.raw.push_back(r);
-            if (usable)
-                out.normalized.push_back(normalize(r, base));
+    for (const MachineAxis &m : machines) {
+        (void)m;
+        for (const Workload *app : spec.apps) {
+            (void)app;
+            const RunResult &base = results[i++];
+            out.raw.push_back(base);
+            const bool usable = usableBaseline(base);
+            if (!usable)
+                warn("degenerate SRAM baseline for %s (zero energy or "
+                     "time); skipping its normalized rows",
+                     base.app.c_str());
+            for (std::size_t p = 0; p < perApp; ++p) {
+                const RunResult &r = results[i++];
+                out.raw.push_back(r);
+                if (usable)
+                    out.normalized.push_back(normalize(r, base));
+            }
         }
     }
     return out;

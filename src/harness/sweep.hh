@@ -31,6 +31,24 @@ std::vector<RefreshPolicy> paperPolicySweep();
 /** The paper's three retention times, in ticks. */
 std::vector<Tick> paperRetentions();
 
+/**
+ * One point on the sweep's machine axis: the paper machine scaled to
+ * @p cores cores, either uniformly eDRAM (policy swept at the LLC) or
+ * hybrid (SRAM L1/L2 over the eDRAM LLC).  The SRAM normalization
+ * baseline is always the all-SRAM machine at the same core count.
+ */
+struct MachineAxis
+{
+    std::uint32_t cores = 16;
+    bool hybrid = false;
+
+    bool
+    isDefault() const
+    {
+        return cores == 16 && !hybrid;
+    }
+};
+
 struct SweepSpec
 {
     std::vector<const Workload *> apps; ///< defaults to all 11
@@ -38,6 +56,15 @@ struct SweepSpec
     std::vector<RefreshPolicy> policies; ///< defaults to all 14
     SimParams sim;
     EnergyParams energy = EnergyParams::calibrated();
+
+    /**
+     * Machines to sweep.  Empty (the default) runs the paper's
+     * 16-core machine — exactly the legacy sweep, byte for byte; its
+     * cache rows keep their legacy keys.  Non-default machines key
+     * their rows with an extra "|mach=" segment, so they can never
+     * collide with (or be satisfied by) a default-machine row.
+     */
+    std::vector<MachineAxis> machines;
 
     /**
      * Ambient temperatures (deg C) for the thermal subsystem.  Empty
@@ -74,7 +101,9 @@ struct SweepResult
     std::size_t simulations = 0;
 
     /** Mean of @p pick over the normalized rows matching the filter
-     *  (retention in us; empty app list = all apps). */
+     *  (retention in us; empty app list = all apps).  With a multi-
+     *  machine sweep the mean pools every machine's rows; filter via
+     *  NormalizedResult::machine if that is not what you want. */
     double average(double retentionUs, const std::string &config,
                    const std::vector<std::string> &apps,
                    double NormalizedResult::*field) const;

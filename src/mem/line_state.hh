@@ -47,13 +47,14 @@ struct CacheLine
     /** Tick at which the data cells themselves decay (§3.2). */
     Tick dataExpiry = kTickNever;
 
+    // ---- directory state (valid only at the shared LLC) ----
+
+    /** Bitmask of cores whose private hierarchy may hold this line.
+     *  64 bits: machines scale to 64 cores (MachineConfig). */
+    std::uint64_t sharers = 0;
+
     /** WB(n,m) Count field: refreshes remaining before WB/invalidate. */
     std::uint32_t count = 0;
-
-    // ---- directory state (valid only at the shared L3) ----
-
-    /** Bitmask of cores whose private hierarchy may hold this line. */
-    std::uint16_t sharers = 0;
 
     Mesi state = Mesi::Invalid;
 
@@ -76,6 +77,11 @@ struct CacheLine
         count = 0;
     }
 };
+
+// Two lines per hardware cache line: the 64-core sharer mask widened
+// to 64 bits without growing the struct (the u32 count packs into what
+// used to be padding).
+static_assert(sizeof(CacheLine) == 32, "CacheLine must stay 32 bytes");
 
 } // namespace refrint
 

@@ -72,8 +72,8 @@ void
 applyEcc(EccScheme scheme, HierarchyConfig &cfg, EnergyParams &energy)
 {
     const EccModel m{scheme};
-    panicIf(cfg.tech != CellTech::Edram,
-            "ECC retention extension applies to eDRAM machines");
+    panicIf(cfg.llc().tech != CellTech::Edram,
+            "ECC retention extension applies to eDRAM LLCs");
     cfg.retention.cellRetention = static_cast<Tick>(
         static_cast<double>(cfg.retention.cellRetention) *
         m.retentionMultiplier());

@@ -5,7 +5,7 @@
 namespace refrint
 {
 
-CmpSystem::CmpSystem(const HierarchyConfig &cfg, const Workload &app,
+CmpSystem::CmpSystem(const MachineConfig &cfg, const Workload &app,
                      const SimParams &params)
     : params_(params)
 {

@@ -1,8 +1,9 @@
 /**
  * @file
- * CmpSystem assembles the evaluated machine (Table 5.1): event queue,
- * coherent hierarchy with refresh engines, and 16 trace-driven cores
- * replaying one workload.  One CmpSystem instance is one experiment run.
+ * CmpSystem assembles one machine from its MachineConfig descriptors:
+ * event queue, coherent hierarchy with refresh engines, and one
+ * trace-driven core per configured core replaying one workload.  One
+ * CmpSystem instance is one experiment run.
  */
 
 #ifndef REFRINT_SYSTEM_CMP_SYSTEM_HH
@@ -34,7 +35,7 @@ struct SimParams
 class CmpSystem
 {
   public:
-    CmpSystem(const HierarchyConfig &cfg, const Workload &app,
+    CmpSystem(const MachineConfig &cfg, const Workload &app,
               const SimParams &params);
     ~CmpSystem();
 

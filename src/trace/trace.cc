@@ -131,9 +131,14 @@ std::unique_ptr<CoreStream>
 TraceWorkload::makeStream(CoreId core, std::uint32_t numCores,
                           std::uint64_t seed) const
 {
-    (void)numCores;
     (void)seed; // a trace replays verbatim; seeds don't apply
-    const auto &refs = trace_.perCore[core % trace_.numCores()];
+    if (numCores != trace_.numCores())
+        fatal("trace '%s' records %u cores but the machine has %u; "
+              "re-record the trace for this machine (trace-record "
+              "--cores %u)",
+              name_.c_str(), trace_.numCores(), numCores, numCores);
+    panicIf(core >= trace_.numCores(), "core id beyond the trace");
+    const auto &refs = trace_.perCore[core];
     panicIf(refs.empty(), "trace has an empty stream for this core");
     return std::make_unique<TraceStream>(refs);
 }

@@ -72,8 +72,11 @@ Trace loadTrace(const std::string &path);
 
 /**
  * A Workload replaying a recorded trace.  Each core's stream wraps
- * around when it exhausts its vector, so any refsPerCore works; cores
- * beyond the trace's width reuse streams modulo numCores().
+ * around when it exhausts its vector, so any refsPerCore works.  The
+ * constructed machine must have exactly the trace's core count:
+ * makeStream() rejects a mismatch with a clear fatal error instead of
+ * silently reusing or dropping streams — a 16-core trace replayed on a
+ * 32-core machine is a different workload, not the recorded one.
  */
 class TraceWorkload : public Workload
 {

@@ -26,17 +26,21 @@ SyntheticStream::SyntheticStream(const AppProfile &prof, CoreId core,
       prng_(seed * 0x2545F4914F6CDD1DULL + 0x1234, core * 2 + 1)
 {
     panicIf(numCores == 0, "workload needs at least one core");
-    const std::uint64_t privSpan =
-        roundUp(std::max<std::uint64_t>(prof_.privateBytes, 64), 1 << 20);
+    constexpr Addr kLine = kLineBytes;
+    const std::uint64_t privSpan = roundUp(
+        std::max<std::uint64_t>(prof_.privateBytes, kLine), 1 << 20);
     privBase_ = kPrivateBase + core_ * privSpan;
+    panicIf(privBase_ + privSpan > kSharedBase,
+            "private regions would overlap the shared region; fewer "
+            "cores or a smaller privateBytes needed");
     privLines_ = static_cast<std::uint32_t>(
-        std::max<std::uint64_t>(prof_.privateBytes, 64) / 64);
+        std::max<std::uint64_t>(prof_.privateBytes, kLine) / kLine);
     sharedLines_ = static_cast<std::uint32_t>(
-        std::max<std::uint64_t>(prof_.sharedBytes, 64) / 64);
+        std::max<std::uint64_t>(prof_.sharedBytes, kLine) / kLine);
     hotLines_ = static_cast<std::uint32_t>(
         std::max<std::uint64_t>(
-            std::min(prof_.hotBytes, prof_.privateBytes), 64) /
-        64);
+            std::min(prof_.hotBytes, prof_.privateBytes), kLine) /
+        kLine);
     chunksTotal_ = numCores_;
     seqCursor_ = prng_.below(privLines_);
 }
@@ -48,7 +52,7 @@ SyntheticStream::hotRef(bool &write)
     // and loop-carried locals that stay resident in the DL1.
     write = prng_.chance(prof_.writeFraction);
     const std::uint32_t lineIdx = prng_.skewed(hotLines_, 2.0);
-    return privBase_ + static_cast<Addr>(lineIdx) * 64;
+    return privBase_ + static_cast<Addr>(lineIdx) * kLineBytes;
 }
 
 Addr
@@ -68,7 +72,7 @@ SyntheticStream::privateRef(bool &write)
     } else {
         lineIdx = prng_.skewed(privLines_, prof_.skew);
     }
-    return privBase_ + static_cast<Addr>(lineIdx) * 64;
+    return privBase_ + static_cast<Addr>(lineIdx) * kLineBytes;
 }
 
 Addr
@@ -90,12 +94,12 @@ SyntheticStream::sharedRef(bool &write)
         const std::uint32_t chunk = (owner + epoch) % usable;
         const std::uint32_t lineIdx =
             chunk * chunkLines + prng_.below(chunkLines);
-        return kSharedBase + static_cast<Addr>(lineIdx) * 64;
+        return kSharedBase + static_cast<Addr>(lineIdx) * kLineBytes;
     }
     // Read-mostly lookups over the shared structure.
     write = prng_.chance(prof_.writeFraction * 0.25);
     const std::uint32_t lineIdx = prng_.skewed(sharedLines_, prof_.skew);
-    return kSharedBase + static_cast<Addr>(lineIdx) * 64;
+    return kSharedBase + static_cast<Addr>(lineIdx) * kLineBytes;
 }
 
 MemRef

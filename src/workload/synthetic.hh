@@ -74,6 +74,12 @@ class SyntheticStream : public CoreStream
     static constexpr Addr kPrivateBase = 0x1000'0000ULL;
     static constexpr Addr kSharedBase = 0x8000'0000ULL;
 
+    /** Generator line granularity (matches the paper caches' 64 B
+     *  lines; named so it cannot hide as a magic topology constant).
+     *  The private-region address map supports up to 64 cores before
+     *  kPrivateBase + core * span would reach kSharedBase. */
+    static constexpr Addr kLineBytes = 64;
+
   private:
     Addr hotRef(bool &write);
     Addr privateRef(bool &write);

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Golden byte-identity tests: the default MachineConfig must reproduce
+ * the pre-refactor (commit 7c48afe) machine exactly.  The committed
+ * golden files under tests/golden/ were captured from that revision:
+ *
+ *  - sweep_cache_default.csv  cache rows of a 2-app (fft, lu) sweep at
+ *                             4000 refs/core (keys byte-identical; the
+ *                             header is v6, rows are unchanged v5 rows)
+ *  - sweep_headline.txt       the sweep's printHeadline output
+ *  - thermal_study.txt        the thermal-study table (fft, 50 us,
+ *                             ambients 45/65/85)
+ *
+ * Keys and formatted output must match byte for byte.  Numeric row
+ * payloads are compared at 1e-9 relative tolerance: counts are exact
+ * integers in double, and energies may legitimately differ in the last
+ * ulp between build types (FP contraction), which %.17g would surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/report.hh"
+#include "harness/sweep.hh"
+
+namespace refrint
+{
+namespace
+{
+
+#ifndef REFRINT_TEST_GOLDEN_DIR
+#define REFRINT_TEST_GOLDEN_DIR "tests/golden"
+#endif
+
+std::string
+goldenPath(const char *file)
+{
+    return std::string(REFRINT_TEST_GOLDEN_DIR) + "/" + file;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** The sweep spec whose output the goldens pin. */
+SweepSpec
+goldenSpec()
+{
+    // The goldens encode fixed parameters; neutralize environment
+    // overrides a developer (or another CI step) may have exported.
+    unsetenv("REFRINT_REFS");
+    unsetenv("REFRINT_APPS");
+    unsetenv("REFRINT_JOBS");
+    SweepSpec spec;
+    spec.apps = {findWorkload("fft"), findWorkload("lu")};
+    spec.sim.refsPerCore = 4000;
+    spec.sim.seed = 1;
+    spec.jobs = 4; // results are bit-identical to jobs=1
+    return spec;
+}
+
+/** Parse "key;v0,v1,..." rows of a cache file (skips the header). */
+std::map<std::string, std::vector<double>>
+parseCache(const std::string &text)
+{
+    std::map<std::string, std::vector<double>> rows;
+    std::stringstream ss(text);
+    std::string line;
+    while (std::getline(ss, line)) {
+        const auto sep = line.find(';');
+        if (sep == std::string::npos)
+            continue; // version header
+        std::vector<double> vals;
+        std::stringstream vs(line.substr(sep + 1));
+        std::string tok;
+        while (std::getline(vs, tok, ','))
+            vals.push_back(std::strtod(tok.c_str(), nullptr));
+        rows[line.substr(0, sep)] = vals;
+    }
+    return rows;
+}
+
+/** Render @p print into a string via a temporary stream. */
+template <typename Fn>
+std::string
+capture(Fn print)
+{
+    std::FILE *f = std::tmpfile();
+    EXPECT_NE(f, nullptr);
+    print(f);
+    std::fflush(f);
+    const long n = std::ftell(f);
+    std::rewind(f);
+    std::string out(static_cast<std::size_t>(n), '\0');
+    const std::size_t got =
+        std::fread(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    EXPECT_EQ(got, out.size());
+    return out;
+}
+
+TEST(GoldenDefault, SweepRowSetIsByteIdenticalToPreRefactor)
+{
+    const std::string cachePath = "golden_test_cache.csv";
+    std::remove(cachePath.c_str());
+
+    SweepSpec spec = goldenSpec();
+    const SweepResult s = runSweep(spec, cachePath);
+    EXPECT_EQ(s.raw.size(), 2u * 43u);
+
+    const auto want =
+        parseCache(readFile(goldenPath("sweep_cache_default.csv")));
+    const auto got = parseCache(readFile(cachePath));
+    ASSERT_FALSE(want.empty());
+    ASSERT_EQ(got.size(), want.size());
+
+    for (const auto &[key, wantVals] : want) {
+        const auto it = got.find(key);
+        ASSERT_NE(it, got.end()) << "missing legacy row key: " << key;
+        ASSERT_EQ(it->second.size(), wantVals.size()) << key;
+        for (std::size_t i = 0; i < wantVals.size(); ++i) {
+            const double w = wantVals[i], g = it->second[i];
+            EXPECT_NEAR(g, w, std::abs(w) * 1e-9 + 1e-12)
+                << key << " field " << i;
+        }
+    }
+
+    // The headline report over those rows, byte for byte.
+    const std::string headline =
+        capture([&](std::FILE *f) { printHeadline(s, f); });
+    EXPECT_EQ(headline, readFile(goldenPath("sweep_headline.txt")));
+
+    std::remove(cachePath.c_str());
+}
+
+TEST(GoldenDefault, ThermalStudyOutputIsByteIdenticalToPreRefactor)
+{
+    SweepSpec spec = goldenSpec();
+    spec.apps = {findWorkload("fft")};
+    spec.retentions = {usToTicks(50.0)};
+    spec.policies = {RefreshPolicy::periodic(DataPolicy::All),
+                     RefreshPolicy::refrint(DataPolicy::WB, 32, 32)};
+    spec.ambients = {45.0, 65.0, 85.0};
+    const SweepResult s = runSweep(spec, /*cachePath=*/"");
+
+    const std::string table = capture(
+        [&](std::FILE *f) { printThermalStudy(s, "fft", 50.0, f); });
+    EXPECT_EQ(table, readFile(goldenPath("thermal_study.txt")));
+}
+
+} // namespace
+} // namespace refrint

@@ -284,10 +284,10 @@ TEST_F(CoherenceTest, InterventionAddsLatencyOverPlainMiss)
 Addr
 conflictAddr(const Hierarchy &h, Addr base, std::uint32_t i)
 {
-    const CacheGeometry &g = h.config().l3Bank;
+    const CacheGeometry &g = h.config().llc().geom;
     const std::uint32_t wantSet = g.setIndex(base);
     const std::uint32_t wantBank = h.bankOf(base);
-    const Addr bankSpan = Addr{64} << h.config().l3Bank.indexShift;
+    const Addr bankSpan = Addr{64} << h.config().llc().geom.indexShift;
     std::uint32_t found = 0;
     for (Addr a = base + bankSpan * 4;; a += bankSpan * 4) {
         if (h.bankOf(a) == wantBank && g.setIndex(a) == wantSet) {

@@ -217,7 +217,7 @@ TEST(HierarchyRefresh, L2RefreshWritebackDowngradesModifiedToExclusive)
     // never writes back; pin them to WB to exercise the L2 path.
     HierarchyConfig cfg =
         tinyEdram(RefreshPolicy::refrint(DataPolicy::WB, 1, 8));
-    cfg.upperDataPolicy = DataPolicy::WB;
+    cfg.setUpperDataPolicy(DataPolicy::WB);
     EventQueue eq;
     Hierarchy hier(cfg, eq);
     hier.start(0);

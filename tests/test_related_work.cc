@@ -98,7 +98,7 @@ TEST(SmartRefresh, QuantizesRefreshEarlierThanRefrint)
     // SmartRefresh therefore refreshes at least as often.
     HierarchyConfig sCfg = tinyEdram(
         RefreshPolicy{TimePolicy::SmartRefresh, DataPolicy::Valid, 0, 0});
-    sCfg.l3Engine.smartCounterBits = 2; // coarse: 25% early quantization
+    sCfg.llc().engine.smartCounterBits = 2; // coarse: 25% early quantization
     Harness s(sCfg);
     Harness r(tinyEdram(RefreshPolicy::refrint(DataPolicy::Valid)));
     s.hier.access(0, kA, AccessType::Load, 0);

@@ -67,19 +67,37 @@ TEST(TraceTest, ReplayWrapsAroundWhenExhausted)
     }
 }
 
-TEST(TraceTest, ExtraCoresReuseStreamsModuloTraceWidth)
+TEST(TraceTest, RejectsMachineWithDifferentCoreCount)
 {
+    // Replaying a 2-core trace on any other machine width is a
+    // different workload, not the recorded one: makeStream must fail
+    // with a clear error instead of silently reusing or dropping
+    // streams.
     UniformWorkload app(8 * 1024, 0.2);
     TraceWorkload w(recordTrace(app, 2, 100, 5));
 
-    auto s0 = w.makeStream(0, 4, 0);
-    auto s2 = w.makeStream(2, 4, 0); // 2 % 2 == 0: same stream content
-    for (int i = 0; i < 100; ++i) {
-        const MemRef a = s0->next();
-        const MemRef b = s2->next();
-        EXPECT_EQ(a.addr, b.addr);
-        EXPECT_EQ(a.write, b.write);
-    }
+    EXPECT_EXIT(w.makeStream(0, 4, 0), ::testing::ExitedWithCode(1),
+                "records 2 cores but the machine has 4");
+    EXPECT_EXIT(w.makeStream(0, 1, 0), ::testing::ExitedWithCode(1),
+                "records 2 cores but the machine has 1");
+
+    // The matching width keeps working.
+    auto s0 = w.makeStream(0, 2, 0);
+    ASSERT_NE(s0, nullptr);
+}
+
+TEST(TraceTest, RejectsReplayOnMismatchedCmpSystem)
+{
+    // End to end: a 4-core trace against an 8-core machine dies in
+    // CmpSystem construction (the workload's makeStream rejects it).
+    UniformWorkload app(8 * 1024, 0.2);
+    TraceWorkload w(recordTrace(app, 4, 50, 5));
+    const MachineConfig cfg =
+        test::tinyConfig(CellTech::Edram, /*cores=*/8);
+    SimParams sim;
+    sim.refsPerCore = 50;
+    EXPECT_EXIT(CmpSystem(cfg, w, sim), ::testing::ExitedWithCode(1),
+                "records 4 cores but the machine has 8");
 }
 
 TEST(TraceTest, ReplayReproducesTheGeneratorRunExactly)

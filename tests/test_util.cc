@@ -3,37 +3,35 @@
 namespace refrint::test
 {
 
-HierarchyConfig
-tinyConfig(CellTech tech)
+MachineConfig
+tinyConfig(CellTech tech, std::uint32_t cores)
 {
-    HierarchyConfig c;
-    c.numCores = 4;
-    c.numBanks = 4;
-    c.torusDim = 2;
-    c.il1 = CacheGeometry{2 * 1024, 2, 64, 1};
-    c.dl1 = CacheGeometry{2 * 1024, 4, 64, 1};
-    c.l2 = CacheGeometry{8 * 1024, 8, 64, 2};
-    // 4 banks -> shift 2; hashed index like the paper machine's L3
-    c.l3Bank = CacheGeometry{32 * 1024, 8, 64, 4, 2, true};
-    c.tech = tech;
+    // Scale the paper machine down through the descriptors: small
+    // caches and a short retention so refresh activity shows up within
+    // microseconds.  Line size and latencies match the paper config.
+    MachineConfig c = MachineConfig::paper(cores);
+    c.setTech(tech);
+    c.il1().geom = CacheGeometry{2 * 1024, 2, 64, 1};
+    c.dl1().geom = CacheGeometry{2 * 1024, 4, 64, 1};
+    c.l2().geom = CacheGeometry{8 * 1024, 8, 64, 2};
+    // Hashed index like the paper machine's LLC; the bank-select shift
+    // is already derived from the bank count by the factory.
+    c.llc().geom.sizeBytes = 32 * 1024;
     c.retention = RetentionParams{usToTicks(5.0), kTickNever, {}, {}};
-    c.l1Engine = EngineGeometry{1, 4, 16};
-    c.l2Engine = EngineGeometry{4, 4, 32};
-    c.l3Engine = EngineGeometry{16, 4, 64};
     return c;
 }
 
-HierarchyConfig
+MachineConfig
 tinyEdram(const RefreshPolicy &policy, Tick retention)
 {
-    HierarchyConfig c = tinyConfig(CellTech::Edram);
-    c.l3Policy = policy;
+    MachineConfig c = tinyConfig(CellTech::Edram);
+    c.setLlcPolicy(policy);
     c.retention.cellRetention = retention;
     return c;
 }
 
 RunResult
-runTiny(const HierarchyConfig &cfg, const Workload &app,
+runTiny(const MachineConfig &cfg, const Workload &app,
         std::uint64_t refs, std::uint64_t seed)
 {
     SimParams sim;

@@ -17,18 +17,20 @@ namespace refrint::test
 {
 
 /**
- * A 4-core, 4-bank machine with small caches and a short retention so
- * refresh activity shows up within microseconds of simulated time.
- * Line size and latencies match the paper config.
+ * A 4-core, 4-bank machine (scalable via @p cores) with small caches
+ * and a short retention so refresh activity shows up within
+ * microseconds of simulated time.  Line size and latencies match the
+ * paper config.
  */
-HierarchyConfig tinyConfig(CellTech tech = CellTech::Edram);
+MachineConfig tinyConfig(CellTech tech = CellTech::Edram,
+                         std::uint32_t cores = 4);
 
-/** tinyConfig with a specific L3 policy/retention. */
-HierarchyConfig tinyEdram(const RefreshPolicy &policy,
-                          Tick retention = usToTicks(5.0));
+/** tinyConfig with a specific LLC policy/retention. */
+MachineConfig tinyEdram(const RefreshPolicy &policy,
+                        Tick retention = usToTicks(5.0));
 
 /** Run @p app on @p cfg for @p refs refs/core; returns the result. */
-RunResult runTiny(const HierarchyConfig &cfg, const Workload &app,
+RunResult runTiny(const MachineConfig &cfg, const Workload &app,
                   std::uint64_t refs, std::uint64_t seed = 7);
 
 } // namespace refrint::test

@@ -4,8 +4,9 @@
  *
  *   refrint_cli run --app fft --policy R.WB(32,32) --retention 50
  *                   [--refs N] [--seed S] [--sram] [--decay US]
- *                   [--ambient C]
- *   refrint_cli sweep [--refs N]          reproduce the Table 5.4 sweep
+ *                   [--ambient C] [--cores N] [--hybrid]
+ *   refrint_cli sweep [--refs N] [--cores N] [--hybrid]
+ *                                         reproduce the Table 5.4 sweep
  *   refrint_cli figures [--refs N]        print Figs. 6.1-6.4 + headline
  *   refrint_cli thermal-study [--app fft] [--ambients 45,65,85]
  *                   sweep the ambient-temperature scenario axis
@@ -45,6 +46,8 @@ struct Args
     double retentionUs = 50.0;
     std::uint64_t refs = 120'000;
     std::uint64_t seed = 1;
+    std::uint32_t cores = 16; ///< machine scale (4..64)
+    bool hybrid = false;      ///< SRAM L1/L2 over the eDRAM LLC
     unsigned jobs = 0; ///< sweep workers; 0 = $REFRINT_JOBS or serial
     bool sram = false;
     double decayUs = 0.0;
@@ -63,7 +66,7 @@ usage()
         "trace-record|trace-run|list> [options]\n"
         "  --app NAME --policy P --retention US --refs N --seed S\n"
         "  --jobs N --sram --decay US --ambient C --ambients C1,C2,...\n"
-        "  --cache PATH --in FILE --out FILE\n");
+        "  --cores N --hybrid --cache PATH --in FILE --out FILE\n");
     std::exit(2);
 }
 
@@ -129,6 +132,17 @@ parseArgs(int argc, char **argv, int first)
             }
             a.jobs = static_cast<unsigned>(n);
         }
+        else if (k == "--cores") {
+            const std::uint64_t n = argU64("--cores", val());
+            if (n < 4 || n > 64) {
+                std::fprintf(stderr,
+                             "--cores wants an integer in [4, 64]\n");
+                usage();
+            }
+            a.cores = static_cast<std::uint32_t>(n);
+        }
+        else if (k == "--hybrid")
+            a.hybrid = true;
         else if (k == "--sram")
             a.sram = true;
         else if (k == "--decay")
@@ -152,6 +166,11 @@ parseArgs(int argc, char **argv, int first)
             a.out = val();
         else
             usage();
+    }
+    if (a.sram && a.hybrid) {
+        std::fprintf(stderr, "--hybrid builds SRAM L1/L2 over an eDRAM "
+                             "LLC; drop --sram\n");
+        usage();
     }
     if (a.sram && a.ambientC > 0.0) {
         std::fprintf(stderr, "--ambient needs an eDRAM machine; drop "
@@ -199,18 +218,26 @@ cachePathFor(const Args &a)
     return a.cache.empty() ? defaultCachePath() : a.cache;
 }
 
-HierarchyConfig
+MachineConfig
 machineFor(const Args &a)
 {
     if (a.sram && a.decayUs > 0.0)
-        return HierarchyConfig::paperSramDecay(usToTicks(a.decayUs));
+        return MachineConfig::paperSramDecay(usToTicks(a.decayUs),
+                                             a.cores);
     if (a.sram)
-        return HierarchyConfig::paperSram();
-    if (a.ambientC > 0.0)
-        return HierarchyConfig::paperEdramThermal(
-            parsePolicy(a.policy), usToTicks(a.retentionUs), a.ambientC);
-    return HierarchyConfig::paperEdram(parsePolicy(a.policy),
-                                       usToTicks(a.retentionUs));
+        return MachineConfig::paperSram(a.cores);
+    MachineConfig cfg =
+        a.hybrid ? MachineConfig::paperHybrid(parsePolicy(a.policy),
+                                              usToTicks(a.retentionUs),
+                                              a.cores)
+                 : MachineConfig::paperEdram(parsePolicy(a.policy),
+                                             usToTicks(a.retentionUs),
+                                             a.cores);
+    if (a.ambientC > 0.0) {
+        cfg.thermal.enabled = true;
+        cfg.thermal.ambientC = a.ambientC;
+    }
+    return cfg;
 }
 
 void
@@ -221,19 +248,22 @@ printRun(const Workload &app, const Args &a)
     sim.seed = a.seed;
 
     const RunResult base =
-        runOnce(HierarchyConfig::paperSram(), app, sim);
-    const HierarchyConfig cfg = machineFor(a);
+        runOnce(MachineConfig::paperSram(a.cores), app, sim);
+    const MachineConfig cfg = machineFor(a);
     const RunResult r =
         a.sram && a.decayUs == 0.0 ? base : runOnce(cfg, app, sim);
     const NormalizedResult n = normalize(r, base);
 
     std::printf("app            %s (class %d)\n", app.name(),
                 app.paperClass());
-    std::printf("machine        %s%s", cellTechName(cfg.tech),
+    std::printf("machine        %s%s", cfg.techSummary().c_str(),
                 cfg.decay.enabled ? "+decay" : "");
-    if (cfg.tech == CellTech::Edram)
+    if (cfg.anyEdram())
         std::printf("  policy %s  retention %.0f us",
-                    cfg.l3Policy.name().c_str(), a.retentionUs);
+                    cfg.llc().policy.name().c_str(), a.retentionUs);
+    if (cfg.numCores != 16)
+        std::printf("  cores %u (%ux%u torus)", cfg.numCores,
+                    cfg.torusDim, cfg.torusDim);
     std::printf("\n");
     if (cfg.thermal.enabled)
         std::printf("thermal        ambient %.1f C  peak %.1f C  "
@@ -277,6 +307,12 @@ cmdSweepOrFigures(const Args &a, bool figures)
     SweepSpec spec;
     spec.sim.refsPerCore = a.refs;
     spec.jobs = a.jobs;
+    if (a.cores != 16 || a.hybrid) {
+        spec.machines = {MachineAxis{a.cores, a.hybrid}};
+        std::printf("machine: %u cores (%s)\n", a.cores,
+                    a.hybrid ? "hybrid SRAM L1/L2 + eDRAM LLC"
+                             : "uniform tech");
+    }
     const SweepResult s = runSweep(std::move(spec), cachePathFor(a));
     if (figures) {
         printFig61(s);
@@ -324,22 +360,10 @@ cmdThermalStudy(const Args &a)
     spec.sim.refsPerCore = a.refs;
     spec.sim.seed = a.seed;
     spec.jobs = a.jobs;
+    if (a.cores != 16 || a.hybrid)
+        spec.machines = {MachineAxis{a.cores, a.hybrid}};
     const SweepResult s = runSweep(std::move(spec), cachePathFor(a));
-
-    const ThermalResponse resp; // default curve (DESIGN.md)
-    std::printf("# Thermal study — %s @ %.0f us nominal retention "
-                "(retention nominal at %.0f C, halving per %.0f C)\n",
-                app->name(), a.retentionUs, resp.refTempC,
-                resp.halvingCelsius);
-    std::printf("%-8s %-12s %8s %9s %9s %9s %9s\n", "ambient", "policy",
-                "peakC", "refresh", "mem", "sys", "time");
-    for (const NormalizedResult &n : s.normalized) {
-        std::printf("%-8.1f %-12s %8.1f %9.4f %9.4f %9.4f %9.4f\n",
-                    n.ambientC, n.config.c_str(), n.maxTempC, n.refresh,
-                    n.memEnergy, n.sysEnergy, n.time);
-    }
-    std::printf("(refresh/mem normalized to the full-SRAM memory "
-                "energy; sys/time to the full-SRAM run)\n");
+    printThermalStudy(s, app->name(), a.retentionUs);
     return 0;
 }
 
@@ -351,7 +375,7 @@ cmdTraceRecord(const Args &a)
         std::fprintf(stderr, "trace-record needs --app and --out\n");
         return 1;
     }
-    const Trace t = recordTrace(*app, 16, a.refs, a.seed);
+    const Trace t = recordTrace(*app, a.cores, a.refs, a.seed);
     if (!saveTrace(t, a.out))
         return 1;
     std::printf("recorded %llu refs (%u cores) from %s to %s\n",
@@ -386,6 +410,8 @@ cmdList()
     std::printf("retentions: 50, 100, 200 (us)\n");
     std::printf("ambients (thermal-study / run --ambient): deg C, "
                 "default 45,65,85\n");
+    std::printf("machines: --cores 4..64 (square torus derived), "
+                "--hybrid (SRAM L1/L2 + eDRAM L3)\n");
     return 0;
 }
 
