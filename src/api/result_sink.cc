@@ -1,0 +1,165 @@
+#include "api/result_sink.hh"
+
+#include "api/experiment_plan.hh"
+#include "api/json.hh"
+
+namespace refrint
+{
+
+namespace
+{
+
+/** RFC-4180 field quoting: policy names like "R.WB(32,32)" carry
+ *  commas and must not shift the column structure. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+CsvSink::begin(const ExperimentPlan &plan)
+{
+    (void)plan;
+    std::fprintf(out_,
+                 "app,config,machine,retentionUs,ambientC,maxTempC,"
+                 "execTicks,instructions,"
+                 "eL1,eL2,eL3,eDram,eDynamic,eLeakage,eRefresh,eCore,"
+                 "eNet,dramAccesses,l3Misses,l3Refreshes,"
+                 "refreshWritebacks,refreshInvalidations,decayedHits,"
+                 "simulated,normTime,normMemEnergy,normSysEnergy\n");
+}
+
+void
+CsvSink::consume(const ExperimentPlan &plan, std::size_t index,
+                 const RunResult &r, const NormalizedResult *norm,
+                 bool simulated)
+{
+    (void)plan;
+    (void)index;
+    std::fprintf(out_,
+                 "%s,%s,%s,%.17g,%.17g,%.17g,%llu,%llu,"
+                 "%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,"
+                 "%.17g,%llu,%llu,%llu,%llu,%llu,%llu,%d",
+                 csvField(r.app).c_str(), csvField(r.config).c_str(),
+                 csvField(r.machine).c_str(),
+                 r.retentionUs, r.ambientC, r.maxTempC,
+                 static_cast<unsigned long long>(r.execTicks),
+                 static_cast<unsigned long long>(r.instructions),
+                 r.energy.l1, r.energy.l2, r.energy.l3, r.energy.dram,
+                 r.energy.dynamic, r.energy.leakage, r.energy.refresh,
+                 r.energy.core, r.energy.net,
+                 static_cast<unsigned long long>(r.counts.dramAccesses),
+                 static_cast<unsigned long long>(r.counts.l3Misses),
+                 static_cast<unsigned long long>(r.counts.l3Refreshes),
+                 static_cast<unsigned long long>(
+                     r.counts.refreshWritebacks),
+                 static_cast<unsigned long long>(
+                     r.counts.refreshInvalidations),
+                 static_cast<unsigned long long>(r.counts.decayedHits),
+                 simulated ? 1 : 0);
+    if (norm != nullptr)
+        std::fprintf(out_, ",%.17g,%.17g,%.17g\n", norm->time,
+                     norm->memEnergy, norm->sysEnergy);
+    else
+        std::fprintf(out_, ",,,\n");
+}
+
+void
+JsonLinesSink::begin(const ExperimentPlan &plan)
+{
+    energyTag_ = energyKeyTag(plan.energy);
+}
+
+void
+JsonLinesSink::consume(const ExperimentPlan &plan, std::size_t index,
+                       const RunResult &r, const NormalizedResult *norm,
+                       bool simulated)
+{
+    JsonValue o = JsonValue::object();
+    o.set("plan", JsonValue::string(plan.name));
+    // The row's actual cache identity, including the plan's energy
+    // tag, so rows from different energy models never alias.
+    ScenarioKey key = plan.scenarios[index].key();
+    key.energy = energyTag_;
+    o.set("key", JsonValue::string(key.str()));
+    o.set("app", JsonValue::string(r.app));
+    o.set("config", JsonValue::string(r.config));
+    o.set("machine", JsonValue::string(r.machine));
+    o.set("retentionUs", JsonValue::number(r.retentionUs));
+    o.set("ambientC", JsonValue::number(r.ambientC));
+    o.set("maxTempC", JsonValue::number(r.maxTempC));
+    o.set("execTicks",
+          JsonValue::number(static_cast<double>(r.execTicks)));
+    o.set("instructions",
+          JsonValue::number(static_cast<double>(r.instructions)));
+    o.set("simulated", JsonValue::boolean(simulated));
+
+    JsonValue en = JsonValue::object();
+    en.set("l1", JsonValue::number(r.energy.l1));
+    en.set("l2", JsonValue::number(r.energy.l2));
+    en.set("l3", JsonValue::number(r.energy.l3));
+    en.set("dram", JsonValue::number(r.energy.dram));
+    en.set("dynamic", JsonValue::number(r.energy.dynamic));
+    en.set("leakage", JsonValue::number(r.energy.leakage));
+    en.set("refresh", JsonValue::number(r.energy.refresh));
+    en.set("core", JsonValue::number(r.energy.core));
+    en.set("net", JsonValue::number(r.energy.net));
+    o.set("energy", std::move(en));
+
+    JsonValue ct = JsonValue::object();
+    ct.set("dramAccesses",
+           JsonValue::number(static_cast<double>(r.counts.dramAccesses)));
+    ct.set("l3Misses",
+           JsonValue::number(static_cast<double>(r.counts.l3Misses)));
+    ct.set("l3Refreshes",
+           JsonValue::number(static_cast<double>(r.counts.l3Refreshes)));
+    ct.set("refreshWritebacks",
+           JsonValue::number(
+               static_cast<double>(r.counts.refreshWritebacks)));
+    ct.set("refreshInvalidations",
+           JsonValue::number(
+               static_cast<double>(r.counts.refreshInvalidations)));
+    ct.set("decayedHits",
+           JsonValue::number(static_cast<double>(r.counts.decayedHits)));
+    o.set("counts", std::move(ct));
+
+    if (norm != nullptr) {
+        JsonValue nv = JsonValue::object();
+        nv.set("time", JsonValue::number(norm->time));
+        nv.set("memEnergy", JsonValue::number(norm->memEnergy));
+        nv.set("sysEnergy", JsonValue::number(norm->sysEnergy));
+        nv.set("refresh", JsonValue::number(norm->refresh));
+        o.set("normalized", std::move(nv));
+    } else {
+        o.set("normalized", JsonValue::null());
+    }
+
+    const std::string line = o.dump(0);
+    std::fprintf(out_, "%s\n", line.c_str());
+}
+
+void
+ProgressSink::consume(const ExperimentPlan &plan, std::size_t index,
+                      const RunResult &r, const NormalizedResult *norm,
+                      bool simulated)
+{
+    (void)r;
+    (void)norm;
+    std::fprintf(out_, "[%zu/%zu] %s %s\n", index + 1, plan.size(),
+                 plan.scenarios[index].logLabel().c_str(),
+                 simulated ? "simulated" : "cached");
+}
+
+} // namespace refrint

@@ -1,0 +1,207 @@
+#include "api/run_cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace refrint
+{
+
+namespace
+{
+
+constexpr int kCacheVersion = 6;
+constexpr int kOldestReadableVersion = 5;
+
+/**
+ * Field list in serialization order — the single source of truth for
+ * both the reader and the writer, so they cannot drift apart or depend
+ * on the struct's memory layout.
+ */
+constexpr double CacheRow::*kCacheFields[] = {
+    &CacheRow::execTicks,    &CacheRow::instructions, &CacheRow::l1,
+    &CacheRow::l2,           &CacheRow::l3,           &CacheRow::dram,
+    &CacheRow::dynamic,      &CacheRow::leakage,      &CacheRow::refresh,
+    &CacheRow::core,         &CacheRow::net,          &CacheRow::dramAccesses,
+    &CacheRow::l3Misses,     &CacheRow::refreshes3,   &CacheRow::refWbs,
+    &CacheRow::refInvals,    &CacheRow::decayed,      &CacheRow::ambientC,
+    &CacheRow::maxTempC,
+};
+constexpr std::size_t kNumCacheFields =
+    sizeof(kCacheFields) / sizeof(kCacheFields[0]);
+static_assert(kNumCacheFields == sizeof(CacheRow) / sizeof(double),
+              "every CacheRow field must be serialized");
+
+/** Parse "f0,f1,...,f16" into the named fields, all required. */
+bool
+readRow(const std::string &payload, CacheRow &c)
+{
+    std::stringstream ss(payload);
+    std::string tok;
+    std::size_t i = 0;
+    while (i < kNumCacheFields && std::getline(ss, tok, ',')) {
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0')
+            return false;
+        c.*kCacheFields[i++] = v;
+    }
+    return i == kNumCacheFields;
+}
+
+void
+writeRow(std::ofstream &out, const std::string &key, const CacheRow &c)
+{
+    out << key << ";";
+    char buf[32];
+    for (std::size_t i = 0; i < kNumCacheFields; ++i) {
+        // %.17g: max_digits10 for double, exact round-trip.
+        std::snprintf(buf, sizeof(buf), "%.17g", c.*kCacheFields[i]);
+        out << (i ? "," : "") << buf;
+    }
+    out << "\n";
+}
+
+} // namespace
+
+CacheRow
+cacheRowOf(const RunResult &r)
+{
+    CacheRow c{};
+    c.execTicks = static_cast<double>(r.execTicks);
+    c.instructions = static_cast<double>(r.instructions);
+    c.l1 = r.energy.l1;
+    c.l2 = r.energy.l2;
+    c.l3 = r.energy.l3;
+    c.dram = r.energy.dram;
+    c.dynamic = r.energy.dynamic;
+    c.leakage = r.energy.leakage;
+    c.refresh = r.energy.refresh;
+    c.core = r.energy.core;
+    c.net = r.energy.net;
+    c.dramAccesses = static_cast<double>(r.counts.dramAccesses);
+    c.l3Misses = static_cast<double>(r.counts.l3Misses);
+    c.refreshes3 = static_cast<double>(r.counts.l3Refreshes);
+    c.refWbs = static_cast<double>(r.counts.refreshWritebacks);
+    c.refInvals = static_cast<double>(r.counts.refreshInvalidations);
+    c.decayed = static_cast<double>(r.counts.decayedHits);
+    c.ambientC = r.ambientC;
+    c.maxTempC = r.maxTempC;
+    return c;
+}
+
+RunResult
+runFromCacheRow(const std::string &app, const std::string &config,
+                double retentionUs, const std::string &machine,
+                const CacheRow &c)
+{
+    RunResult r;
+    r.app = app;
+    r.config = config;
+    r.machine = machine;
+    r.retentionUs = retentionUs;
+    r.execTicks = static_cast<Tick>(c.execTicks);
+    r.instructions = static_cast<std::uint64_t>(c.instructions);
+    r.energy.l1 = c.l1;
+    r.energy.l2 = c.l2;
+    r.energy.l3 = c.l3;
+    r.energy.dram = c.dram;
+    r.energy.dynamic = c.dynamic;
+    r.energy.leakage = c.leakage;
+    r.energy.refresh = c.refresh;
+    r.energy.core = c.core;
+    r.energy.net = c.net;
+    r.counts.dramAccesses = static_cast<std::uint64_t>(c.dramAccesses);
+    r.counts.l3Misses = static_cast<std::uint64_t>(c.l3Misses);
+    r.counts.l3Refreshes = static_cast<std::uint64_t>(c.refreshes3);
+    r.counts.refreshWritebacks = static_cast<std::uint64_t>(c.refWbs);
+    r.counts.refreshInvalidations =
+        static_cast<std::uint64_t>(c.refInvals);
+    r.counts.decayedHits = static_cast<std::uint64_t>(c.decayed);
+    r.ambientC = c.ambientC;
+    r.maxTempC = c.maxTempC;
+    return r;
+}
+
+RunCache::RunCache(std::string path) : path_(std::move(path))
+{
+    if (path_.empty())
+        return;
+    std::ifstream in(path_);
+    if (!in)
+        return;
+    std::string line;
+    bool ok = std::getline(in, line).good();
+    if (ok) {
+        ok = false;
+        for (int v = kOldestReadableVersion; v <= kCacheVersion; ++v)
+            ok = ok || line == "v" + std::to_string(v);
+    }
+    if (!ok) {
+        warn("ignoring sweep cache with stale version: %s",
+             path_.c_str());
+        return;
+    }
+    while (std::getline(in, line)) {
+        const auto sep = line.find(';');
+        if (sep == std::string::npos)
+            continue;
+        const std::string key = line.substr(0, sep);
+        CacheRow c{};
+        if (readRow(line.substr(sep + 1), c))
+            rows_[key] = c; // last occurrence wins
+    }
+}
+
+bool
+RunCache::lookup(const std::string &key, CacheRow &out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = rows_.find(key);
+    if (it == rows_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+void
+RunCache::insert(const std::string &key, const CacheRow &c)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    rows_[key] = c;
+    dirty_ = true;
+    if (++sinceFlush_ >= kFlushInterval) {
+        flushLocked();
+        sinceFlush_ = 0;
+    }
+}
+
+void
+RunCache::flush()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    flushLocked();
+}
+
+void
+RunCache::flushLocked()
+{
+    if (path_.empty() || !dirty_)
+        return;
+    // Always a full rewrite of a consistent file — never an append —
+    // so duplicate keys cannot accumulate.
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) {
+        warn("cannot write sweep cache: %s", path_.c_str());
+        return;
+    }
+    out << "v" << kCacheVersion << "\n";
+    for (const auto &[k, row] : rows_)
+        writeRow(out, k, row);
+    dirty_ = false;
+}
+
+} // namespace refrint

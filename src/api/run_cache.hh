@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The persistent result cache behind Session: one CSV row per
+ * simulated scenario, keyed by ScenarioKey::str().
+ *
+ * File-format history: v4 introduced named-field serialization (no
+ * struct-layout reinterpret_cast), %.17g precision so every double
+ * round-trips exactly, and full-rewrite-only persistence (no append
+ * path, no duplicate keys).  v5 added the thermal fields (ambientC,
+ * maxTempC).  v6 added machine-keyed rows ("|mach=" key segment) for
+ * the machine sweep axis; the row payload is unchanged, so a v5 cache
+ * is read in place (its rows are all default-machine rows) and
+ * rewritten as v6 only if the sweep simulates something new.
+ */
+
+#ifndef REFRINT_API_RUN_CACHE_HH
+#define REFRINT_API_RUN_CACHE_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "harness/runner.hh"
+
+namespace refrint
+{
+
+/** The numeric payload serialized per run. */
+struct CacheRow
+{
+    double execTicks, instructions;
+    double l1, l2, l3, dram, dynamic, leakage, refresh, core, net;
+    double dramAccesses, l3Misses, refreshes3, refWbs, refInvals;
+    double decayed;
+    double ambientC, maxTempC;
+};
+
+/** Flatten a run result into its cache payload. */
+CacheRow cacheRowOf(const RunResult &r);
+
+/** Rebuild a run result from a cached payload plus its identity. */
+RunResult runFromCacheRow(const std::string &app,
+                          const std::string &config, double retentionUs,
+                          const std::string &machine, const CacheRow &c);
+
+/**
+ * The sweep's persistent result cache.  Thread-safe: lookup/insert are
+ * mutex-guarded so concurrent sweep workers can share it.  The file is
+ * only ever written as a full rewrite (periodically during the sweep
+ * for crash durability, and once at the end via flush()), so a
+ * pre-existing file can never accumulate duplicate keys for a run.
+ */
+class RunCache
+{
+  public:
+    /** Load @p path if it exists and has a readable version; an empty
+     *  path disables persistence entirely. */
+    explicit RunCache(std::string path);
+
+    bool lookup(const std::string &key, CacheRow &out) const;
+
+    /** Record a freshly simulated run; persisted on flush().  Every
+     *  kFlushInterval inserts the file is also rewritten, so an
+     *  interrupted long sweep loses at most that many simulations. */
+    void insert(const std::string &key, const CacheRow &c);
+
+    /** Rewrite the cache file with every known row. */
+    void flush();
+
+  private:
+    static constexpr std::size_t kFlushInterval = 16;
+
+    void flushLocked();
+
+    std::string path_;
+    mutable std::mutex mu_;
+    std::map<std::string, CacheRow> rows_;
+    std::size_t sinceFlush_ = 0;
+    bool dirty_ = false;
+};
+
+} // namespace refrint
+
+#endif // REFRINT_API_RUN_CACHE_HH

@@ -1,0 +1,118 @@
+#include "api/scenario.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace refrint
+{
+
+std::string
+ScenarioKey::str() const
+{
+    // Each numeric segment is bounded (a %.1f double is at most ~310
+    // digits plus sign and fraction); the textual segments are
+    // appended as strings, so the key can never truncate no matter how
+    // many axes (or how long an app/config name) the plan grows.
+    char buf[384];
+    std::snprintf(buf, sizeof(buf), "|%.1f|%llu|%llu", retentionUs,
+                  static_cast<unsigned long long>(refs),
+                  static_cast<unsigned long long>(seed));
+    std::string key = app + "|" + config + buf;
+    if (ambientC != 0.0) {
+        std::snprintf(buf, sizeof(buf), "|amb=%.2f", ambientC);
+        key += buf;
+    }
+    if (!machine.empty())
+        key += "|mach=" + machine;
+    if (!energy.empty())
+        key += "|en=" + energy;
+    return key;
+}
+
+bool
+ScenarioKey::operator==(const ScenarioKey &o) const
+{
+    return app == o.app && config == o.config &&
+           retentionUs == o.retentionUs && refs == o.refs &&
+           seed == o.seed && ambientC == o.ambientC &&
+           machine == o.machine && energy == o.energy;
+}
+
+std::string
+Scenario::machineLabel() const
+{
+    return machineIdFor(cores, !isSram() && hybrid);
+}
+
+ScenarioKey
+Scenario::key() const
+{
+    ScenarioKey k;
+    k.app = app;
+    k.config = config;
+    k.retentionUs = retentionUs;
+    k.refs = sim.refsPerCore;
+    k.seed = sim.seed;
+    k.ambientC = ambientC;
+    k.machine = machineLabel();
+    return k;
+}
+
+MachineConfig
+Scenario::machine(const EnergyParams &energy) const
+{
+    if (isSram())
+        return MachineConfig::paperSram(cores);
+    const RefreshPolicy policy = parsePolicy(config);
+    const Tick retention = usToTicks(retentionUs);
+    MachineConfig cfg =
+        hybrid ? MachineConfig::paperHybrid(policy, retention, cores)
+               : MachineConfig::paperEdram(policy, retention, cores);
+    if (ambientC != 0.0) {
+        cfg.thermal.enabled = true;
+        cfg.thermal.ambientC = ambientC;
+    }
+    cfg.thermal.energy = energy;
+    return cfg;
+}
+
+const Workload &
+Scenario::resolveWorkload() const
+{
+    if (workload != nullptr)
+        return *workload;
+    const Workload *w = findWorkload(app);
+    if (w == nullptr)
+        fatal("scenario names unknown application '%s'", app.c_str());
+    return *w;
+}
+
+std::string
+Scenario::logLabel() const
+{
+    const std::string mach = machineLabel();
+    char buf[64];
+    std::string label = app + "/" + config;
+    if (ambientC != 0.0)
+        std::snprintf(buf, sizeof(buf), "@%.0fus/%.0fC", retentionUs,
+                      ambientC);
+    else
+        std::snprintf(buf, sizeof(buf), "@%.0fus", retentionUs);
+    label += buf;
+    if (!mach.empty())
+        label += "/" + mach;
+    return label;
+}
+
+bool
+Scenario::operator==(const Scenario &o) const
+{
+    return app == o.app && config == o.config &&
+           retentionUs == o.retentionUs && ambientC == o.ambientC &&
+           cores == o.cores && hybrid == o.hybrid &&
+           sim.refsPerCore == o.sim.refsPerCore &&
+           sim.seed == o.sim.seed && sim.maxTicks == o.sim.maxTicks;
+}
+
+} // namespace refrint

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Scenario: one fully-specified run point as a first-class value.
+ *
+ * A Scenario names everything that affects a simulation's result —
+ * workload, refresh configuration, retention, ambient temperature,
+ * machine scale/technology, and the simulation parameters — so an
+ * experiment is a list of values rather than a nest of loop indices.
+ * Its ScenarioKey is the canonical structured identity of the run:
+ * the key's string form reproduces the legacy sweep-cache keys byte
+ * for byte (v5/v6 cache files stay valid), and two scenarios collide
+ * exactly when their keys compare equal.
+ *
+ * Key-compat contract (see DESIGN.md "Experiment API"):
+ *
+ *     app|config|retentionUs|refs|seed[|amb=C][|mach=M][|en=H]
+ *
+ * with retentionUs printed %.1f, ambient %.2f (only when nonzero), and
+ * the machine label (only when non-default) from machineIdFor().
+ */
+
+#ifndef REFRINT_API_SCENARIO_HH
+#define REFRINT_API_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "config/machine_config.hh"
+#include "energy/energy_params.hh"
+#include "system/cmp_system.hh"
+#include "workload/workload.hh"
+
+namespace refrint
+{
+
+/** Canonical structured identity of one run: every field that keys the
+ *  result cache.  str() is the (legacy-compatible) cache-key string. */
+struct ScenarioKey
+{
+    std::string app;
+    std::string config; ///< "SRAM" or a policy name, e.g. "R.WB(32,32)"
+    double retentionUs = 0;
+    std::uint64_t refs = 0;
+    std::uint64_t seed = 0;
+    double ambientC = 0;    ///< 0 = isothermal (no |amb= segment)
+    std::string machine;    ///< "" = default machine (no |mach= segment)
+
+    /** Energy-model tag (energyKeyTag of the plan's EnergyParams):
+     *  "" = the calibrated defaults (no |en= segment), so rows from a
+     *  re-parameterized energy model can never be satisfied by — or
+     *  poison — rows computed under the defaults. */
+    std::string energy;
+
+    /** Canonical key string; byte-identical to the legacy v5/v6 cache
+     *  keys for every scenario the old sweep could express.  Built by
+     *  segment, so no axis can ever truncate the key. */
+    std::string str() const;
+
+    bool operator==(const ScenarioKey &o) const;
+    bool operator!=(const ScenarioKey &o) const { return !(*this == o); }
+};
+
+/**
+ * One fully-specified run point, as data.  Value semantics: scenarios
+ * can be compared, copied, serialized into plan files, and replayed.
+ */
+struct Scenario
+{
+    std::string app;             ///< workload name (e.g. "fft")
+    std::string config = "SRAM"; ///< "SRAM" or LLC policy name
+    double retentionUs = 0;      ///< 0 for SRAM runs
+    double ambientC = 0;         ///< 0 = thermal subsystem off
+    std::uint32_t cores = 16;    ///< machine scale (4..64)
+    bool hybrid = false;         ///< SRAM L1/L2 over the eDRAM LLC
+    SimParams sim;               ///< refs/core, seed, tick budget
+
+    /**
+     * Resolved workload.  Plan builders that already hold a Workload
+     * (including non-paper micro workloads) set it directly; scenarios
+     * loaded from a JSON plan leave it null and resolve by name.
+     */
+    const Workload *workload = nullptr;
+
+    bool isSram() const { return config == "SRAM"; }
+
+    /** The machine label this scenario's rows are keyed under.  Note
+     *  that SRAM baselines are never hybrid (the baseline of a hybrid
+     *  machine is the all-SRAM machine at the same core count). */
+    std::string machineLabel() const;
+
+    /** The canonical cache/identity key. */
+    ScenarioKey key() const;
+
+    /** Build the machine this scenario runs on.  @p energy feeds the
+     *  thermal subsystem's leakage estimate (eDRAM machines only). */
+    MachineConfig machine(const EnergyParams &energy) const;
+
+    /** Resolve the workload pointer (by name when unset); fatal if the
+     *  name is unknown. */
+    const Workload &resolveWorkload() const;
+
+    /** The log prefix a sweep worker uses for this run, e.g.
+     *  "fft/P.all@50us", "fft/P.all@50us/65C/c32". */
+    std::string logLabel() const;
+
+    /** Identity comparison (the workload pointer is not identity —
+     *  two scenarios naming the same app are equal). */
+    bool operator==(const Scenario &o) const;
+    bool operator!=(const Scenario &o) const { return !(*this == o); }
+};
+
+} // namespace refrint
+
+#endif // REFRINT_API_SCENARIO_HH

@@ -1,0 +1,112 @@
+#include "api/session.hh"
+
+#include <atomic>
+#include <mutex>
+
+#include "api/run_cache.hh"
+#include "common/log.hh"
+#include "harness/pool.hh"
+
+namespace refrint
+{
+
+Session::Session(SessionOptions opts)
+    : opts_(std::move(opts)),
+      cache_(std::make_unique<RunCache>(opts_.cachePath))
+{
+}
+
+Session::~Session() = default;
+
+SweepResult
+Session::run(const ExperimentPlan &plan,
+             const std::vector<ResultSink *> &sinks)
+{
+    plan.validate();
+    for (ResultSink *s : sinks)
+        s->begin(plan);
+
+    const std::size_t n = plan.size();
+    std::vector<RunResult> results(n);
+    std::vector<char> simulatedFlag(n, 0);
+    std::atomic<std::size_t> simulated{0};
+
+    SweepResult out;
+
+    // Streaming frontier: rows are emitted to the sinks (and into the
+    // aggregate) strictly in plan order, each as soon as it and every
+    // earlier row is complete.  Baselines precede their dependents in
+    // plan order (validate() checks), so a row's baseline has always
+    // been emitted — and its usability decided — before the row.
+    std::mutex mu;
+    std::vector<char> done(n, 0);
+    std::vector<char> baselineUsable(n, 0);
+    std::size_t frontier = 0;
+
+    auto emitReadyLocked = [&]() {
+        while (frontier < n && done[frontier]) {
+            const std::size_t i = frontier++;
+            const RunResult &r = results[i];
+            out.raw.push_back(r);
+            const int b = plan.baseline[i];
+            const NormalizedResult *normPtr = nullptr;
+            NormalizedResult norm;
+            if (b < 0) {
+                baselineUsable[i] = usableBaseline(r);
+                if (!baselineUsable[i])
+                    warn("degenerate SRAM baseline for %s (zero energy "
+                         "or time); skipping its normalized rows",
+                         r.app.c_str());
+            } else if (baselineUsable[static_cast<std::size_t>(b)]) {
+                norm = normalize(
+                    r, results[static_cast<std::size_t>(b)]);
+                out.normalized.push_back(norm);
+                normPtr = &norm;
+            }
+            for (ResultSink *s : sinks)
+                s->consume(plan, i, r, normPtr, simulatedFlag[i] != 0);
+        }
+    };
+
+    // Non-default energy models key their rows separately (|en= tag);
+    // the calibrated defaults keep the legacy keys byte-identical.
+    const std::string energyTag = energyKeyTag(plan.energy);
+
+    parallelFor(n, resolveJobs(opts_.jobs), [&](std::size_t i) {
+        const Scenario &sc = plan.scenarios[i];
+        ScenarioKey sk = sc.key();
+        sk.energy = energyTag;
+        const std::string key = sk.str();
+        CacheRow row;
+        if (cache_->lookup(key, row)) {
+            results[i] = runFromCacheRow(sc.app, sc.config,
+                                         sc.retentionUs,
+                                         sc.machineLabel(), row);
+        } else {
+            LogPrefix scope(sc.logLabel());
+            inform("simulating ...");
+            RunResult r = runOnce(sc.machine(plan.energy),
+                                  sc.resolveWorkload(), sc.sim,
+                                  plan.energy);
+            // Stamp the plan's label (0.0 for SRAM baselines) so a
+            // fresh run and a cache reload of it report the same
+            // retention.
+            r.retentionUs = sc.retentionUs;
+            cache_->insert(key, cacheRowOf(r));
+            simulated.fetch_add(1, std::memory_order_relaxed);
+            simulatedFlag[i] = 1;
+            results[i] = std::move(r);
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        done[i] = 1;
+        emitReadyLocked();
+    });
+    cache_->flush();
+
+    out.simulations = simulated.load();
+    for (ResultSink *s : sinks)
+        s->end(plan, out);
+    return out;
+}
+
+} // namespace refrint

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Session: the facade that runs experiment plans.
+ *
+ * A Session owns the persistent run cache and the worker configuration;
+ * Session::run(plan, sinks) executes every scenario of a plan —
+ * cache-first, in parallel, results streamed to the sinks in plan
+ * order — and returns the same SweepResult aggregate the legacy
+ * runSweep() produced.  runSweep(), the thermal study, and the figure
+ * pipeline are all thin plan-builders over this one entry point.
+ *
+ * Determinism contract (inherited from the legacy sweep engine):
+ * results land in plan order regardless of completion order, every run
+ * simulates with its own CmpSystem/EventQueue and scenario-derived
+ * seeds, so jobs=N output is bit-identical to jobs=1, and the default
+ * paper plan reproduces the legacy sweep — stdout, cache keys and rows
+ * — byte for byte.
+ */
+
+#ifndef REFRINT_API_SESSION_HH
+#define REFRINT_API_SESSION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/experiment_plan.hh"
+#include "api/result_sink.hh"
+#include "harness/sweep.hh"
+
+namespace refrint
+{
+
+class RunCache;
+
+struct SessionOptions
+{
+    /** Result cache location; empty disables persistence.  Defaults
+     *  to $REFRINT_CACHE or ./refrint_sweep_cache.csv. */
+    std::string cachePath;
+
+    /** Worker threads; 0 means $REFRINT_JOBS, or serial if unset. */
+    unsigned jobs = 0;
+
+    SessionOptions() : cachePath(defaultCachePath()) {}
+    SessionOptions(std::string cache, unsigned j)
+        : cachePath(std::move(cache)), jobs(j)
+    {
+    }
+};
+
+class Session
+{
+  public:
+    explicit Session(SessionOptions opts = {});
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /**
+     * Execute @p plan: cached scenarios load instantly, the rest
+     * simulate on up to `jobs` workers.  Rows stream to @p sinks in
+     * plan order (serialized — sinks need no locking); the cache file
+     * is flushed before end() fires.  The cache stays loaded across
+     * run() calls, so successive plans in one session share warm rows.
+     */
+    SweepResult run(const ExperimentPlan &plan,
+                    const std::vector<ResultSink *> &sinks = {});
+
+  private:
+    SessionOptions opts_;
+    std::unique_ptr<RunCache> cache_;
+};
+
+} // namespace refrint
+
+#endif // REFRINT_API_SESSION_HH

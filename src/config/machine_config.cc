@@ -234,11 +234,7 @@ MachineConfig::paper(std::uint32_t cores)
     l3.engine = EngineGeometry{16, 4, 64};
 
     c.levels = {il1, dl1, l2, l3};
-    if (cores != 16) {
-        char buf[16];
-        std::snprintf(buf, sizeof(buf), "c%u", cores);
-        c.machineId = buf;
-    }
+    c.machineId = machineIdFor(cores, /*hybrid=*/false);
     return c;
 }
 
@@ -288,8 +284,22 @@ MachineConfig::paperHybrid(const RefreshPolicy &policy, Tick retention,
     c.il1().tech = CellTech::Sram;
     c.dl1().tech = CellTech::Sram;
     c.l2().tech = CellTech::Sram;
-    c.machineId += c.machineId.empty() ? "hyb" : "+hyb";
+    c.machineId = machineIdFor(cores, /*hybrid=*/true);
     return c;
+}
+
+std::string
+machineIdFor(std::uint32_t cores, bool hybrid)
+{
+    std::string id;
+    if (cores != 16) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "c%u", cores);
+        id = buf;
+    }
+    if (hybrid)
+        id += id.empty() ? "hyb" : "+hyb";
+    return id;
 }
 
 } // namespace refrint

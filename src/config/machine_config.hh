@@ -228,6 +228,15 @@ struct MachineConfig
 /** Smallest torus dimension whose k x k tiling holds @p tiles. */
 std::uint32_t torusDimFor(std::uint32_t tiles);
 
+/**
+ * The cache-key machine label for a paper machine scaled to @p cores
+ * cores, optionally hybrid: "" for the default 16-core uniform machine,
+ * "c32", "hyb", "c32+hyb", ...  Single source of truth shared by the
+ * MachineConfig factories and ScenarioKey, so a key built from a
+ * (cores, hybrid) pair always matches the built machine's machineId.
+ */
+std::string machineIdFor(std::uint32_t cores, bool hybrid);
+
 /** Backwards-compatible name: the machine config grew out of the old
  *  fixed-shape HierarchyConfig. */
 using HierarchyConfig = MachineConfig;

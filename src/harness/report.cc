@@ -1,6 +1,6 @@
 #include "harness/report.hh"
 
-#include <unordered_set>
+#include <algorithm>
 
 #include "harness/binning.hh"
 
@@ -42,22 +42,58 @@ classLabel(int classFilter)
     }
 }
 
+/** Distinct machine labels of a result set, in row order.  A default
+ *  sweep yields exactly {""}, so single-machine output is unchanged. */
+std::vector<std::string>
+machinesOf(const SweepResult &s)
+{
+    std::vector<std::string> machines;
+    for (const NormalizedResult &r : s.normalized) {
+        if (std::find(machines.begin(), machines.end(), r.machine) ==
+            machines.end())
+            machines.push_back(r.machine);
+    }
+    if (machines.empty())
+        machines.push_back("");
+    return machines;
+}
+
+/** Announce the machine a table block belongs to — only in the
+ *  multi-machine case, so single-machine output stays byte-identical
+ *  to the legacy renderers. */
+void
+printMachineHeading(const std::vector<std::string> &machines,
+                    const std::string &machine, std::FILE *out)
+{
+    if (machines.size() < 2)
+        return;
+    std::fprintf(out, "# machine: %s\n",
+                 machine.empty() ? "default" : machine.c_str());
+}
+
+/**
+ * One policy-grid table per machine in the result set.  @p rowFn
+ * fills one row: (retentionUs, configName, apps, machine).
+ */
 template <typename RowFn>
 void
 printPolicyTable(const SweepResult &s, int classFilter, std::FILE *out,
                  const char *cols, RowFn &&rowFn)
 {
-    (void)s;
     const std::vector<std::string> apps = classAppNames(classFilter);
-    printBarHeader(out);
-    std::fprintf(out, " %s\n", cols);
-    for (Tick ret : paperRetentions()) {
-        const double retUs = static_cast<double>(ret) / 1e3;
-        for (const RefreshPolicy &pol : paperPolicySweep()) {
-            std::fprintf(out, "%-6.0f %-12s", retUs,
-                         pol.name().c_str());
-            rowFn(retUs, pol.name(), apps);
-            std::fprintf(out, "\n");
+    const std::vector<std::string> machines = machinesOf(s);
+    for (const std::string &machine : machines) {
+        printMachineHeading(machines, machine, out);
+        printBarHeader(out);
+        std::fprintf(out, " %s\n", cols);
+        for (Tick ret : paperRetentions()) {
+            const double retUs = static_cast<double>(ret) / 1e3;
+            for (const RefreshPolicy &pol : paperPolicySweep()) {
+                std::fprintf(out, "%-6.0f %-12s", retUs,
+                             pol.name().c_str());
+                rowFn(retUs, pol.name(), apps, machine);
+                std::fprintf(out, "\n");
+            }
         }
     }
 }
@@ -73,15 +109,16 @@ printFig61(const SweepResult &s, std::FILE *out)
     printPolicyTable(
         s, 0, out, "      L1      L2      L3    DRAM   total",
         [&](double retUs, const std::string &cfg,
-            const std::vector<std::string> &apps) {
+            const std::vector<std::string> &apps,
+            const std::string &mach) {
             const double l1 =
-                s.average(retUs, cfg, apps, &NormalizedResult::l1);
+                s.average(retUs, cfg, apps, &NormalizedResult::l1, mach);
             const double l2 =
-                s.average(retUs, cfg, apps, &NormalizedResult::l2);
+                s.average(retUs, cfg, apps, &NormalizedResult::l2, mach);
             const double l3 =
-                s.average(retUs, cfg, apps, &NormalizedResult::l3);
-            const double dram =
-                s.average(retUs, cfg, apps, &NormalizedResult::dram);
+                s.average(retUs, cfg, apps, &NormalizedResult::l3, mach);
+            const double dram = s.average(retUs, cfg, apps,
+                                          &NormalizedResult::dram, mach);
             std::fprintf(out, " %7.4f %7.4f %7.4f %7.4f %7.4f", l1, l2,
                          l3, dram, l1 + l2 + l3 + dram);
         });
@@ -98,15 +135,16 @@ printFig62(const SweepResult &s, int classFilter, std::FILE *out)
         s, classFilter, out,
         "     dyn    leak refresh    DRAM   total",
         [&](double retUs, const std::string &cfg,
-            const std::vector<std::string> &apps) {
-            const double dyn =
-                s.average(retUs, cfg, apps, &NormalizedResult::dynamic);
-            const double leak =
-                s.average(retUs, cfg, apps, &NormalizedResult::leakage);
-            const double refr =
-                s.average(retUs, cfg, apps, &NormalizedResult::refresh);
-            const double dram =
-                s.average(retUs, cfg, apps, &NormalizedResult::dram);
+            const std::vector<std::string> &apps,
+            const std::string &mach) {
+            const double dyn = s.average(
+                retUs, cfg, apps, &NormalizedResult::dynamic, mach);
+            const double leak = s.average(
+                retUs, cfg, apps, &NormalizedResult::leakage, mach);
+            const double refr = s.average(
+                retUs, cfg, apps, &NormalizedResult::refresh, mach);
+            const double dram = s.average(retUs, cfg, apps,
+                                          &NormalizedResult::dram, mach);
             std::fprintf(out, " %7.4f %7.4f %7.4f %7.4f %7.4f", dyn,
                          leak, refr, dram, dyn + leak + refr + dram);
         });
@@ -119,14 +157,15 @@ printFig63(const SweepResult &s, int classFilter, std::FILE *out)
                  "# Fig 6.3 [%s] — total system energy "
                  "(normalized to full-SRAM system energy)\n",
                  classLabel(classFilter));
-    printPolicyTable(s, classFilter, out, "  energy",
-                     [&](double retUs, const std::string &cfg,
-                         const std::vector<std::string> &apps) {
-                         std::fprintf(
-                             out, " %7.4f",
-                             s.average(retUs, cfg, apps,
-                                       &NormalizedResult::sysEnergy));
-                     });
+    printPolicyTable(
+        s, classFilter, out, "  energy",
+        [&](double retUs, const std::string &cfg,
+            const std::vector<std::string> &apps,
+            const std::string &mach) {
+            std::fprintf(out, " %7.4f",
+                         s.average(retUs, cfg, apps,
+                                   &NormalizedResult::sysEnergy, mach));
+        });
 }
 
 void
@@ -136,14 +175,15 @@ printFig64(const SweepResult &s, int classFilter, std::FILE *out)
                  "# Fig 6.4 [%s] — execution time "
                  "(normalized to full-SRAM execution time)\n",
                  classLabel(classFilter));
-    printPolicyTable(s, classFilter, out, "    time",
-                     [&](double retUs, const std::string &cfg,
-                         const std::vector<std::string> &apps) {
-                         std::fprintf(
-                             out, " %7.4f",
-                             s.average(retUs, cfg, apps,
-                                       &NormalizedResult::time));
-                     });
+    printPolicyTable(
+        s, classFilter, out, "    time",
+        [&](double retUs, const std::string &cfg,
+            const std::vector<std::string> &apps,
+            const std::string &mach) {
+            std::fprintf(out, " %7.4f",
+                         s.average(retUs, cfg, apps,
+                                   &NormalizedResult::time, mach));
+        });
 }
 
 void
@@ -178,20 +218,40 @@ printHeadline(const SweepResult &s, std::FILE *out)
         {"P.all", 0.50, 0.72, 1.18},
         {"R.WB(32,32)", 0.36, 0.61, 1.02},
     };
-    std::fprintf(out, "%-14s %10s %10s %10s %10s %10s %10s\n", "config",
-                 "mem", "paperMem", "sys", "paperSys", "time",
-                 "paperTime");
-    for (const Row &r : rows) {
-        std::fprintf(
-            out, "%-14s %10.3f %10.2f %10.3f %10.2f %10.3f %10.2f\n",
-            r.cfg,
-            s.average(50.0, r.cfg, all, &NormalizedResult::memEnergy),
-            r.paperMem,
-            s.average(50.0, r.cfg, all, &NormalizedResult::sysEnergy),
-            r.paperSys,
-            s.average(50.0, r.cfg, all, &NormalizedResult::time),
-            r.paperTime);
+    const std::vector<std::string> machines = machinesOf(s);
+    for (const std::string &mach : machines) {
+        printMachineHeading(machines, mach, out);
+        std::fprintf(out, "%-14s %10s %10s %10s %10s %10s %10s\n",
+                     "config", "mem", "paperMem", "sys", "paperSys",
+                     "time", "paperTime");
+        for (const Row &r : rows) {
+            std::fprintf(
+                out,
+                "%-14s %10.3f %10.2f %10.3f %10.2f %10.3f %10.2f\n",
+                r.cfg,
+                s.average(50.0, r.cfg, all,
+                          &NormalizedResult::memEnergy, mach),
+                r.paperMem,
+                s.average(50.0, r.cfg, all,
+                          &NormalizedResult::sysEnergy, mach),
+                r.paperSys,
+                s.average(50.0, r.cfg, all, &NormalizedResult::time,
+                          mach),
+                r.paperTime);
+        }
     }
+}
+
+void
+FiguresSink::end(const ExperimentPlan &, const SweepResult &s)
+{
+    printFig61(s, out_);
+    for (int cls : {1, 2, 3, 0})
+        printFig62(s, cls, out_);
+    printFig63(s, 1, out_);
+    printFig63(s, 0, out_);
+    printFig64(s, 1, out_);
+    printFig64(s, 0, out_);
 }
 
 void

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "api/result_sink.hh"
 #include "harness/sweep.hh"
 
 namespace refrint
@@ -46,6 +47,76 @@ void printHeadline(const SweepResult &s, std::FILE *out = stdout);
  *  with a non-empty ambient axis (see refrint_cli thermal-study). */
 void printThermalStudy(const SweepResult &s, const char *appName,
                        double retentionUs, std::FILE *out = stdout);
+
+// ---------------------------------------------------------------------
+// The renderers as ResultSink implementations: attach them to
+// Session::run() to turn a plan execution into the paper's tables.
+// Each fires in end(), over the complete aggregate; none owns its
+// stream.
+// ---------------------------------------------------------------------
+
+/** The abstract/§6 headline table (printHeadline). */
+class HeadlineSink : public ResultSink
+{
+  public:
+    explicit HeadlineSink(std::FILE *out = stdout) : out_(out) {}
+    void
+    end(const ExperimentPlan &, const SweepResult &s) override
+    {
+        printHeadline(s, out_);
+    }
+
+  private:
+    std::FILE *out_;
+};
+
+/** Figs. 6.1-6.4 in paper order (printFig61..printFig64). */
+class FiguresSink : public ResultSink
+{
+  public:
+    explicit FiguresSink(std::FILE *out = stdout) : out_(out) {}
+    void end(const ExperimentPlan &, const SweepResult &s) override;
+
+  private:
+    std::FILE *out_;
+};
+
+/** The thermal-study table (printThermalStudy) for one app/retention. */
+class ThermalStudySink : public ResultSink
+{
+  public:
+    ThermalStudySink(std::string appName, double retentionUs,
+                     std::FILE *out = stdout)
+        : app_(std::move(appName)), retentionUs_(retentionUs), out_(out)
+    {
+    }
+    void
+    end(const ExperimentPlan &, const SweepResult &s) override
+    {
+        printThermalStudy(s, app_.c_str(), retentionUs_, out_);
+    }
+
+  private:
+    std::string app_;
+    double retentionUs_;
+    std::FILE *out_;
+};
+
+/** Table 6.1 (printBinning): measures directly, needs no scenarios —
+ *  pair with ExperimentPlan::binning(). */
+class BinningSink : public ResultSink
+{
+  public:
+    explicit BinningSink(std::FILE *out = stdout) : out_(out) {}
+    void
+    end(const ExperimentPlan &, const SweepResult &) override
+    {
+        printBinning(out_);
+    }
+
+  private:
+    std::FILE *out_;
+};
 
 } // namespace refrint
 

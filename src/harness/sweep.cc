@@ -1,14 +1,11 @@
 #include "harness/sweep.hh"
 
-#include <atomic>
-#include <cstdio>
+#include <algorithm>
 #include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <map>
-#include <mutex>
 #include <sstream>
 
+#include "api/experiment_plan.hh"
+#include "api/session.hh"
 #include "common/env.hh"
 #include "common/log.hh"
 #include "harness/pool.hh"
@@ -93,263 +90,50 @@ SweepSpec::finalize()
 namespace
 {
 
-/**
- * Stable textual key identifying one run in the cache.  Thermal runs
- * (@p ambientC != 0) get an extra "|amb=" segment and non-default
- * machines (@p machine != "") an extra "|mach=" segment, so they can
- * never collide with — or be satisfied by — a legacy row, while legacy
- * keys stay exactly as they were.
- */
-std::string
-runKey(const std::string &app, const std::string &config,
-       double retentionUs, const SimParams &sim, double ambientC,
-       const std::string &machine)
+/** Machine handling of one mean: a single named machine, the sole
+ *  machine present (fatal when several match), or an explicit pool. */
+enum class MachineRule
 {
-    char buf[256];
-    std::snprintf(buf, sizeof(buf), "%s|%s|%.1f|%llu|%llu", app.c_str(),
-                  config.c_str(), retentionUs,
-                  static_cast<unsigned long long>(sim.refsPerCore),
-                  static_cast<unsigned long long>(sim.seed));
-    std::string key = buf;
-    if (ambientC != 0.0) {
-        std::snprintf(buf, sizeof(buf), "|amb=%.2f", ambientC);
-        key += buf;
-    }
-    if (!machine.empty())
-        key += "|mach=" + machine;
-    return key;
-}
-
-// v4 introduced named-field serialization (no struct-layout
-// reinterpret_cast), %.17g precision so every double round-trips
-// exactly, and full-rewrite-only persistence (no append path, no
-// duplicate keys).  v5 added the thermal fields (ambientC, maxTempC).
-// v6 adds machine-keyed rows ("|mach=" key segment) for the machine
-// sweep axis; the row payload is unchanged, so a v5 cache is read in
-// place (its rows are all default-machine rows) and rewritten as v6
-// only if the sweep simulates something new.
-constexpr int kCacheVersion = 6;
-constexpr int kOldestReadableVersion = 5;
-
-/** The numeric payload serialized per run. */
-struct CacheRow
-{
-    double execTicks, instructions;
-    double l1, l2, l3, dram, dynamic, leakage, refresh, core, net;
-    double dramAccesses, l3Misses, refreshes3, refWbs, refInvals;
-    double decayed;
-    double ambientC, maxTempC;
+    Exact,
+    Sole,
+    Pooled,
 };
 
-/**
- * Field list in serialization order — the single source of truth for
- * both the reader and the writer, so they cannot drift apart or depend
- * on the struct's memory layout.
- */
-constexpr double CacheRow::*kCacheFields[] = {
-    &CacheRow::execTicks,    &CacheRow::instructions, &CacheRow::l1,
-    &CacheRow::l2,           &CacheRow::l3,           &CacheRow::dram,
-    &CacheRow::dynamic,      &CacheRow::leakage,      &CacheRow::refresh,
-    &CacheRow::core,         &CacheRow::net,          &CacheRow::dramAccesses,
-    &CacheRow::l3Misses,     &CacheRow::refreshes3,   &CacheRow::refWbs,
-    &CacheRow::refInvals,    &CacheRow::decayed,      &CacheRow::ambientC,
-    &CacheRow::maxTempC,
-};
-constexpr std::size_t kNumCacheFields =
-    sizeof(kCacheFields) / sizeof(kCacheFields[0]);
-static_assert(kNumCacheFields == sizeof(CacheRow) / sizeof(double),
-              "every CacheRow field must be serialized");
-
-CacheRow
-toRow(const RunResult &r)
+double
+averageRows(const std::vector<NormalizedResult> &rows,
+            double retentionUs, const std::string &config,
+            const std::vector<std::string> &apps,
+            double NormalizedResult::*field, MachineRule rule,
+            const std::string &machine)
 {
-    CacheRow c{};
-    c.execTicks = static_cast<double>(r.execTicks);
-    c.instructions = static_cast<double>(r.instructions);
-    c.l1 = r.energy.l1;
-    c.l2 = r.energy.l2;
-    c.l3 = r.energy.l3;
-    c.dram = r.energy.dram;
-    c.dynamic = r.energy.dynamic;
-    c.leakage = r.energy.leakage;
-    c.refresh = r.energy.refresh;
-    c.core = r.energy.core;
-    c.net = r.energy.net;
-    c.dramAccesses = static_cast<double>(r.counts.dramAccesses);
-    c.l3Misses = static_cast<double>(r.counts.l3Misses);
-    c.refreshes3 = static_cast<double>(r.counts.l3Refreshes);
-    c.refWbs = static_cast<double>(r.counts.refreshWritebacks);
-    c.refInvals = static_cast<double>(r.counts.refreshInvalidations);
-    c.decayed = static_cast<double>(r.counts.decayedHits);
-    c.ambientC = r.ambientC;
-    c.maxTempC = r.maxTempC;
-    return c;
+    double sum = 0;
+    std::size_t n = 0;
+    const std::string *sole = nullptr;
+    for (const auto &r : rows) {
+        if (r.config != config)
+            continue;
+        if (retentionUs > 0 && r.retentionUs != retentionUs)
+            continue;
+        if (!apps.empty() &&
+            std::find(apps.begin(), apps.end(), r.app) == apps.end())
+            continue;
+        if (rule == MachineRule::Exact && r.machine != machine)
+            continue;
+        if (rule == MachineRule::Sole) {
+            if (sole == nullptr)
+                sole = &r.machine;
+            else if (*sole != r.machine)
+                fatal("SweepResult::average(%s @ %.1f us) matches rows "
+                      "from several machines ('%s' and '%s'); pass the "
+                      "machine explicitly or pool with averagePooled()",
+                      config.c_str(), retentionUs, sole->c_str(),
+                      r.machine.c_str());
+        }
+        sum += r.*field;
+        ++n;
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
 }
-
-RunResult
-fromRow(const std::string &app, const std::string &config,
-        double retentionUs, const std::string &machine,
-        const CacheRow &c)
-{
-    RunResult r;
-    r.app = app;
-    r.config = config;
-    r.machine = machine;
-    r.retentionUs = retentionUs;
-    r.execTicks = static_cast<Tick>(c.execTicks);
-    r.instructions = static_cast<std::uint64_t>(c.instructions);
-    r.energy.l1 = c.l1;
-    r.energy.l2 = c.l2;
-    r.energy.l3 = c.l3;
-    r.energy.dram = c.dram;
-    r.energy.dynamic = c.dynamic;
-    r.energy.leakage = c.leakage;
-    r.energy.refresh = c.refresh;
-    r.energy.core = c.core;
-    r.energy.net = c.net;
-    r.counts.dramAccesses = static_cast<std::uint64_t>(c.dramAccesses);
-    r.counts.l3Misses = static_cast<std::uint64_t>(c.l3Misses);
-    r.counts.l3Refreshes = static_cast<std::uint64_t>(c.refreshes3);
-    r.counts.refreshWritebacks = static_cast<std::uint64_t>(c.refWbs);
-    r.counts.refreshInvalidations =
-        static_cast<std::uint64_t>(c.refInvals);
-    r.counts.decayedHits = static_cast<std::uint64_t>(c.decayed);
-    r.ambientC = c.ambientC;
-    r.maxTempC = c.maxTempC;
-    return r;
-}
-
-/**
- * The sweep's persistent result cache.  Thread-safe: lookup/insert are
- * mutex-guarded so concurrent sweep workers can share it.  The file is
- * only ever written as a full rewrite (periodically during the sweep
- * for crash durability, and once at the end via flush()), so a
- * pre-existing file can never accumulate duplicate keys for a run.
- */
-class RunCache
-{
-  public:
-    explicit RunCache(std::string path) : path_(std::move(path))
-    {
-        if (path_.empty())
-            return;
-        std::ifstream in(path_);
-        if (!in)
-            return;
-        std::string line;
-        bool ok = std::getline(in, line).good();
-        if (ok) {
-            ok = false;
-            for (int v = kOldestReadableVersion; v <= kCacheVersion; ++v)
-                ok = ok || line == "v" + std::to_string(v);
-        }
-        if (!ok) {
-            warn("ignoring sweep cache with stale version: %s",
-                 path_.c_str());
-            return;
-        }
-        while (std::getline(in, line)) {
-            const auto sep = line.find(';');
-            if (sep == std::string::npos)
-                continue;
-            const std::string key = line.substr(0, sep);
-            CacheRow c{};
-            if (readRow(line.substr(sep + 1), c))
-                rows_[key] = c; // last occurrence wins
-        }
-    }
-
-    bool
-    lookup(const std::string &key, CacheRow &out) const
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        auto it = rows_.find(key);
-        if (it == rows_.end())
-            return false;
-        out = it->second;
-        return true;
-    }
-
-    /** Record a freshly simulated run; persisted on flush().  Every
-     *  kFlushInterval inserts the file is also rewritten, so an
-     *  interrupted long sweep loses at most that many simulations. */
-    void
-    insert(const std::string &key, const CacheRow &c)
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        rows_[key] = c;
-        dirty_ = true;
-        if (++sinceFlush_ >= kFlushInterval) {
-            flushLocked();
-            sinceFlush_ = 0;
-        }
-    }
-
-    /** Rewrite the cache file with every known row. */
-    void
-    flush()
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        flushLocked();
-    }
-
-  private:
-    static constexpr std::size_t kFlushInterval = 16;
-
-    void
-    flushLocked()
-    {
-        if (path_.empty() || !dirty_)
-            return;
-        // Always a full rewrite of a consistent file — never an
-        // append — so duplicate keys cannot accumulate.
-        std::ofstream out(path_, std::ios::trunc);
-        if (!out) {
-            warn("cannot write sweep cache: %s", path_.c_str());
-            return;
-        }
-        out << "v" << kCacheVersion << "\n";
-        for (const auto &[k, row] : rows_)
-            writeRow(out, k, row);
-        dirty_ = false;
-    }
-    /** Parse "f0,f1,...,f16" into the named fields, all required. */
-    static bool
-    readRow(const std::string &payload, CacheRow &c)
-    {
-        std::stringstream ss(payload);
-        std::string tok;
-        std::size_t i = 0;
-        while (i < kNumCacheFields && std::getline(ss, tok, ',')) {
-            char *end = nullptr;
-            const double v = std::strtod(tok.c_str(), &end);
-            if (end == tok.c_str() || *end != '\0')
-                return false;
-            c.*kCacheFields[i++] = v;
-        }
-        return i == kNumCacheFields;
-    }
-
-    static void
-    writeRow(std::ofstream &out, const std::string &key,
-             const CacheRow &c)
-    {
-        out << key << ";";
-        char buf[32];
-        for (std::size_t i = 0; i < kNumCacheFields; ++i) {
-            // %.17g: max_digits10 for double, exact round-trip.
-            std::snprintf(buf, sizeof(buf), "%.17g", c.*kCacheFields[i]);
-            out << (i ? "," : "") << buf;
-        }
-        out << "\n";
-    }
-
-    std::string path_;
-    mutable std::mutex mu_;
-    std::map<std::string, CacheRow> rows_;
-    std::size_t sinceFlush_ = 0;
-    bool dirty_ = false;
-};
 
 } // namespace
 
@@ -358,32 +142,62 @@ SweepResult::average(double retentionUs, const std::string &config,
                      const std::vector<std::string> &apps,
                      double NormalizedResult::*field) const
 {
-    double sum = 0;
-    std::size_t n = 0;
-    for (const auto &r : normalized) {
-        if (r.config != config)
-            continue;
-        if (retentionUs > 0 && r.retentionUs != retentionUs)
-            continue;
-        if (!apps.empty()) {
-            bool found = false;
-            for (const auto &a : apps)
-                found = found || a == r.app;
-            if (!found)
-                continue;
-        }
-        sum += r.*field;
-        ++n;
-    }
-    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+    return averageRows(normalized, retentionUs, config, apps, field,
+                       MachineRule::Sole, "");
+}
+
+double
+SweepResult::average(double retentionUs, const std::string &config,
+                     const std::vector<std::string> &apps,
+                     double NormalizedResult::*field,
+                     const std::string &machine) const
+{
+    return averageRows(normalized, retentionUs, config, apps, field,
+                       MachineRule::Exact, machine);
+}
+
+double
+SweepResult::averagePooled(double retentionUs,
+                           const std::string &config,
+                           const std::vector<std::string> &apps,
+                           double NormalizedResult::*field) const
+{
+    return averageRows(normalized, retentionUs, config, apps, field,
+                       MachineRule::Pooled, "");
 }
 
 const NormalizedResult *
 SweepResult::find(const std::string &app, double retentionUs,
                   const std::string &config) const
 {
+    const NormalizedResult *first = nullptr;
+    for (const auto &r : normalized) {
+        if (r.app != app || r.config != config)
+            continue;
+        if (retentionUs > 0 && r.retentionUs != retentionUs)
+            continue;
+        if (first == nullptr) {
+            first = &r;
+            continue;
+        }
+        if (first->machine == r.machine && first->ambientC == r.ambientC)
+            continue; // same scenario axes: retention wildcard match
+        fatal("SweepResult::find(%s, %.1f, %s) is ambiguous across "
+              "the machine/ambient axes; pass the full scenario "
+              "identity",
+              app.c_str(), retentionUs, config.c_str());
+    }
+    return first;
+}
+
+const NormalizedResult *
+SweepResult::find(const std::string &app, double retentionUs,
+                  const std::string &config,
+                  const std::string &machine, double ambientC) const
+{
     for (const auto &r : normalized) {
         if (r.app == app && r.config == config &&
+            r.machine == machine && r.ambientC == ambientC &&
             (retentionUs <= 0 || r.retentionUs == retentionUs))
             return &r;
     }
@@ -393,130 +207,11 @@ SweepResult::find(const std::string &app, double retentionUs,
 SweepResult
 runSweep(SweepSpec spec, const std::string &cachePath)
 {
-    spec.finalize();
-    RunCache cache(cachePath);
-
-    // Flatten the sweep into a deterministic run list in spec order:
-    // per machine, per app, the SRAM baseline first, then retention x
-    // policy.  The list — not completion order — dictates where every
-    // result lands, so jobs=N output is identical to jobs=1.
-    struct RunDesc
-    {
-        const Workload *app;
-        MachineConfig cfg;
-        double retentionUs;
-        std::string config;
-        double ambientC; ///< 0 = thermal disabled
-    };
-    // The machine axis: an empty list means the paper's default
-    // machine (exact legacy behavior, legacy cache keys).
-    std::vector<MachineAxis> machines = spec.machines;
-    if (machines.empty())
-        machines.push_back(MachineAxis{});
-    // The ambient axis: an empty list means one isothermal pass with
-    // the thermal subsystem off (exact legacy behavior).
-    const std::size_t perApp = spec.retentions.size() *
-                               spec.policies.size() *
-                               std::max<std::size_t>(1,
-                                                     spec.ambients.size());
-    std::vector<RunDesc> runs;
-    runs.reserve(machines.size() * spec.apps.size() * (1 + perApp));
-    for (const MachineAxis &m : machines) {
-        for (const Workload *app : spec.apps) {
-            runs.push_back({app, MachineConfig::paperSram(m.cores), 0.0,
-                            "SRAM", 0.0});
-            auto pushEdram = [&](double ambientC) {
-                for (Tick ret : spec.retentions) {
-                    const double retUs = static_cast<double>(ret) / 1e3;
-                    for (const RefreshPolicy &pol : spec.policies) {
-                        MachineConfig cfg =
-                            m.hybrid
-                                ? MachineConfig::paperHybrid(pol, ret,
-                                                             m.cores)
-                                : MachineConfig::paperEdram(pol, ret,
-                                                            m.cores);
-                        if (ambientC != 0.0) {
-                            cfg.thermal.enabled = true;
-                            cfg.thermal.ambientC = ambientC;
-                        }
-                        cfg.thermal.energy = spec.energy;
-                        runs.push_back(
-                            {app, cfg, retUs, pol.name(), ambientC});
-                    }
-                }
-            };
-            if (spec.ambients.empty()) {
-                pushEdram(0.0);
-            } else {
-                for (double amb : spec.ambients)
-                    pushEdram(amb);
-            }
-        }
-    }
-
-    std::vector<RunResult> results(runs.size());
-    std::atomic<std::size_t> simulated{0};
-
-    parallelFor(runs.size(), spec.jobs, [&](std::size_t i) {
-        const RunDesc &d = runs[i];
-        const std::string key = runKey(d.app->name(), d.config,
-                                       d.retentionUs, spec.sim,
-                                       d.ambientC, d.cfg.machineId);
-        CacheRow row;
-        if (cache.lookup(key, row)) {
-            results[i] = fromRow(d.app->name(), d.config, d.retentionUs,
-                                 d.cfg.machineId, row);
-            return;
-        }
-        char prefix[128];
-        if (d.ambientC != 0.0)
-            std::snprintf(prefix, sizeof(prefix), "%s/%s@%.0fus/%.0fC%s%s",
-                          d.app->name(), d.config.c_str(), d.retentionUs,
-                          d.ambientC, d.cfg.machineId.empty() ? "" : "/",
-                          d.cfg.machineId.c_str());
-        else
-            std::snprintf(prefix, sizeof(prefix), "%s/%s@%.0fus%s%s",
-                          d.app->name(), d.config.c_str(), d.retentionUs,
-                          d.cfg.machineId.empty() ? "" : "/",
-                          d.cfg.machineId.c_str());
-        LogPrefix scope(prefix);
-        inform("simulating ...");
-        RunResult r = runOnce(d.cfg, *d.app, spec.sim, spec.energy);
-        // Stamp the sweep's label (0.0 for SRAM baselines) so a fresh
-        // run and a cache reload of it report the same retention.
-        r.retentionUs = d.retentionUs;
-        cache.insert(key, toRow(r));
-        simulated.fetch_add(1, std::memory_order_relaxed);
-        results[i] = r;
-    });
-    cache.flush();
-
-    // Assemble output in the same spec order the serial sweep used.
-    // Each machine's runs normalize against that machine's own SRAM
-    // baseline (a 32-core run is compared to the 32-core SRAM run).
-    SweepResult out;
-    out.simulations = simulated.load();
-    std::size_t i = 0;
-    for (const MachineAxis &m : machines) {
-        (void)m;
-        for (const Workload *app : spec.apps) {
-            (void)app;
-            const RunResult &base = results[i++];
-            out.raw.push_back(base);
-            const bool usable = usableBaseline(base);
-            if (!usable)
-                warn("degenerate SRAM baseline for %s (zero energy or "
-                     "time); skipping its normalized rows",
-                     base.app.c_str());
-            for (std::size_t p = 0; p < perApp; ++p) {
-                const RunResult &r = results[i++];
-                out.raw.push_back(r);
-                if (usable)
-                    out.normalized.push_back(normalize(r, base));
-            }
-        }
-    }
-    return out;
+    // fromSweepSpec finalizes the spec; the Session resolves jobs the
+    // same way finalize would (explicit value, else $REFRINT_JOBS).
+    const unsigned jobs = spec.jobs;
+    Session session(SessionOptions{cachePath, jobs});
+    return session.run(ExperimentPlan::fromSweepSpec(std::move(spec)));
 }
 
 } // namespace refrint

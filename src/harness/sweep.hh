@@ -100,24 +100,58 @@ struct SweepResult
      *  sweep reports 0. */
     std::size_t simulations = 0;
 
-    /** Mean of @p pick over the normalized rows matching the filter
-     *  (retention in us; empty app list = all apps).  With a multi-
-     *  machine sweep the mean pools every machine's rows; filter via
-     *  NormalizedResult::machine if that is not what you want. */
+    /**
+     * Mean of @p field over the normalized rows matching the filter
+     * (retention in us; empty app list = all apps).  The mean never
+     * silently pools across machines: if the matching rows span more
+     * than one machine this is fatal — name the machine with the
+     * overload below, or pool explicitly via averagePooled().
+     */
     double average(double retentionUs, const std::string &config,
                    const std::vector<std::string> &apps,
                    double NormalizedResult::*field) const;
 
+    /** The mean restricted to one machine ("" = the default 16-core
+     *  machine). */
+    double average(double retentionUs, const std::string &config,
+                   const std::vector<std::string> &apps,
+                   double NormalizedResult::*field,
+                   const std::string &machine) const;
+
+    /** Explicitly opt into pooling every machine's rows into one
+     *  mean (the pre-PR-5 behavior of average()). */
+    double averagePooled(double retentionUs, const std::string &config,
+                         const std::vector<std::string> &apps,
+                         double NormalizedResult::*field) const;
+
+    /**
+     * Locate a row by (app, retention, config).  retentionUs <= 0
+     * matches any retention.  Never silently guesses across the
+     * machine/ambient axes: when matching rows disagree on machine or
+     * ambient, this is fatal — use the full-identity overload.
+     */
     const NormalizedResult *find(const std::string &app,
                                  double retentionUs,
                                  const std::string &config) const;
+
+    /** Locate a row by its full scenario identity ("" = the default
+     *  machine, ambientC 0 = the isothermal rows). */
+    const NormalizedResult *find(const std::string &app,
+                                 double retentionUs,
+                                 const std::string &config,
+                                 const std::string &machine,
+                                 double ambientC = 0.0) const;
 };
 
 /** Cache location: $REFRINT_CACHE or ./refrint_sweep_cache.csv. */
 std::string defaultCachePath();
 
 /**
- * Run (or load from cache) the sweep described by @p spec.
+ * Run (or load from cache) the sweep described by @p spec.  A thin
+ * wrapper over the experiment API: the spec flattens into an
+ * ExperimentPlan (api/experiment_plan.hh) and executes through a
+ * Session (api/session.hh); output is byte-identical to the historic
+ * Cartesian sweep loop.
  * @param cachePath  CSV cache location; empty disables caching.
  */
 SweepResult runSweep(SweepSpec spec,

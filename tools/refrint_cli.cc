@@ -2,31 +2,29 @@
  * @file
  * refrint_cli — command-line front end for the Refrint simulator.
  *
- *   refrint_cli run --app fft --policy R.WB(32,32) --retention 50
- *                   [--refs N] [--seed S] [--sram] [--decay US]
- *                   [--ambient C] [--cores N] [--hybrid]
- *   refrint_cli sweep [--refs N] [--cores N] [--hybrid]
- *                                         reproduce the Table 5.4 sweep
- *   refrint_cli figures [--refs N]        print Figs. 6.1-6.4 + headline
- *   refrint_cli thermal-study [--app fft] [--ambients 45,65,85]
- *                   sweep the ambient-temperature scenario axis
- *   refrint_cli binning                   print Table 6.1 classification
- *   refrint_cli trace-record --app fft --out t.trc [--refs N] [--seed S]
- *   refrint_cli trace-run --in t.trc --policy P.all --retention 50
- *   refrint_cli list                      list applications and policies
+ * Every subcommand is a thin plan-builder over the experiment API
+ * (src/api/): it assembles an ExperimentPlan, picks the result sinks,
+ * and hands both to a Session.  `refrint_cli help` lists the
+ * subcommands, `refrint_cli help <cmd>` shows one in detail.
  *
- * Every subcommand prints a normalized summary (against the matching
- * full-SRAM baseline where applicable).  Numeric arguments are parsed
- * strictly: "--refs 1e6" is an error, not a silent 1.
+ * Exit codes: 0 success, 1 runtime error (unknown app, unreadable
+ * file, impossible configuration), 2 usage error (bad flags or
+ * arguments).  Numeric arguments are parsed strictly: "--refs 1e6" is
+ * an error, not a silent 1.
  */
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "api/experiment_plan.hh"
+#include "api/result_sink.hh"
+#include "api/session.hh"
 #include "common/env.hh"
 #include "harness/binning.hh"
 #include "harness/report.hh"
@@ -50,23 +48,87 @@ struct Args
     bool hybrid = false;      ///< SRAM L1/L2 over the eDRAM LLC
     unsigned jobs = 0; ///< sweep workers; 0 = $REFRINT_JOBS or serial
     bool sram = false;
+    bool progress = false; ///< per-run progress ticker on stderr
     double decayUs = 0.0;
     double ambientC = 0.0; ///< 0 = thermal subsystem off
     std::string ambients = "45,65,85"; ///< thermal-study axis
     std::string cache; ///< result cache; empty = $REFRINT_CACHE/default
+    std::string plan;  ///< JSON plan file replacing the built-in grid
+    std::string jsonl; ///< JSON Lines result sink ("-" = stdout)
+    std::string csv;   ///< CSV result sink ("-" = stdout)
     std::string in, out;
+
+    /** Non-flag tokens, e.g. the "dump" in `plan dump`. */
+    std::vector<std::string> positional;
+
+    /** Grid-shaping flags actually given on the command line; a plan
+     *  file replaces the built-in grid, so combining them with --plan
+     *  is a usage error rather than a silent ignore. */
+    std::vector<std::string> gridFlags;
 };
 
-[[noreturn]] void
-usage()
+struct Command
 {
-    std::fprintf(
-        stderr,
-        "usage: refrint_cli <run|sweep|figures|thermal-study|binning|"
-        "trace-record|trace-run|list> [options]\n"
-        "  --app NAME --policy P --retention US --refs N --seed S\n"
-        "  --jobs N --sram --decay US --ambient C --ambients C1,C2,...\n"
-        "  --cores N --hybrid --cache PATH --in FILE --out FILE\n");
+    const char *name;
+    const char *summary; ///< one line for the command index
+    const char *usage;   ///< synopsis + options for `help <cmd>`
+    int (*run)(const Args &);
+    bool runsPlans = false; ///< accepts the shared sink/cache flags
+};
+
+/** Flags shared by every plan-running command. */
+const char kCommonSinkHelp[] =
+    "\nshared sink/cache options:\n"
+    "  --jsonl FILE     stream one JSON object per run; \"-\" streams\n"
+    "                   to stdout and replaces the default report\n"
+    "  --csv FILE       stream one CSV row per run (\"-\" as above)\n"
+    "  --progress       per-run progress ticker on stderr\n"
+    "  --cache PATH     result cache (default $REFRINT_CACHE or\n"
+    "                   ./refrint_sweep_cache.csv)\n"
+    "  --jobs N         worker threads (default $REFRINT_JOBS or 1)\n";
+
+void
+printCommandHelp(const Command &c, std::FILE *out)
+{
+    std::fputs(c.usage, out);
+    if (c.runsPlans)
+        std::fputs(kCommonSinkHelp, out);
+}
+
+const Command *commandIndex();       // forward (table below)
+const Command *findCommand(const std::string &name);
+std::size_t commandCount();
+
+/** The command being parsed/executed, for pointed usage errors. */
+const Command *gActive = nullptr;
+
+void
+printCommandIndex(std::FILE *out)
+{
+    std::fprintf(out, "usage: refrint_cli <command> [options]\n\n"
+                      "commands:\n");
+    const Command *cmds = commandIndex();
+    for (std::size_t i = 0; i < commandCount(); ++i)
+        std::fprintf(out, "  %-14s %s\n", cmds[i].name, cmds[i].summary);
+    std::fprintf(out, "\nsee 'refrint_cli help <command>' for options "
+                      "and examples.\n");
+}
+
+/** Report a usage error for the active command and exit 2. */
+[[noreturn]] void
+usageError(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    if (gActive != nullptr) {
+        std::fputc('\n', stderr);
+        printCommandHelp(*gActive, stderr);
+    } else {
+        printCommandIndex(stderr);
+    }
     std::exit(2);
 }
 
@@ -75,12 +137,9 @@ std::uint64_t
 argU64(const char *flag, const char *v)
 {
     std::uint64_t out = 0;
-    if (!parseU64Strict(v, out)) {
-        std::fprintf(stderr,
-                     "%s wants a plain decimal integer, got '%s'\n",
-                     flag, v);
-        usage();
-    }
+    if (!parseU64Strict(v, out))
+        usageError("%s wants a plain decimal integer, got '%s'", flag,
+                   v);
     return out;
 }
 
@@ -89,11 +148,8 @@ double
 argF64(const char *flag, const char *v)
 {
     double out = 0;
-    if (!parseF64Strict(v, out)) {
-        std::fprintf(stderr, "%s wants a finite number, got '%s'\n",
-                     flag, v);
-        usage();
-    }
+    if (!parseF64Strict(v, out))
+        usageError("%s wants a finite number, got '%s'", flag, v);
     return out;
 }
 
@@ -105,19 +161,33 @@ parseArgs(int argc, char **argv, int first)
         const std::string k = argv[i];
         auto val = [&]() -> const char * {
             if (i + 1 >= argc)
-                usage();
+                usageError("%s needs a value", k.c_str());
             return argv[++i];
         };
+        if (!k.empty() && k[0] != '-') {
+            a.positional.push_back(k);
+            continue;
+        }
+        if (k == "--app" || k == "--retention" || k == "--refs" ||
+            k == "--seed" || k == "--cores" || k == "--hybrid" ||
+            k == "--ambients")
+            a.gridFlags.push_back(k);
+        // The plan/sink flags only mean something to commands that run
+        // plans; anywhere else they would be silently ignored.
+        if ((k == "--plan" || k == "--jsonl" || k == "--csv" ||
+             k == "--progress") &&
+            (gActive == nullptr || !gActive->runsPlans))
+            usageError("%s applies only to the plan-running commands "
+                       "(sweep, figures, thermal-study)",
+                       k.c_str());
         if (k == "--app")
             a.app = val();
         else if (k == "--policy")
             a.policy = val();
         else if (k == "--retention") {
             a.retentionUs = argF64("--retention", val());
-            if (a.retentionUs <= 0) {
-                std::fprintf(stderr, "--retention must be positive\n");
-                usage();
-            }
+            if (a.retentionUs <= 0)
+                usageError("--retention must be positive");
         }
         else if (k == "--refs")
             a.refs = argU64("--refs", val());
@@ -125,64 +195,56 @@ parseArgs(int argc, char **argv, int first)
             a.seed = argU64("--seed", val());
         else if (k == "--jobs") {
             const std::uint64_t n = argU64("--jobs", val());
-            if (n == 0 || n > 4096) {
-                std::fprintf(stderr,
-                             "--jobs wants an integer in [1, 4096]\n");
-                usage();
-            }
+            if (n == 0 || n > 4096)
+                usageError("--jobs wants an integer in [1, 4096]");
             a.jobs = static_cast<unsigned>(n);
         }
         else if (k == "--cores") {
             const std::uint64_t n = argU64("--cores", val());
-            if (n < 4 || n > 64) {
-                std::fprintf(stderr,
-                             "--cores wants an integer in [4, 64]\n");
-                usage();
-            }
+            if (n < 4 || n > 64)
+                usageError("--cores wants an integer in [4, 64]");
             a.cores = static_cast<std::uint32_t>(n);
         }
         else if (k == "--hybrid")
             a.hybrid = true;
         else if (k == "--sram")
             a.sram = true;
+        else if (k == "--progress")
+            a.progress = true;
         else if (k == "--decay")
             a.decayUs = argF64("--decay", val());
         else if (k == "--ambient") {
             a.ambientC = argF64("--ambient", val());
-            if (a.ambientC <= 0) {
-                std::fprintf(stderr,
-                             "--ambient wants a temperature in deg C "
-                             "(> 0)\n");
-                usage();
-            }
+            if (a.ambientC <= 0)
+                usageError("--ambient wants a temperature in deg C "
+                           "(> 0)");
         }
         else if (k == "--ambients")
             a.ambients = val();
         else if (k == "--cache")
             a.cache = val();
+        else if (k == "--plan")
+            a.plan = val();
+        else if (k == "--jsonl")
+            a.jsonl = val();
+        else if (k == "--csv")
+            a.csv = val();
         else if (k == "--in")
             a.in = val();
         else if (k == "--out")
             a.out = val();
         else
-            usage();
+            usageError("unknown option '%s'", k.c_str());
     }
-    if (a.sram && a.hybrid) {
-        std::fprintf(stderr, "--hybrid builds SRAM L1/L2 over an eDRAM "
-                             "LLC; drop --sram\n");
-        usage();
-    }
-    if (a.sram && a.ambientC > 0.0) {
-        std::fprintf(stderr, "--ambient needs an eDRAM machine; drop "
-                             "--sram (SRAM retention is unlimited)\n");
-        usage();
-    }
-    if (a.decayUs > 0.0 && a.ambientC > 0.0) {
-        std::fprintf(stderr, "--decay (SRAM cache-decay comparator) "
-                             "and --ambient (eDRAM thermal) are "
-                             "mutually exclusive\n");
-        usage();
-    }
+    if (a.sram && a.hybrid)
+        usageError("--hybrid builds SRAM L1/L2 over an eDRAM LLC; "
+                   "drop --sram");
+    if (a.sram && a.ambientC > 0.0)
+        usageError("--ambient needs an eDRAM machine; drop --sram "
+                   "(SRAM retention is unlimited)");
+    if (a.decayUs > 0.0 && a.ambientC > 0.0)
+        usageError("--decay (SRAM cache-decay comparator) and "
+                   "--ambient (eDRAM thermal) are mutually exclusive");
     return a;
 }
 
@@ -195,19 +257,14 @@ parseAmbients(const std::string &list)
     std::stringstream ss(list);
     while (std::getline(ss, tok, ',')) {
         double v = 0;
-        if (!parseF64Strict(tok.c_str(), v) || v <= 0) {
-            std::fprintf(stderr,
-                         "--ambients wants positive deg C values, got "
-                         "'%s'\n",
-                         tok.c_str());
-            usage();
-        }
+        if (!parseF64Strict(tok.c_str(), v) || v <= 0)
+            usageError("--ambients wants positive deg C values, got "
+                       "'%s'",
+                       tok.c_str());
         out.push_back(v);
     }
-    if (out.empty()) {
-        std::fprintf(stderr, "--ambients list is empty\n");
-        usage();
-    }
+    if (out.empty())
+        usageError("--ambients list is empty");
     return out;
 }
 
@@ -217,6 +274,130 @@ cachePathFor(const Args &a)
 {
     return a.cache.empty() ? defaultCachePath() : a.cache;
 }
+
+// ---------------------------------------------------------------------
+// Sinks: every plan-running command shares the same observer wiring.
+// ---------------------------------------------------------------------
+
+/** Owns the optional file-backed sinks a command attaches. */
+struct SinkSet
+{
+    std::vector<std::unique_ptr<ResultSink>> owned;
+    std::vector<ResultSink *> ptrs;
+    std::vector<std::FILE *> files; ///< opened for a sink; closed here
+
+    ~SinkSet()
+    {
+        for (std::FILE *f : files)
+            std::fclose(f);
+    }
+
+    void
+    add(std::unique_ptr<ResultSink> s)
+    {
+        ptrs.push_back(s.get());
+        owned.push_back(std::move(s));
+    }
+};
+
+/** Open @p path for a sink ("-" = stdout); null on failure. */
+std::FILE *
+openSinkFile(SinkSet &sinks, const std::string &path)
+{
+    if (path == "-")
+        return stdout;
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        std::fprintf(stderr, "cannot write sink file: %s\n",
+                     path.c_str());
+    else
+        sinks.files.push_back(f);
+    return f;
+}
+
+/** True when a machine-readable sink streams to stdout — the default
+ *  human report must then stay out of the stream. */
+bool
+stdoutIsMachineReadable(const Args &a)
+{
+    if (a.jsonl == "-" && a.csv == "-")
+        usageError("only one of --jsonl/--csv can stream to stdout");
+    return a.jsonl == "-" || a.csv == "-";
+}
+
+/** A plan file replaces the built-in grid; reject grid flags that
+ *  would otherwise be silently ignored. */
+void
+rejectGridFlagsWithPlan(const Args &a)
+{
+    if (!a.plan.empty() && !a.gridFlags.empty())
+        usageError("--plan replaces the built-in grid; drop %s (the "
+                   "plan file already fixes it)",
+                   a.gridFlags.front().c_str());
+}
+
+/** Attach the generic sinks (--jsonl, --csv, --progress); false on a
+ *  runtime error (unwritable file). */
+bool
+attachCommonSinks(const Args &a, SinkSet &sinks)
+{
+    if (!a.jsonl.empty()) {
+        std::FILE *f = openSinkFile(sinks, a.jsonl);
+        if (f == nullptr)
+            return false;
+        sinks.add(std::make_unique<JsonLinesSink>(f));
+    }
+    if (!a.csv.empty()) {
+        std::FILE *f = openSinkFile(sinks, a.csv);
+        if (f == nullptr)
+            return false;
+        sinks.add(std::make_unique<CsvSink>(f));
+    }
+    if (a.progress)
+        sinks.add(std::make_unique<ProgressSink>());
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Plan builders: each subcommand's flags -> one ExperimentPlan.
+// ---------------------------------------------------------------------
+
+/** The sweep/figures grid for the given flags (the paper's Table 5.4
+ *  grid, possibly on a scaled or hybrid machine). */
+ExperimentPlan
+sweepPlanFor(const Args &a, bool announceMachine)
+{
+    SweepSpec spec;
+    spec.sim.refsPerCore = a.refs;
+    if (a.cores != 16 || a.hybrid) {
+        spec.machines = {MachineAxis{a.cores, a.hybrid}};
+        if (announceMachine)
+            std::printf("machine: %u cores (%s)\n", a.cores,
+                        a.hybrid ? "hybrid SRAM L1/L2 + eDRAM LLC"
+                                 : "uniform tech");
+    }
+    return ExperimentPlan::fromSweepSpec(std::move(spec));
+}
+
+/** The ambient-temperature study plan for the given flags; null app
+ *  name errors are reported by the builder (fatal, exit 1). */
+ExperimentPlan
+thermalPlanFor(const Args &a)
+{
+    SimParams sim;
+    sim.refsPerCore = a.refs;
+    sim.seed = a.seed;
+    std::vector<MachineAxis> machines;
+    if (a.cores != 16 || a.hybrid)
+        machines = {MachineAxis{a.cores, a.hybrid}};
+    return ExperimentPlan::thermalStudy(a.app, a.retentionUs,
+                                        parseAmbients(a.ambients), sim,
+                                        machines);
+}
+
+// ---------------------------------------------------------------------
+// run / trace-run share the single-run printer.
+// ---------------------------------------------------------------------
 
 MachineConfig
 machineFor(const Args &a)
@@ -288,9 +469,23 @@ printRun(const Workload &app, const Args &a)
                 static_cast<unsigned long long>(r.counts.l3Refreshes));
 }
 
+// ---------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------
+
+/** Most commands take no positional argument — reject strays early. */
+void
+rejectPositionals(const Args &a)
+{
+    if (!a.positional.empty())
+        usageError("unexpected argument '%s'",
+                   a.positional.front().c_str());
+}
+
 int
 cmdRun(const Args &a)
 {
+    rejectPositionals(a);
     const Workload *app = findWorkload(a.app);
     if (app == nullptr) {
         std::fprintf(stderr, "unknown application '%s' (try 'list')\n",
@@ -304,72 +499,127 @@ cmdRun(const Args &a)
 int
 cmdSweepOrFigures(const Args &a, bool figures)
 {
-    SweepSpec spec;
-    spec.sim.refsPerCore = a.refs;
-    spec.jobs = a.jobs;
-    if (a.cores != 16 || a.hybrid) {
-        spec.machines = {MachineAxis{a.cores, a.hybrid}};
-        std::printf("machine: %u cores (%s)\n", a.cores,
-                    a.hybrid ? "hybrid SRAM L1/L2 + eDRAM LLC"
-                             : "uniform tech");
+    rejectPositionals(a);
+    rejectGridFlagsWithPlan(a);
+    const bool quiet = stdoutIsMachineReadable(a);
+    const ExperimentPlan plan =
+        !a.plan.empty() ? ExperimentPlan::loadFile(a.plan)
+                        : sweepPlanFor(a, /*announceMachine=*/!quiet);
+    SinkSet sinks;
+    if (!attachCommonSinks(a, sinks))
+        return 1;
+    if (!quiet) {
+        if (figures)
+            sinks.add(std::make_unique<FiguresSink>());
+        sinks.add(std::make_unique<HeadlineSink>());
     }
-    const SweepResult s = runSweep(std::move(spec), cachePathFor(a));
-    if (figures) {
-        printFig61(s);
-        for (int cls : {1, 2, 3, 0})
-            printFig62(s, cls);
-        printFig63(s, 1);
-        printFig63(s, 0);
-        printFig64(s, 1);
-        printFig64(s, 0);
-    }
-    printHeadline(s);
+    Session session(SessionOptions{cachePathFor(a), a.jobs});
+    session.run(plan, sinks.ptrs);
     return 0;
 }
 
 int
-cmdBinning()
+cmdSweep(const Args &a)
 {
-    printBinning();
-    return 0;
+    return cmdSweepOrFigures(a, false);
 }
 
-/**
- * thermal-study: sweep the ambient-temperature axis for the paper's
- * headline policy pair and show how the refresh/energy trade-off moves
- * with die temperature — the scenario the isothermal evaluation cannot
- * express.  Uses the shared result cache (ambient-keyed rows) and the
- * parallel sweep engine, so repeated studies are warm and --jobs N is
- * bit-identical to serial.
- */
+int
+cmdFigures(const Args &a)
+{
+    return cmdSweepOrFigures(a, true);
+}
+
 int
 cmdThermalStudy(const Args &a)
 {
-    const Workload *app = findWorkload(a.app);
-    if (app == nullptr) {
-        std::fprintf(stderr, "unknown application '%s' (try 'list')\n",
-                     a.app.c_str());
-        return 1;
+    rejectPositionals(a);
+    rejectGridFlagsWithPlan(a);
+    const bool quiet = stdoutIsMachineReadable(a);
+    // The table header names the studied app/retention: from the flags
+    // for the built-in plan, from the plan's own measured scenarios
+    // when one is replayed.
+    std::string app = a.app;
+    double retentionUs = a.retentionUs;
+    ExperimentPlan plan;
+    if (!a.plan.empty()) {
+        plan = ExperimentPlan::loadFile(a.plan);
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+            if (plan.baseline[i] >= 0) {
+                app = plan.scenarios[i].app;
+                retentionUs = plan.scenarios[i].retentionUs;
+                break;
+            }
+        }
+    } else {
+        if (findWorkload(a.app) == nullptr) {
+            std::fprintf(stderr,
+                         "unknown application '%s' (try 'list')\n",
+                         a.app.c_str());
+            return 1;
+        }
+        plan = thermalPlanFor(a);
     }
-    SweepSpec spec;
-    spec.apps = {app};
-    spec.retentions = {usToTicks(a.retentionUs)};
-    spec.policies = {RefreshPolicy::periodic(DataPolicy::All),
-                     RefreshPolicy::refrint(DataPolicy::WB, 32, 32)};
-    spec.ambients = parseAmbients(a.ambients);
-    spec.sim.refsPerCore = a.refs;
-    spec.sim.seed = a.seed;
-    spec.jobs = a.jobs;
-    if (a.cores != 16 || a.hybrid)
-        spec.machines = {MachineAxis{a.cores, a.hybrid}};
-    const SweepResult s = runSweep(std::move(spec), cachePathFor(a));
-    printThermalStudy(s, app->name(), a.retentionUs);
+    SinkSet sinks;
+    if (!attachCommonSinks(a, sinks))
+        return 1;
+    if (!quiet)
+        sinks.add(std::make_unique<ThermalStudySink>(app, retentionUs));
+    Session session(SessionOptions{cachePathFor(a), a.jobs});
+    session.run(plan, sinks.ptrs);
+    return 0;
+}
+
+int
+cmdBinning(const Args &a)
+{
+    rejectPositionals(a);
+    BinningSink sink;
+    std::vector<ResultSink *> sinks{&sink};
+    // The binning plan simulates nothing; keep the run cache untouched.
+    Session session(SessionOptions{"", 0});
+    session.run(ExperimentPlan::binning(), sinks);
+    return 0;
+}
+
+int
+cmdPlan(const Args &a)
+{
+    if (a.positional.empty() || a.positional[0] != "dump")
+        usageError("plan wants the 'dump' action, e.g. "
+                   "'refrint_cli plan dump --out plan.json'");
+    const std::string what =
+        a.positional.size() > 1 ? a.positional[1] : "sweep";
+    if (a.positional.size() > 2)
+        usageError("unexpected argument '%s'",
+                   a.positional[2].c_str());
+
+    ExperimentPlan plan;
+    if (what == "sweep" || what == "figures") {
+        plan = sweepPlanFor(a, false);
+        if (what == "figures")
+            plan.name = "figures";
+    } else if (what == "thermal-study") {
+        plan = thermalPlanFor(a);
+    } else if (what == "binning") {
+        plan = ExperimentPlan::binning();
+    } else {
+        usageError("unknown plan '%s' (sweep, figures, thermal-study, "
+                   "binning)",
+                   what.c_str());
+    }
+
+    if (a.out.empty())
+        std::fputs(plan.toJson().c_str(), stdout);
+    else
+        plan.saveFile(a.out);
     return 0;
 }
 
 int
 cmdTraceRecord(const Args &a)
 {
+    rejectPositionals(a);
     const Workload *app = findWorkload(a.app);
     if (app == nullptr || a.out.empty()) {
         std::fprintf(stderr, "trace-record needs --app and --out\n");
@@ -387,6 +637,7 @@ cmdTraceRecord(const Args &a)
 int
 cmdTraceRun(const Args &a)
 {
+    rejectPositionals(a);
     if (a.in.empty()) {
         std::fprintf(stderr, "trace-run needs --in\n");
         return 1;
@@ -397,8 +648,9 @@ cmdTraceRun(const Args &a)
 }
 
 int
-cmdList()
+cmdList(const Args &a)
 {
+    rejectPositionals(a);
     std::printf("applications (Table 5.3 / binning of Table 6.1):\n");
     for (const Workload *w : paperWorkloads())
         std::printf("  %-14s class %d\n", w->name(), w->paperClass());
@@ -415,31 +667,126 @@ cmdList()
     return 0;
 }
 
+int
+cmdHelp(const Args &a)
+{
+    if (a.positional.empty()) {
+        printCommandIndex(stdout);
+        return 0;
+    }
+    const Command *c = findCommand(a.positional[0]);
+    if (c == nullptr) {
+        std::fprintf(stderr, "unknown command '%s'\n",
+                     a.positional[0].c_str());
+        printCommandIndex(stderr);
+        return 2;
+    }
+    printCommandHelp(*c, stdout);
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// The registry
+// ---------------------------------------------------------------------
+
+const Command kCommands[] = {
+    {"run", "one simulation, normalized against the SRAM baseline",
+     "usage: refrint_cli run [options]\n"
+     "  --app NAME       workload (default fft; see 'list')\n"
+     "  --policy P       refresh policy (default R.WB(32,32))\n"
+     "  --retention US   eDRAM retention in us (default 50)\n"
+     "  --refs N         references per core (default 120000)\n"
+     "  --seed S         PRNG seed (default 1)\n"
+     "  --sram           run the all-SRAM machine\n"
+     "  --decay US       SRAM cache-decay comparator interval\n"
+     "  --ambient C      enable the thermal subsystem at C deg C\n"
+     "  --cores N        scale the machine to N cores (4..64)\n"
+     "  --hybrid         SRAM L1/L2 over the eDRAM LLC\n",
+     cmdRun},
+    {"sweep", "the paper's Table 5.4 sweep (473 runs at full size)",
+     "usage: refrint_cli sweep [options]\n"
+     "  --plan FILE      run a JSON experiment plan instead of the\n"
+     "                   built-in grid (see 'plan dump')\n"
+     "  --refs N         references per core (default 120000)\n"
+     "  --cores N        machine scale (4..64; rows machine-keyed)\n"
+     "  --hybrid         SRAM L1/L2 over the eDRAM LLC\n",
+     cmdSweep, /*runsPlans=*/true},
+    {"figures", "Figs. 6.1-6.4 + the headline table",
+     "usage: refrint_cli figures [options]\n"
+     "  --plan FILE      run a JSON experiment plan instead of the\n"
+     "                   built-in grid\n"
+     "  --refs N         references per core (default 120000)\n"
+     "  --cores N --hybrid    as for 'sweep'\n",
+     cmdFigures, /*runsPlans=*/true},
+    {"thermal-study", "sweep the ambient-temperature scenario axis",
+     "usage: refrint_cli thermal-study [options]\n"
+     "  --app NAME       workload (default fft)\n"
+     "  --retention US   nominal retention (default 50)\n"
+     "  --ambients LIST  comma-separated deg C (default 45,65,85)\n"
+     "  --refs N --seed S --cores N --hybrid    as for 'run'\n"
+     "  --plan FILE      run a JSON experiment plan instead\n",
+     cmdThermalStudy, /*runsPlans=*/true},
+    {"binning", "Table 6.1 application classification",
+     "usage: refrint_cli binning\n", cmdBinning},
+    {"plan", "dump experiment plans as shareable JSON files",
+     "usage: refrint_cli plan dump [sweep|figures|thermal-study|"
+     "binning] [options]\n"
+     "  --out FILE       write the plan file (default stdout)\n"
+     "  (grid options --refs/--cores/--hybrid, and for thermal-study\n"
+     "   --app/--retention/--ambients/--seed, shape the dumped plan)\n"
+     "\nA dumped plan replays with 'sweep --plan FILE' and produces\n"
+     "rows byte-identical to the grid it was dumped from.\n",
+     cmdPlan},
+    {"trace-record", "record a workload's reference stream to a file",
+     "usage: refrint_cli trace-record --app NAME --out FILE\n"
+     "  --refs N --seed S --cores N    recording parameters\n",
+     cmdTraceRecord},
+    {"trace-run", "simulate a recorded trace",
+     "usage: refrint_cli trace-run --in FILE [run options]\n",
+     cmdTraceRun},
+    {"list", "list applications, policies and axes",
+     "usage: refrint_cli list\n", cmdList},
+    {"help", "show this index, or one command in detail",
+     "usage: refrint_cli help [command]\n", cmdHelp},
+};
+
+const Command *
+commandIndex()
+{
+    return kCommands;
+}
+
+std::size_t
+commandCount()
+{
+    return sizeof(kCommands) / sizeof(kCommands[0]);
+}
+
+const Command *
+findCommand(const std::string &name)
+{
+    for (std::size_t i = 0; i < commandCount(); ++i)
+        if (name == kCommands[i].name)
+            return &kCommands[i];
+    return nullptr;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
-        usage();
-    const std::string cmd = argv[1];
+    if (argc < 2) {
+        printCommandIndex(stderr);
+        return 2;
+    }
+    const Command *cmd = findCommand(argv[1]);
+    if (cmd == nullptr) {
+        std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
+        printCommandIndex(stderr);
+        return 2;
+    }
+    gActive = cmd;
     const Args a = parseArgs(argc, argv, 2);
-
-    if (cmd == "run")
-        return cmdRun(a);
-    if (cmd == "sweep")
-        return cmdSweepOrFigures(a, false);
-    if (cmd == "figures")
-        return cmdSweepOrFigures(a, true);
-    if (cmd == "thermal-study")
-        return cmdThermalStudy(a);
-    if (cmd == "binning")
-        return cmdBinning();
-    if (cmd == "trace-record")
-        return cmdTraceRecord(a);
-    if (cmd == "trace-run")
-        return cmdTraceRun(a);
-    if (cmd == "list")
-        return cmdList();
-    usage();
+    return cmd->run(a);
 }
