@@ -6,6 +6,7 @@
 
 #include "api/json.hh"
 #include "common/log.hh"
+#include "workload/method.hh"
 
 namespace refrint
 {
@@ -214,8 +215,9 @@ ExperimentPlan::fromJson(const std::string &text)
         // Resolve the workload eagerly so a bad plan fails before any
         // simulation starts.
         if (findWorkload(s.app) == nullptr)
-            fatal("plan scenario names unknown application '%s'",
-                  s.app.c_str());
+            fatal("plan scenario names unknown application '%s'\n%s",
+                  s.app.c_str(),
+                  workloadRegistry().describe().c_str());
         plan.scenarios.push_back(std::move(s));
         plan.baseline.push_back(static_cast<int>(b));
     }
@@ -326,8 +328,8 @@ ExperimentPlan::thermalStudy(const std::string &app, double retentionUs,
 {
     const Workload *w = findWorkload(app);
     if (w == nullptr)
-        fatal("thermal study names unknown application '%s'",
-              app.c_str());
+        fatal("thermal study names unknown application '%s'\n%s",
+              app.c_str(), workloadRegistry().describe().c_str());
     SweepSpec spec;
     spec.apps = {w};
     spec.retentions = {usToTicks(retentionUs)};

@@ -38,6 +38,7 @@ CsvSink::begin(const ExperimentPlan &plan)
                  "eL1,eL2,eL3,eDram,eDynamic,eLeakage,eRefresh,eCore,"
                  "eNet,dramAccesses,l3Misses,l3Refreshes,"
                  "refreshWritebacks,refreshInvalidations,decayedHits,"
+                 "requests,reqP50Us,reqP95Us,reqP99Us,"
                  "simulated,normTime,normMemEnergy,normSysEnergy\n");
 }
 
@@ -51,7 +52,8 @@ CsvSink::consume(const ExperimentPlan &plan, std::size_t index,
     std::fprintf(out_,
                  "%s,%s,%s,%.17g,%.17g,%.17g,%llu,%llu,"
                  "%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,"
-                 "%.17g,%llu,%llu,%llu,%llu,%llu,%llu,%d",
+                 "%.17g,%llu,%llu,%llu,%llu,%llu,%llu,"
+                 "%.17g,%.17g,%.17g,%.17g,%d",
                  csvField(r.app).c_str(), csvField(r.config).c_str(),
                  csvField(r.machine).c_str(),
                  r.retentionUs, r.ambientC, r.maxTempC,
@@ -68,6 +70,7 @@ CsvSink::consume(const ExperimentPlan &plan, std::size_t index,
                  static_cast<unsigned long long>(
                      r.counts.refreshInvalidations),
                  static_cast<unsigned long long>(r.counts.decayedHits),
+                 r.requests, r.reqP50Us, r.reqP95Us, r.reqP99Us,
                  simulated ? 1 : 0);
     if (norm != nullptr)
         std::fprintf(out_, ",%.17g,%.17g,%.17g\n", norm->time,
@@ -105,6 +108,15 @@ JsonLinesSink::consume(const ExperimentPlan &plan, std::size_t index,
     o.set("instructions",
           JsonValue::number(static_cast<double>(r.instructions)));
     o.set("simulated", JsonValue::boolean(simulated));
+    o.set("requests", JsonValue::number(r.requests));
+
+    // Always present (zeros for request-less workloads) so consumers
+    // can rely on the shape of every row.
+    JsonValue lat = JsonValue::object();
+    lat.set("p50", JsonValue::number(r.reqP50Us));
+    lat.set("p95", JsonValue::number(r.reqP95Us));
+    lat.set("p99", JsonValue::number(r.reqP99Us));
+    o.set("latencyUs", std::move(lat));
 
     JsonValue en = JsonValue::object();
     en.set("l1", JsonValue::number(r.energy.l1));

@@ -13,7 +13,7 @@ namespace refrint
 namespace
 {
 
-constexpr int kCacheVersion = 6;
+constexpr int kCacheVersion = 7;
 constexpr int kOldestReadableVersion = 5;
 
 /**
@@ -28,14 +28,20 @@ constexpr double CacheRow::*kCacheFields[] = {
     &CacheRow::core,         &CacheRow::net,          &CacheRow::dramAccesses,
     &CacheRow::l3Misses,     &CacheRow::refreshes3,   &CacheRow::refWbs,
     &CacheRow::refInvals,    &CacheRow::decayed,      &CacheRow::ambientC,
-    &CacheRow::maxTempC,
+    &CacheRow::maxTempC,     &CacheRow::requests,     &CacheRow::reqP50Us,
+    &CacheRow::reqP95Us,     &CacheRow::reqP99Us,
 };
 constexpr std::size_t kNumCacheFields =
     sizeof(kCacheFields) / sizeof(kCacheFields[0]);
 static_assert(kNumCacheFields == sizeof(CacheRow) / sizeof(double),
               "every CacheRow field must be serialized");
 
-/** Parse "f0,f1,...,f16" into the named fields, all required. */
+/** Field count of a pre-v7 (v5/v6) row: everything up to maxTempC. */
+constexpr std::size_t kNumLegacyCacheFields = kNumCacheFields - 4;
+
+/** Parse "f0,f1,..." into the named fields.  A full v7 row or a
+ *  legacy-length prefix is accepted; the caller zero-initializes, so
+ *  missing request-latency fields read as zero. */
 bool
 readRow(const std::string &payload, CacheRow &c)
 {
@@ -49,7 +55,7 @@ readRow(const std::string &payload, CacheRow &c)
             return false;
         c.*kCacheFields[i++] = v;
     }
-    return i == kNumCacheFields;
+    return i == kNumCacheFields || i == kNumLegacyCacheFields;
 }
 
 void
@@ -90,6 +96,10 @@ cacheRowOf(const RunResult &r)
     c.decayed = static_cast<double>(r.counts.decayedHits);
     c.ambientC = r.ambientC;
     c.maxTempC = r.maxTempC;
+    c.requests = r.requests;
+    c.reqP50Us = r.reqP50Us;
+    c.reqP95Us = r.reqP95Us;
+    c.reqP99Us = r.reqP99Us;
     return c;
 }
 
@@ -123,6 +133,10 @@ runFromCacheRow(const std::string &app, const std::string &config,
     r.counts.decayedHits = static_cast<std::uint64_t>(c.decayed);
     r.ambientC = c.ambientC;
     r.maxTempC = c.maxTempC;
+    r.requests = c.requests;
+    r.reqP50Us = c.reqP50Us;
+    r.reqP95Us = c.reqP95Us;
+    r.reqP99Us = c.reqP99Us;
     return r;
 }
 

@@ -10,7 +10,10 @@
  * maxTempC).  v6 added machine-keyed rows ("|mach=" key segment) for
  * the machine sweep axis; the row payload is unchanged, so a v5 cache
  * is read in place (its rows are all default-machine rows) and
- * rewritten as v6 only if the sweep simulates something new.
+ * rewritten as v6 only if the sweep simulates something new.  v7
+ * appends the request-latency fields (requests, p50/p95/p99 us); v5/v6
+ * rows are read in place with those fields zero — which is their true
+ * value, since legacy workloads have no request structure.
  */
 
 #ifndef REFRINT_API_RUN_CACHE_HH
@@ -33,6 +36,7 @@ struct CacheRow
     double dramAccesses, l3Misses, refreshes3, refWbs, refInvals;
     double decayed;
     double ambientC, maxTempC;
+    double requests, reqP50Us, reqP95Us, reqP99Us;
 };
 
 /** Flatten a run result into its cache payload. */

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/log.hh"
+#include "workload/method.hh"
 
 namespace refrint
 {
@@ -19,6 +20,8 @@ ScenarioKey::str() const
                   static_cast<unsigned long long>(refs),
                   static_cast<unsigned long long>(seed));
     std::string key = app + "|" + config + buf;
+    if (!workload.empty())
+        key += "|wl=" + workload;
     if (ambientC != 0.0) {
         std::snprintf(buf, sizeof(buf), "|amb=%.2f", ambientC);
         key += buf;
@@ -34,8 +37,8 @@ bool
 ScenarioKey::operator==(const ScenarioKey &o) const
 {
     return app == o.app && config == o.config &&
-           retentionUs == o.retentionUs && refs == o.refs &&
-           seed == o.seed && ambientC == o.ambientC &&
+           workload == o.workload && retentionUs == o.retentionUs &&
+           refs == o.refs && seed == o.seed && ambientC == o.ambientC &&
            machine == o.machine && energy == o.energy;
 }
 
@@ -48,8 +51,28 @@ Scenario::machineLabel() const
 ScenarioKey
 Scenario::key() const
 {
+    // The key's workload identity comes from the canonical spec: a
+    // held workload supplies its own (a registry instance's spec is
+    // already canonical; a directly-constructed workload's is its bare
+    // name, keeping legacy keys); a name-only scenario canonicalizes
+    // through the registry, so "agg" and "agg:tables=shared" key
+    // identically with every default made explicit.
+    std::string spec = workload != nullptr ? workload->spec() : app;
+    if (workload == nullptr) {
+        ResolvedWorkload rw;
+        std::string err;
+        if (workloadRegistry().resolve(spec, rw, err))
+            spec = rw.spec;
+    }
+    const auto colon = spec.find(':');
+
     ScenarioKey k;
-    k.app = app;
+    if (colon == std::string::npos) {
+        k.app = spec;
+    } else {
+        k.app = spec.substr(0, colon);
+        k.workload = spec.substr(colon + 1);
+    }
     k.config = config;
     k.retentionUs = retentionUs;
     k.refs = sim.refsPerCore;
@@ -82,10 +105,13 @@ Scenario::resolveWorkload() const
 {
     if (workload != nullptr)
         return *workload;
-    const Workload *w = findWorkload(app);
-    if (w == nullptr)
-        fatal("scenario names unknown application '%s'", app.c_str());
-    return *w;
+    ResolvedWorkload rw;
+    std::string err;
+    if (!workloadRegistry().resolve(app, rw, err))
+        fatal("scenario names unknown application '%s' (%s)\n%s",
+              app.c_str(), err.c_str(),
+              workloadRegistry().describe().c_str());
+    return *rw.workload;
 }
 
 std::string

@@ -13,10 +13,15 @@
  *
  * Key-compat contract (see DESIGN.md "Experiment API"):
  *
- *     app|config|retentionUs|refs|seed[|amb=C][|mach=M][|en=H]
+ *     app|config|retentionUs|refs|seed[|wl=P][|amb=C][|mach=M][|en=H]
  *
  * with retentionUs printed %.1f, ambient %.2f (only when nonzero), and
- * the machine label (only when non-default) from machineIdFor().
+ * the machine label (only when non-default) from machineIdFor().  The
+ * |wl= segment carries a parameterized workload method's canonical
+ * parameter list (workload/method.hh); it is always present for a
+ * method instance — even at all-default parameters — and never for a
+ * legacy-named workload, so method rows cannot alias legacy rows and
+ * every pre-registry key stays byte-identical.
  */
 
 #ifndef REFRINT_API_SCENARIO_HH
@@ -39,6 +44,11 @@ struct ScenarioKey
 {
     std::string app;
     std::string config; ///< "SRAM" or a policy name, e.g. "R.WB(32,32)"
+
+    /** Canonical parameter list of a workload-method instance (the
+     *  "|wl=" payload, e.g. "tables=shared,..."); "" for legacy-named
+     *  workloads. */
+    std::string workload;
     double retentionUs = 0;
     std::uint64_t refs = 0;
     std::uint64_t seed = 0;
@@ -66,7 +76,7 @@ struct ScenarioKey
  */
 struct Scenario
 {
-    std::string app;             ///< workload name (e.g. "fft")
+    std::string app;             ///< workload spec ("fft", "agg:...")
     std::string config = "SRAM"; ///< "SRAM" or LLC policy name
     double retentionUs = 0;      ///< 0 for SRAM runs
     double ambientC = 0;         ///< 0 = thermal subsystem off

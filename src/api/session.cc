@@ -88,10 +88,13 @@ Session::run(const ExperimentPlan &plan,
             RunResult r = runOnce(sc.machine(plan.energy),
                                   sc.resolveWorkload(), sc.sim,
                                   plan.energy);
-            // Stamp the plan's label (0.0 for SRAM baselines) so a
-            // fresh run and a cache reload of it report the same
-            // retention.
+            // Stamp the plan's labels (0.0 retention for SRAM
+            // baselines; the scenario's own app spelling, which for a
+            // spec workload may be terser than the canonical name the
+            // runner saw) so a fresh run and a cache reload of it
+            // report identically.
             r.retentionUs = sc.retentionUs;
+            r.app = sc.app;
             cache_->insert(key, cacheRowOf(r));
             simulated.fetch_add(1, std::memory_order_relaxed);
             simulatedFlag[i] = 1;

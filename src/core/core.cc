@@ -43,9 +43,23 @@ Core::issueFetch(Tick now, std::uint32_t instrCount)
 }
 
 void
-Core::fire(Tick now, std::uint64_t)
+Core::fire(Tick now, std::uint64_t tag)
 {
-    const MemRef ref = stream_->next();
+    // tag 1 = the issue tick of a reference stashed for its delay;
+    // tag 0 = pull a fresh reference from the stream, and if it asks
+    // for an idle period, stall until then rather than touching the
+    // hierarchy at a future tick.
+    MemRef ref;
+    if (tag == 1) {
+        ref = pending_;
+    } else {
+        ref = stream_->next(now);
+        if (ref.delay > 0) {
+            pending_ = ref;
+            eq_.schedule(now + ref.delay, this, 1);
+            return;
+        }
+    }
     const std::uint32_t instrCount = ref.gap + 1;
 
     const Tick tFetch = issueFetch(now, instrCount);

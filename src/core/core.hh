@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "coherence/hierarchy.hh"
 #include "common/prng.hh"
@@ -34,6 +35,10 @@ struct MemRef
     bool write = false;
     /** Compute cycles (= instructions at IPC 1) before the next ref. */
     std::uint32_t gap = 0;
+    /** Idle ticks before this reference may issue (open-loop streams
+     *  waiting for the next request arrival).  The core stalls — it
+     *  never issues hierarchy accesses at a future tick. */
+    Tick delay = 0;
 };
 
 /** An endless per-core reference stream (owned by its Core). */
@@ -42,6 +47,23 @@ class CoreStream
   public:
     virtual ~CoreStream() = default;
     virtual MemRef next() = 0;
+
+    /** Timed variant: @p now is the tick at which the previous
+     *  reference completed (request-serving streams derive per-request
+     *  latency from it).  Default ignores the clock. */
+    virtual MemRef
+    next(Tick now)
+    {
+        (void)now;
+        return next();
+    }
+
+    /** Completed per-request latencies in ticks, or null for streams
+     *  with no request structure. */
+    virtual const std::vector<Tick> *requestLatencies() const
+    {
+        return nullptr;
+    }
 };
 
 class Core : public EventClient
@@ -65,6 +87,7 @@ class Core : public EventClient
     Tick doneTick() const { return doneTick_; }
     std::uint64_t instructions() const { return instrs_; }
     std::uint64_t refsIssued() const { return refsIssued_; }
+    const CoreStream &stream() const { return *stream_; }
 
   private:
     /** Fetch-path access for the current reference. */
@@ -83,6 +106,7 @@ class Core : public EventClient
     std::uint64_t instrs_ = 0;
     bool done_ = false;
     Tick doneTick_ = 0;
+    MemRef pending_; ///< delayed reference awaiting its issue tick
 
     Counter *loads_;
     Counter *stores_;

@@ -275,4 +275,25 @@ printThermalStudy(const SweepResult &s, const char *appName,
                       "energy; sys/time to the full-SRAM run)\n");
 }
 
+void
+printLatencyTable(const SweepResult &s, std::FILE *out)
+{
+    bool any = false;
+    for (const RunResult &r : s.raw)
+        any = any || r.requests > 0;
+    if (!any)
+        return;
+    std::fprintf(out, "# Request latency (us, nearest-rank)\n");
+    std::fprintf(out, "%-28s %-12s %8s %10s %9s %9s %9s\n", "app",
+                 "config", "ret(us)", "requests", "p50", "p95", "p99");
+    for (const RunResult &r : s.raw) {
+        if (r.requests <= 0)
+            continue;
+        std::fprintf(out,
+                     "%-28s %-12s %8.1f %10.0f %9.3f %9.3f %9.3f\n",
+                     r.app.c_str(), r.config.c_str(), r.retentionUs,
+                     r.requests, r.reqP50Us, r.reqP95Us, r.reqP99Us);
+    }
+}
+
 } // namespace refrint

@@ -48,6 +48,11 @@ void printHeadline(const SweepResult &s, std::FILE *out = stdout);
 void printThermalStudy(const SweepResult &s, const char *appName,
                        double retentionUs, std::FILE *out = stdout);
 
+/** Tail-latency table: one row per run with request structure
+ *  (requests > 0).  Prints nothing — not even a header — when no run
+ *  has requests, so attaching it to a legacy sweep is output-neutral. */
+void printLatencyTable(const SweepResult &s, std::FILE *out = stdout);
+
 // ---------------------------------------------------------------------
 // The renderers as ResultSink implementations: attach them to
 // Session::run() to turn a plan execution into the paper's tables.
@@ -99,6 +104,22 @@ class ThermalStudySink : public ResultSink
   private:
     std::string app_;
     double retentionUs_;
+    std::FILE *out_;
+};
+
+/** The tail-latency table (printLatencyTable); silent when the plan
+ *  held no request-serving workloads. */
+class LatencySink : public ResultSink
+{
+  public:
+    explicit LatencySink(std::FILE *out = stdout) : out_(out) {}
+    void
+    end(const ExperimentPlan &, const SweepResult &s) override
+    {
+        printLatencyTable(s, out_);
+    }
+
+  private:
     std::FILE *out_;
 };
 

@@ -1,9 +1,52 @@
 #include "harness/runner.hh"
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "common/log.hh"
 
 namespace refrint
 {
+
+namespace
+{
+
+/** Nearest-rank percentile of a sorted sample (p in (0, 1]). */
+double
+percentile(const std::vector<Tick> &sorted, double p)
+{
+    const std::size_t n = sorted.size();
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(p * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    return static_cast<double>(sorted[std::min(rank, n) - 1]);
+}
+
+/** Fill the request-latency fields from the cores' streams (a no-op
+ *  for workloads without request structure). */
+void
+collectLatencies(CmpSystem &sys, RunResult &r)
+{
+    std::vector<Tick> lat;
+    for (CoreId c = 0; c < sys.numCores(); ++c) {
+        const std::vector<Tick> *l =
+            sys.core(c).stream().requestLatencies();
+        if (l != nullptr)
+            lat.insert(lat.end(), l->begin(), l->end());
+    }
+    if (lat.empty())
+        return;
+    std::sort(lat.begin(), lat.end());
+    r.requests = static_cast<double>(lat.size());
+    // 1 tick = 1 ns, so microseconds = ticks / 1e3.
+    r.reqP50Us = percentile(lat, 0.50) / 1e3;
+    r.reqP95Us = percentile(lat, 0.95) / 1e3;
+    r.reqP99Us = percentile(lat, 0.99) / 1e3;
+}
+
+} // namespace
 
 RunResult
 runOnce(const MachineConfig &cfg, const Workload &app,
@@ -20,6 +63,7 @@ runOnce(const MachineConfig &cfg, const Workload &app,
     r.execTicks = sys.execTicks();
     r.instructions = sys.totalInstructions();
     r.counts = sys.hierarchy().counts();
+    collectLatencies(sys, r);
     if (const ThermalDriver *t = sys.hierarchy().thermal()) {
         r.ambientC = cfg.thermal.ambientC;
         r.maxTempC = t->maxTempC();

@@ -40,6 +40,14 @@ struct RunResult
     Tick execTicks = 0;
     std::uint64_t instructions = 0;
 
+    /** Request-serving workloads only: completed request count and
+     *  nearest-rank latency percentiles in microseconds (all zero for
+     *  workloads without request structure). */
+    double requests = 0;
+    double reqP50Us = 0;
+    double reqP95Us = 0;
+    double reqP99Us = 0;
+
     EnergyBreakdown energy;
     HierarchyCounts counts;
 };

@@ -56,6 +56,10 @@ class CmpSystem
     const Hierarchy &hierarchy() const { return *hier_; }
     EventQueue &eventQueue() { return eq_; }
     Core &core(CoreId c) { return *cores_[c]; }
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
 
   private:
     EventQueue eq_;

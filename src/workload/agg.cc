@@ -1,0 +1,137 @@
+#include "workload/agg.hh"
+
+#include "common/prng.hh"
+#include "workload/method.hh"
+#include "workload/synthetic.hh"
+
+namespace refrint
+{
+
+namespace
+{
+
+/** Alternates input-scan reads with skewed group-counter updates. */
+class AggStream : public CoreStream
+{
+  public:
+    AggStream(Addr inBase, std::uint32_t inLines, Addr tableBase,
+              std::uint32_t groups, double zipfS, std::uint32_t gap,
+              std::uint64_t seed, CoreId core)
+        : inBase_(inBase), inLines_(inLines), tableBase_(tableBase),
+          groups_(groups), zipfS_(zipfS), gap_(gap),
+          prng_(seed, core * 2 + 1)
+    {
+    }
+
+    MemRef
+    next() override
+    {
+        MemRef r;
+        if (!updatePhase_) {
+            // Scan the next input line of the key-value stream.
+            r.addr = inBase_ + static_cast<Addr>(cursor_) * 64;
+            cursor_ = (cursor_ + 1) % inLines_;
+            r.write = false;
+        } else {
+            // Read-modify-write the record's group counter.
+            r.addr = tableBase_ +
+                     static_cast<Addr>(prng_.skewed(groups_, zipfS_)) *
+                         64;
+            r.write = true;
+        }
+        updatePhase_ = !updatePhase_;
+        r.gap = gap_;
+        return r;
+    }
+
+  private:
+    Addr inBase_;
+    std::uint32_t inLines_;
+    Addr tableBase_;
+    std::uint32_t groups_;
+    double zipfS_;
+    std::uint32_t gap_;
+    bool updatePhase_ = false;
+    std::uint32_t cursor_ = 0;
+    Prng prng_;
+};
+
+class AggMethod : public WorkloadMethod
+{
+  public:
+    const char *methodName() const override { return "agg"; }
+    const char *summary() const override
+    {
+        return "group-by aggregation; shared vs partitioned tables, "
+               "Zipf-skewed keys";
+    }
+
+    const std::vector<ParamSpec> &params() const override
+    {
+        static const std::vector<ParamSpec> kParams = {
+            {"tables", ParamSpec::Kind::Enum, "shared",
+             "table layout", "shared|part"},
+            {"groups", ParamSpec::Kind::U64, "4096",
+             "hash-table size in 64B group counters", nullptr, 1,
+             262144},
+            {"in", ParamSpec::Kind::U64, "1048576",
+             "per-core input stream bytes", nullptr, 64,
+             64.0 * (1 << 20)},
+            {"skew", ParamSpec::Kind::F64, "0.8",
+             "Zipf-like key skew theta, 0 = uniform", nullptr, 0,
+             0.99},
+            {"gap", ParamSpec::Kind::U64, "3",
+             "non-memory instructions between refs", nullptr, 0, 1024},
+        };
+        return kParams;
+    }
+
+    std::unique_ptr<Workload>
+    instantiate(const ParamValues &v) const override
+    {
+        return std::make_unique<AggWorkload>(
+            v.str("tables") == "shared",
+            static_cast<std::uint32_t>(v.u64("groups")), v.u64("in"),
+            v.f64("skew"), static_cast<std::uint32_t>(v.u64("gap")));
+    }
+};
+
+} // namespace
+
+AggWorkload::AggWorkload(bool sharedTables, std::uint32_t groups,
+                         std::uint64_t inputBytes, double theta,
+                         std::uint32_t gap)
+    : sharedTables_(sharedTables), groups_(groups),
+      inputBytes_(inputBytes), theta_(theta), gap_(gap)
+{
+}
+
+std::unique_ptr<CoreStream>
+AggWorkload::makeStream(CoreId core, std::uint32_t numCores,
+                        std::uint64_t seed) const
+{
+    (void)numCores;
+    const Addr inBase = SyntheticStream::kPrivateBase +
+                        static_cast<Addr>(core) * (64ULL << 20);
+    // One table for everyone, or per-core slices of the shared region
+    // (64 cores x 262144 max groups x 64 B fills it exactly).
+    const Addr tableBase =
+        SyntheticStream::kSharedBase +
+        (sharedTables_ ? 0
+                       : static_cast<Addr>(core) * groups_ * 64);
+    // Map the Zipf theta to Prng::skewed()'s exponent: rank =
+    // floor(n * u^s) approximates a Zipf(theta) rank-frequency curve
+    // for s = 1 / (1 - theta); theta = 0 degenerates to uniform.
+    const double zipfS = 1.0 / (1.0 - theta_);
+    return std::make_unique<AggStream>(
+        inBase, static_cast<std::uint32_t>(inputBytes_ / 64), tableBase,
+        groups_, zipfS, gap_, seed, core);
+}
+
+void
+registerAggMethod(WorkloadRegistry &reg)
+{
+    reg.registerMethod(std::make_unique<AggMethod>());
+}
+
+} // namespace refrint

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hash-aggregation workload family ("agg"): every core runs a group-by
+ * over a streaming key-value input, updating a hash table that is
+ * either one table shared by all cores or partitioned per core.  Keys
+ * are Zipf-skewed, so the shared table concentrates cross-core write
+ * traffic on the hot groups — exactly the sharing-induced write-back
+ * axis the refresh policies key on (§3.3); the partitioned layout
+ * removes the sharing while keeping the same footprint per core.
+ *
+ * Instantiate through the workload registry as e.g.
+ *     agg:tables=shared,skew=0.8
+ *     agg:tables=part,groups=1024,in=65536
+ */
+
+#ifndef REFRINT_WORKLOAD_AGG_HH
+#define REFRINT_WORKLOAD_AGG_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "workload/workload.hh"
+
+namespace refrint
+{
+
+/** Group-by aggregation over a key-value stream. */
+class AggWorkload : public Workload
+{
+  public:
+    /**
+     * @param sharedTables one table for all cores (true) or per-core
+     *                     partitions (false)
+     * @param groups       hash-table size in 64 B group counters
+     * @param inputBytes   per-core input stream footprint
+     * @param theta        Zipf-like key skew in [0, 1): 0 = uniform
+     * @param gap          non-memory instructions between refs
+     */
+    AggWorkload(bool sharedTables, std::uint32_t groups,
+                std::uint64_t inputBytes, double theta,
+                std::uint32_t gap);
+
+    const char *name() const override { return "agg"; }
+    int paperClass() const override { return 0; }
+    std::unique_ptr<CoreStream> makeStream(
+        CoreId core, std::uint32_t numCores,
+        std::uint64_t seed) const override;
+
+  private:
+    bool sharedTables_;
+    std::uint32_t groups_;
+    std::uint64_t inputBytes_;
+    double theta_;
+    std::uint32_t gap_;
+};
+
+} // namespace refrint
+
+#endif // REFRINT_WORKLOAD_AGG_HH

@@ -139,14 +139,4 @@ workloadsOfClass(int paperClass)
     return out;
 }
 
-const Workload *
-findWorkload(const std::string &name)
-{
-    for (const Workload *w : paperWorkloads()) {
-        if (name == w->name())
-            return w;
-    }
-    return nullptr;
-}
-
 } // namespace refrint

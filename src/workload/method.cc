@@ -1,0 +1,386 @@
+#include "workload/method.hh"
+
+#include <cstdio>
+
+#include "common/env.hh"
+#include "common/log.hh"
+
+namespace refrint
+{
+
+namespace
+{
+
+/** Shortest %g form that strtod round-trips to the exact value, so a
+ *  canonical spec is stable under re-parsing (0.8 stays "0.8", never
+ *  "0.80000000000000004"). */
+std::string
+canonicalF64(double v)
+{
+    char buf[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+/** Decimal u64 with an optional k/m/g (x1024) suffix: "64k" = 65536. */
+bool
+parseU64Suffixed(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    std::uint64_t mult = 1;
+    std::string digits = s;
+    const char last = s.back();
+    if (last == 'k' || last == 'K')
+        mult = 1024ULL;
+    else if (last == 'm' || last == 'M')
+        mult = 1024ULL * 1024;
+    else if (last == 'g' || last == 'G')
+        mult = 1024ULL * 1024 * 1024;
+    if (mult != 1)
+        digits = s.substr(0, s.size() - 1);
+    std::uint64_t v = 0;
+    if (!parseU64Strict(digits.c_str(), v))
+        return false;
+    if (mult != 1 && v > ~0ULL / mult)
+        return false;
+    out = v * mult;
+    return true;
+}
+
+bool
+enumHasChoice(const char *choices, const std::string &value)
+{
+    std::string tok;
+    for (const char *p = choices;; ++p) {
+        if (*p == '|' || *p == '\0') {
+            if (tok == value)
+                return true;
+            tok.clear();
+            if (*p == '\0')
+                return false;
+        } else {
+            tok += *p;
+        }
+    }
+}
+
+/** Parse + range-check one raw value; canonical form into @p canon. */
+bool
+canonicalizeValue(const ParamSpec &p, const std::string &raw,
+                  std::string &canon, std::string &err)
+{
+    switch (p.kind) {
+    case ParamSpec::Kind::F64: {
+        double v = 0;
+        if (!parseF64Strict(raw.c_str(), v)) {
+            err = std::string("parameter '") + p.name +
+                  "' wants a finite number, got '" + raw + "'";
+            return false;
+        }
+        if (p.min < p.max && (v < p.min || v > p.max)) {
+            err = std::string("parameter '") + p.name + "'=" + raw +
+                  " out of range [" + canonicalF64(p.min) + ", " +
+                  canonicalF64(p.max) + "]";
+            return false;
+        }
+        canon = canonicalF64(v);
+        return true;
+    }
+    case ParamSpec::Kind::U64: {
+        std::uint64_t v = 0;
+        if (!parseU64Suffixed(raw, v)) {
+            err = std::string("parameter '") + p.name +
+                  "' wants a decimal integer (k/m/g suffixes ok), "
+                  "got '" + raw + "'";
+            return false;
+        }
+        const double dv = static_cast<double>(v);
+        if (p.min < p.max && (dv < p.min || dv > p.max)) {
+            err = std::string("parameter '") + p.name + "'=" + raw +
+                  " out of range [" + canonicalF64(p.min) + ", " +
+                  canonicalF64(p.max) + "]";
+            return false;
+        }
+        canon = std::to_string(v);
+        return true;
+    }
+    case ParamSpec::Kind::Enum:
+        if (!enumHasChoice(p.choices, raw)) {
+            err = std::string("parameter '") + p.name + "'='" + raw +
+                  "' is not one of " + p.choices;
+            return false;
+        }
+        canon = raw;
+        return true;
+    }
+    return false; // unreachable
+}
+
+/** Registry-created instance: its name()/spec() are the canonical
+ *  spec string, everything else delegates to the concrete workload. */
+class SpecWorkload : public Workload
+{
+  public:
+    SpecWorkload(std::unique_ptr<Workload> inner, std::string spec)
+        : inner_(std::move(inner)), spec_(std::move(spec))
+    {
+    }
+
+    const char *name() const override { return spec_.c_str(); }
+    int paperClass() const override { return inner_->paperClass(); }
+    std::uint32_t codeLines() const override
+    {
+        return inner_->codeLines();
+    }
+    std::string spec() const override { return spec_; }
+
+    std::unique_ptr<CoreStream>
+    makeStream(CoreId core, std::uint32_t numCores,
+               std::uint64_t seed) const override
+    {
+        return inner_->makeStream(core, numCores, seed);
+    }
+
+  private:
+    std::unique_ptr<Workload> inner_;
+    std::string spec_;
+};
+
+} // namespace
+
+double
+ParamValues::f64(const std::string &name) const
+{
+    double v = 0;
+    if (!parseF64Strict(str(name).c_str(), v))
+        panic("param '%s' is not canonical f64", name.c_str());
+    return v;
+}
+
+std::uint64_t
+ParamValues::u64(const std::string &name) const
+{
+    std::uint64_t v = 0;
+    if (!parseU64Strict(str(name).c_str(), v))
+        panic("param '%s' is not canonical u64", name.c_str());
+    return v;
+}
+
+const std::string &
+ParamValues::str(const std::string &name) const
+{
+    const auto it = values.find(name);
+    if (it == values.end())
+        panic("param '%s' missing from schema values", name.c_str());
+    return it->second;
+}
+
+void
+WorkloadRegistry::registerNamed(const Workload *w)
+{
+    const std::string name = w->name();
+    if (named_.count(name) != 0 || methodFor(name) != nullptr)
+        fatal("workload registry: duplicate registration of '%s'",
+              name.c_str());
+    named_[name] = w;
+}
+
+void
+WorkloadRegistry::registerMethod(std::unique_ptr<WorkloadMethod> m)
+{
+    const std::string name = m->methodName();
+    if (named_.count(name) != 0 || methodFor(name) != nullptr)
+        fatal("workload registry: duplicate registration of '%s'",
+              name.c_str());
+    methods_.emplace_back(name, std::move(m));
+}
+
+const WorkloadMethod *
+WorkloadRegistry::methodFor(const std::string &name) const
+{
+    for (const auto &[n, m] : methods_) {
+        if (n == name)
+            return m.get();
+    }
+    return nullptr;
+}
+
+bool
+WorkloadRegistry::resolve(const std::string &spec, ResolvedWorkload &out,
+                          std::string &err) const
+{
+    const auto colon = spec.find(':');
+    const std::string head = spec.substr(0, colon);
+
+    if (colon == std::string::npos) {
+        const auto it = named_.find(head);
+        if (it != named_.end()) {
+            out.workload = it->second;
+            out.spec = head;
+            out.keyApp = head;
+            out.keyParams.clear();
+            return true;
+        }
+    } else if (named_.count(head) != 0) {
+        err = "workload '" + head + "' takes no parameters";
+        return false;
+    }
+
+    const WorkloadMethod *m = methodFor(head);
+    if (m == nullptr) {
+        err = "unknown workload '" + head + "'";
+        return false;
+    }
+
+    // Parse key=value pairs against the schema; omitted keys default.
+    const std::vector<ParamSpec> &schema = m->params();
+    std::map<std::string, std::string> given;
+    if (colon != std::string::npos) {
+        std::string rest = spec.substr(colon + 1);
+        std::size_t pos = 0;
+        while (pos <= rest.size()) {
+            auto comma = rest.find(',', pos);
+            if (comma == std::string::npos)
+                comma = rest.size();
+            const std::string pair = rest.substr(pos, comma - pos);
+            pos = comma + 1;
+            const auto eq = pair.find('=');
+            if (pair.empty() || eq == std::string::npos || eq == 0) {
+                err = head + ": malformed parameter '" + pair +
+                      "' (want key=value)";
+                return false;
+            }
+            const std::string key = pair.substr(0, eq);
+            bool known = false;
+            for (const ParamSpec &p : schema)
+                known = known || key == p.name;
+            if (!known) {
+                err = head + ": unknown parameter '" + key + "'";
+                return false;
+            }
+            if (!given.emplace(key, pair.substr(eq + 1)).second) {
+                err = head + ": duplicate parameter '" + key + "'";
+                return false;
+            }
+        }
+    }
+
+    // Canonicalize every schema parameter (given value or default),
+    // in schema order; the canonical spec lists them all.
+    ParamValues vals;
+    std::string canonParams;
+    for (const ParamSpec &p : schema) {
+        const auto it = given.find(p.name);
+        const std::string &raw =
+            it != given.end() ? it->second : std::string(p.dflt);
+        std::string canon;
+        std::string verr;
+        if (!canonicalizeValue(p, raw, canon, verr)) {
+            err = head + ": " + verr;
+            return false;
+        }
+        vals.values[p.name] = canon;
+        if (!canonParams.empty())
+            canonParams += ",";
+        canonParams += std::string(p.name) + "=" + canon;
+    }
+    const std::string canonSpec =
+        canonParams.empty() ? head : head + ":" + canonParams;
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = instances_.find(canonSpec);
+        if (it == instances_.end()) {
+            it = instances_
+                     .emplace(canonSpec, std::make_unique<SpecWorkload>(
+                                             m->instantiate(vals),
+                                             canonSpec))
+                     .first;
+        }
+        out.workload = it->second.get();
+    }
+    out.spec = canonSpec;
+    out.keyApp = head;
+    out.keyParams = canonParams;
+    return true;
+}
+
+const Workload *
+WorkloadRegistry::find(const std::string &spec) const
+{
+    ResolvedWorkload rw;
+    std::string err;
+    return resolve(spec, rw, err) ? rw.workload : nullptr;
+}
+
+std::vector<std::string>
+WorkloadRegistry::methodNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(methods_.size());
+    for (const auto &[n, m] : methods_)
+        names.push_back(n);
+    return names;
+}
+
+std::string
+WorkloadRegistry::describe(bool withDocs) const
+{
+    std::string out = "workload spec: NAME or METHOD:key=value,...\n";
+    out += "  named workloads:";
+    for (const auto &[n, w] : named_)
+        out += " " + n;
+    out += "\n  methods (defaults shown):\n";
+    for (const auto &[n, m] : methods_) {
+        out += "    " + n;
+        const std::vector<ParamSpec> &schema = m->params();
+        std::string sep = ":";
+        for (const ParamSpec &p : schema) {
+            out += sep + p.name + "=" + p.dflt;
+            sep = ",";
+        }
+        if (withDocs) {
+            out += std::string("\n        ") + m->summary() + "\n";
+            for (const ParamSpec &p : schema) {
+                out += std::string("        ") + p.name + ": " + p.doc;
+                if (p.kind == ParamSpec::Kind::Enum)
+                    out += std::string(" (") + p.choices + ")";
+                else if (p.min < p.max)
+                    out += " [" + canonicalF64(p.min) + ", " +
+                           canonicalF64(p.max) + "]";
+                out += "\n";
+            }
+        } else {
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+WorkloadRegistry &
+workloadRegistry()
+{
+    static WorkloadRegistry *reg = [] {
+        auto *r = new WorkloadRegistry();
+        for (const Workload *w : paperWorkloads())
+            r->registerNamed(w);
+        registerMicroMethods(*r);
+        registerAggMethod(*r);
+        registerServeMethod(*r);
+        return r;
+    }();
+    return *reg;
+}
+
+const Workload *
+findWorkload(const std::string &spec)
+{
+    return workloadRegistry().find(spec);
+}
+
+} // namespace refrint

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * WorkloadMethod registry: every reference-stream generator — the
+ * paper's eleven applications, the analytic micros, and the
+ * server-class families — registers behind one interface, and a
+ * workload is identified by a spec string:
+ *
+ *     name                          a legacy-named workload ("fft")
+ *     method:key=value,key=value    a parameterized method instance,
+ *                                   e.g. "agg:tables=part,skew=0.8"
+ *
+ * Parameters may appear in any order, each at most once; omitted keys
+ * take their schema defaults.  Resolution canonicalizes the spec
+ * (schema order, every parameter explicit, shortest-exact numeric
+ * formatting), so two specs describe the same workload exactly when
+ * their canonical forms are byte-identical — that canonical form is
+ * what ScenarioKey carries.
+ *
+ * Key-compat contract: legacy-named workloads key by their bare name
+ * (byte-identical to the pre-registry cache keys); a parameterized
+ * method instance always keys its full canonical parameter list in
+ * the "|wl=" key segment, even when every value is a default, so a
+ * method row can never alias a legacy-named row.
+ */
+
+#ifndef REFRINT_WORKLOAD_METHOD_HH
+#define REFRINT_WORKLOAD_METHOD_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace refrint
+{
+
+/** One parameter of a method's spec-string schema. */
+struct ParamSpec
+{
+    enum class Kind
+    {
+        F64,  ///< finite double; canonical shortest-exact form
+        U64,  ///< decimal integer; accepts k/m/g (x1024) suffixes
+        Enum, ///< one of the |-separated choices
+    };
+
+    const char *name;
+    Kind kind;
+    const char *dflt; ///< canonical default value string
+    const char *doc;  ///< one-line meaning (help text)
+
+    /** For Enum: the "|"-separated choice list, e.g. "shared|part". */
+    const char *choices = nullptr;
+
+    /** Inclusive numeric range, enforced when min < max. */
+    double min = 0;
+    double max = 0;
+};
+
+/** Parsed, canonicalized parameter values for one instantiation. */
+class ParamValues
+{
+  public:
+    double f64(const std::string &name) const;
+    std::uint64_t u64(const std::string &name) const;
+    const std::string &str(const std::string &name) const;
+
+    /** name -> canonical value string, set for every schema param. */
+    std::map<std::string, std::string> values;
+};
+
+/** A named, parameterized workload factory. */
+class WorkloadMethod
+{
+  public:
+    virtual ~WorkloadMethod() = default;
+
+    virtual const char *methodName() const = 0;
+    virtual const char *summary() const = 0;
+    virtual const std::vector<ParamSpec> &params() const = 0;
+
+    /** Build a workload from schema-validated values.  The registry
+     *  wraps the result so its name()/spec() are the canonical spec. */
+    virtual std::unique_ptr<Workload>
+    instantiate(const ParamValues &v) const = 0;
+};
+
+/** A spec resolved to a workload plus its key decomposition. */
+struct ResolvedWorkload
+{
+    const Workload *workload = nullptr;
+    std::string spec;      ///< canonical spec string
+    std::string keyApp;    ///< key "app" segment (method/legacy name)
+    std::string keyParams; ///< "|wl=" segment payload ("" = legacy)
+};
+
+/**
+ * The registry of workload generators.  Instances created for
+ * parameterized specs are cached per canonical spec and live for the
+ * registry's lifetime, so resolved Workload pointers stay stable (the
+ * experiment API passes them across sweep worker threads).
+ * Thread-safe.
+ */
+class WorkloadRegistry
+{
+  public:
+    WorkloadRegistry() = default;
+
+    WorkloadRegistry(const WorkloadRegistry &) = delete;
+    WorkloadRegistry &operator=(const WorkloadRegistry &) = delete;
+
+    /** Register a legacy-named workload (bare-name spec, legacy cache
+     *  keys).  Fatal if the name is already taken. */
+    void registerNamed(const Workload *w);
+
+    /** Register a parameterized method.  Fatal on a duplicate name. */
+    void registerMethod(std::unique_ptr<WorkloadMethod> m);
+
+    /**
+     * Resolve @p spec to a workload.
+     * @return true and fill @p out; false with a diagnostic in @p err
+     *         (unknown name, unknown/duplicate/malformed parameter,
+     *         value out of range).
+     */
+    bool resolve(const std::string &spec, ResolvedWorkload &out,
+                 std::string &err) const;
+
+    /** resolve() collapsed to a pointer: null on any error. */
+    const Workload *find(const std::string &spec) const;
+
+    /** Registered method names, in registration order. */
+    std::vector<std::string> methodNames() const;
+
+    /** Compact help text: legacy names, then one line per method in
+     *  canonical spec form with defaults (embedded in unknown-workload
+     *  fatals, expanded by `refrint_cli list`). */
+    std::string describe(bool withDocs = false) const;
+
+  private:
+    const WorkloadMethod *methodFor(const std::string &name) const;
+
+    std::map<std::string, const Workload *> named_;
+    std::vector<std::pair<std::string, std::unique_ptr<WorkloadMethod>>>
+        methods_;
+
+    /** canonical spec -> owned instance (resolve() is called from
+     *  sweep worker threads). */
+    mutable std::mutex mu_;
+    mutable std::map<std::string, std::unique_ptr<Workload>> instances_;
+};
+
+/** The process-wide registry, with every built-in generator
+ *  registered: paper apps, micros, and the server-class families. */
+WorkloadRegistry &workloadRegistry();
+
+// Registration hooks called once by workloadRegistry()'s initializer
+// (explicit calls, not self-registering statics, so a static-library
+// link can never silently drop a generator's translation unit).
+void registerMicroMethods(WorkloadRegistry &reg);
+void registerAggMethod(WorkloadRegistry &reg);
+void registerServeMethod(WorkloadRegistry &reg);
+
+} // namespace refrint
+
+#endif // REFRINT_WORKLOAD_METHOD_HH

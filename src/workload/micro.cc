@@ -1,6 +1,7 @@
 #include "workload/micro.hh"
 
 #include "common/prng.hh"
+#include "workload/method.hh"
 #include "workload/synthetic.hh"
 
 namespace refrint
@@ -181,6 +182,120 @@ HammerWorkload::makeStream(CoreId core, std::uint32_t numCores,
     (void)numCores;
     (void)seed;
     return std::make_unique<HammerStream>(core, gap_);
+}
+
+namespace
+{
+
+/** Registry adapter for the random per-core micros (uniform/stream):
+ *  bytes = per-core footprint, wf = write fraction, gap = inter-ref
+ *  instruction gap. */
+template <typename W>
+class RandomMicroMethod : public WorkloadMethod
+{
+  public:
+    explicit RandomMicroMethod(const char *name) : name_(name) {}
+
+    const char *methodName() const override { return name_; }
+    const char *summary() const override
+    {
+        return "per-core micro; bytes footprint, wf write fraction";
+    }
+
+    const std::vector<ParamSpec> &params() const override
+    {
+        static const std::vector<ParamSpec> kParams = {
+            {"bytes", ParamSpec::Kind::U64, "65536",
+             "per-core data footprint in bytes", nullptr, 64,
+             64.0 * (1 << 20)},
+            {"wf", ParamSpec::Kind::F64, "0.5", "write fraction",
+             nullptr, 0, 1},
+            {"gap", ParamSpec::Kind::U64, "3",
+             "non-memory instructions between refs", nullptr, 0, 1024},
+        };
+        return kParams;
+    }
+
+    std::unique_ptr<Workload>
+    instantiate(const ParamValues &v) const override
+    {
+        return std::make_unique<W>(
+            v.u64("bytes"), v.f64("wf"),
+            static_cast<std::uint32_t>(v.u64("gap")));
+    }
+
+  private:
+    const char *name_;
+};
+
+class PingPongMethod : public WorkloadMethod
+{
+  public:
+    const char *methodName() const override { return "micro.pingpong"; }
+    const char *summary() const override
+    {
+        return "cores ping-pong a small shared block (analytic)";
+    }
+
+    const std::vector<ParamSpec> &params() const override
+    {
+        static const std::vector<ParamSpec> kParams = {
+            {"lines", ParamSpec::Kind::U64, "4",
+             "shared block size in 64B lines", nullptr, 1, 65536},
+            {"gap", ParamSpec::Kind::U64, "3",
+             "non-memory instructions between refs", nullptr, 0, 1024},
+        };
+        return kParams;
+    }
+
+    std::unique_ptr<Workload>
+    instantiate(const ParamValues &v) const override
+    {
+        return std::make_unique<PingPongWorkload>(
+            static_cast<std::uint32_t>(v.u64("lines")),
+            static_cast<std::uint32_t>(v.u64("gap")));
+    }
+};
+
+class HammerMethod : public WorkloadMethod
+{
+  public:
+    const char *methodName() const override { return "micro.hammer"; }
+    const char *summary() const override
+    {
+        return "every core hammers one private line (analytic)";
+    }
+
+    const std::vector<ParamSpec> &params() const override
+    {
+        static const std::vector<ParamSpec> kParams = {
+            {"gap", ParamSpec::Kind::U64, "3",
+             "non-memory instructions between refs", nullptr, 0, 1024},
+        };
+        return kParams;
+    }
+
+    std::unique_ptr<Workload>
+    instantiate(const ParamValues &v) const override
+    {
+        return std::make_unique<HammerWorkload>(
+            static_cast<std::uint32_t>(v.u64("gap")));
+    }
+};
+
+} // namespace
+
+void
+registerMicroMethods(WorkloadRegistry &reg)
+{
+    reg.registerMethod(
+        std::make_unique<RandomMicroMethod<UniformWorkload>>(
+            "micro.uniform"));
+    reg.registerMethod(
+        std::make_unique<RandomMicroMethod<StreamWorkload>>(
+            "micro.stream"));
+    reg.registerMethod(std::make_unique<PingPongMethod>());
+    reg.registerMethod(std::make_unique<HammerMethod>());
 }
 
 } // namespace refrint

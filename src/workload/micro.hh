@@ -56,7 +56,12 @@ class StreamWorkload : public Workload
 };
 
 /** Cores alternate writing/reading a small shared block (heavy
- *  coherence churn: every access migrates ownership). */
+ *  coherence churn: every access migrates ownership).
+ *
+ *  Determinism contract: the stream is fully analytic — a function of
+ *  (core, lines, gap) only.  `seed` and `numCores` are deliberately
+ *  ignored, so two runs differing only in seed are bit-identical.
+ *  tests/test_workloads.cc asserts this invariance. */
 class PingPongWorkload : public Workload
 {
   public:
@@ -74,7 +79,11 @@ class PingPongWorkload : public Workload
 };
 
 /** Repeatedly touch one line (auto-refresh should suppress nearly all
- *  explicit refreshes under Refrint). */
+ *  explicit refreshes under Refrint).
+ *
+ *  Determinism contract: analytic like PingPongWorkload — the stream
+ *  depends on (core, gap) only; `seed`/`numCores` are ignored by
+ *  design and a test asserts the invariance. */
 class HammerWorkload : public Workload
 {
   public:

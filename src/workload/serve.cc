@@ -1,0 +1,183 @@
+#include "workload/serve.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/prng.hh"
+#include "workload/method.hh"
+#include "workload/synthetic.hh"
+
+namespace refrint
+{
+
+namespace
+{
+
+/**
+ * Walks one request's working set per arrival.  The last reference of
+ * a request carries gap 0, so the core calls next(now) again exactly
+ * at that reference's completion tick — which is the request's
+ * completion time; the latency recorded is completion - arrival, and
+ * arrivals are drawn open-loop (independent of service progress).
+ */
+class ServeStream : public CoreStream
+{
+  public:
+    ServeStream(Addr base, std::uint32_t dataLines,
+                std::uint32_t wsLines, double wf, std::uint32_t gap,
+                double meanInterarrivalTicks, std::uint64_t seed,
+                CoreId core)
+        : base_(base), dataLines_(dataLines), wsLines_(wsLines),
+          wf_(wf), gap_(gap), meanGapTicks_(meanInterarrivalTicks),
+          prng_(seed, core * 2 + 1)
+    {
+        nextArrival_ = drawInterarrival();
+    }
+
+    MemRef
+    next(Tick now) override
+    {
+        if (left_ == 0) {
+            if (inFlight_) {
+                latencies_.push_back(now - arrival_);
+                inFlight_ = false;
+            }
+            // Begin the next request.  If it has not arrived yet the
+            // first reference carries the idle delay; if it is already
+            // queued, the queueing wait lands in its latency.
+            arrival_ = nextArrival_;
+            nextArrival_ += drawInterarrival();
+            start_ = prng_.below(dataLines_);
+            left_ = wsLines_;
+            inFlight_ = true;
+            MemRef r = lineRef();
+            if (arrival_ > now)
+                r.delay = arrival_ - now;
+            return r;
+        }
+        return lineRef();
+    }
+
+    MemRef
+    next() override
+    {
+        // Untimed replay (trace capture): arrivals still advance but
+        // latencies are meaningless without a clock.
+        return next(0);
+    }
+
+    const std::vector<Tick> *requestLatencies() const override
+    {
+        return &latencies_;
+    }
+
+  private:
+    MemRef
+    lineRef()
+    {
+        MemRef r;
+        const std::uint32_t off = wsLines_ - left_;
+        r.addr = base_ +
+                 static_cast<Addr>((start_ + off) % dataLines_) * 64;
+        r.write = prng_.chance(wf_);
+        --left_;
+        r.gap = left_ == 0 ? 0 : gap_;
+        return r;
+    }
+
+    Tick
+    drawInterarrival()
+    {
+        // Exponential with the configured mean; floored at one tick.
+        const double u = prng_.uniform();
+        const double t = -std::log1p(-u) * meanGapTicks_;
+        return t < 1.0 ? 1 : static_cast<Tick>(t);
+    }
+
+    Addr base_;
+    std::uint32_t dataLines_;
+    std::uint32_t wsLines_;
+    double wf_;
+    std::uint32_t gap_;
+    double meanGapTicks_;
+    Prng prng_;
+
+    Tick arrival_ = 0;
+    Tick nextArrival_ = 0;
+    std::uint32_t start_ = 0;
+    std::uint32_t left_ = 0;
+    bool inFlight_ = false;
+    std::vector<Tick> latencies_;
+};
+
+class ServeMethod : public WorkloadMethod
+{
+  public:
+    const char *methodName() const override { return "serve"; }
+    const char *summary() const override
+    {
+        return "open-loop Poisson request serving with per-request "
+               "tail latency";
+    }
+
+    const std::vector<ParamSpec> &params() const override
+    {
+        static const std::vector<ParamSpec> kParams = {
+            {"rps", ParamSpec::Kind::F64, "1000000",
+             "aggregate arrival rate, requests/s", nullptr, 1000,
+             1e9},
+            {"ws", ParamSpec::Kind::U64, "4096",
+             "working-set bytes per request", nullptr, 64, 1048576},
+            {"data", ParamSpec::Kind::U64, "1048576",
+             "per-core dataset bytes", nullptr, 4096,
+             64.0 * (1 << 20)},
+            {"wf", ParamSpec::Kind::F64, "0.25",
+             "write fraction within a request", nullptr, 0, 1},
+            {"gap", ParamSpec::Kind::U64, "3",
+             "non-memory instructions between refs", nullptr, 0, 1024},
+        };
+        return kParams;
+    }
+
+    std::unique_ptr<Workload>
+    instantiate(const ParamValues &v) const override
+    {
+        return std::make_unique<ServeWorkload>(
+            v.f64("rps"), v.u64("ws"), v.u64("data"), v.f64("wf"),
+            static_cast<std::uint32_t>(v.u64("gap")));
+    }
+};
+
+} // namespace
+
+ServeWorkload::ServeWorkload(double rps, std::uint64_t wsBytes,
+                             std::uint64_t dataBytes, double wf,
+                             std::uint32_t gap)
+    : rps_(rps), wsBytes_(wsBytes), dataBytes_(dataBytes), wf_(wf),
+      gap_(gap)
+{
+}
+
+std::unique_ptr<CoreStream>
+ServeWorkload::makeStream(CoreId core, std::uint32_t numCores,
+                          std::uint64_t seed) const
+{
+    const Addr base = SyntheticStream::kPrivateBase +
+                      static_cast<Addr>(core) * (64ULL << 20);
+    // The aggregate rate splits evenly; 1 tick = 1 ns at 1 GHz.
+    const double perCoreRps = rps_ / (numCores == 0 ? 1 : numCores);
+    const double meanTicks = 1e9 / perCoreRps;
+    const std::uint32_t wsLines =
+        static_cast<std::uint32_t>(wsBytes_ / 64);
+    return std::make_unique<ServeStream>(
+        base, static_cast<std::uint32_t>(dataBytes_ / 64),
+        wsLines == 0 ? 1 : wsLines, wf_, gap_, meanTicks, seed, core);
+}
+
+void
+registerServeMethod(WorkloadRegistry &reg)
+{
+    reg.registerMethod(std::make_unique<ServeMethod>());
+}
+
+} // namespace refrint

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Request-serving workload family ("serve"): an open-loop stream of
+ * requests with Poisson arrivals, each touching its own working set
+ * drawn from a per-core hot dataset.  The stream records every
+ * request's completion latency (queueing wait included — arrivals are
+ * open-loop, so a slow memory system backs requests up), which the
+ * runner distills into the p50/p95/p99 tail-latency fields of
+ * RunResult.  This makes "millions of users hitting this cache
+ * hierarchy" a measurable Scenario axis.
+ *
+ * Instantiate through the workload registry as e.g.
+ *     serve:rps=2e6,ws=64k
+ *     serve:rps=2e6,ws=4096,data=1048576
+ */
+
+#ifndef REFRINT_WORKLOAD_SERVE_HH
+#define REFRINT_WORKLOAD_SERVE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "workload/workload.hh"
+
+namespace refrint
+{
+
+/** Open-loop Poisson request serving with per-request latencies. */
+class ServeWorkload : public Workload
+{
+  public:
+    /**
+     * @param rps       aggregate machine arrival rate, requests/s
+     *                  (split evenly across cores; keep it well above
+     *                  ~1e3 or requests become rarer than maxTicks)
+     * @param wsBytes   working set touched per request
+     * @param dataBytes per-core dataset the working sets are drawn from
+     * @param wf        write fraction within a request
+     * @param gap       non-memory instructions between refs
+     */
+    ServeWorkload(double rps, std::uint64_t wsBytes,
+                  std::uint64_t dataBytes, double wf, std::uint32_t gap);
+
+    const char *name() const override { return "serve"; }
+    int paperClass() const override { return 0; }
+    std::unique_ptr<CoreStream> makeStream(
+        CoreId core, std::uint32_t numCores,
+        std::uint64_t seed) const override;
+
+  private:
+    double rps_;
+    std::uint64_t wsBytes_;
+    std::uint64_t dataBytes_;
+    double wf_;
+    std::uint32_t gap_;
+};
+
+} // namespace refrint
+
+#endif // REFRINT_WORKLOAD_SERVE_HH

@@ -37,6 +37,14 @@ class Workload
     /** Instruction footprint, in 64B lines, for the fetch model. */
     virtual std::uint32_t codeLines() const { return 128; }
 
+    /**
+     * The workload's spec string (workload/method.hh grammar).  For a
+     * directly-constructed or legacy-named workload this is the bare
+     * name; registry-resolved method instances return their canonical
+     * "method:key=value,..." form.  Scenario keys are derived from it.
+     */
+    virtual std::string spec() const { return name(); }
+
     /** Build the reference stream for one core. */
     virtual std::unique_ptr<CoreStream>
     makeStream(CoreId core, std::uint32_t numCores,
@@ -49,8 +57,9 @@ const std::vector<const Workload *> &paperWorkloads();
 /** Applications of one paper class (Table 6.1 binning). */
 std::vector<const Workload *> workloadsOfClass(int paperClass);
 
-/** Find a paper workload by (case-sensitive) name, or null. */
-const Workload *findWorkload(const std::string &name);
+/** Resolve a workload spec ("fft", "agg:tables=part,...") through the
+ *  process-wide registry (workload/method.hh), or null on any error. */
+const Workload *findWorkload(const std::string &spec);
 
 } // namespace refrint
 

@@ -21,6 +21,7 @@
 #include "api/scenario.hh"
 #include "api/session.hh"
 #include "harness/report.hh"
+#include "workload/method.hh"
 #include "workload/micro.hh"
 
 namespace refrint::test
@@ -105,6 +106,50 @@ TEST(ScenarioKeyTest, CanonicalV6MachineForms)
     EXPECT_EQ(
         edramScenario("fft", "P.all", 50.0, 85.0, 32).key().str(),
         "fft|P.all|50.0|4000|1|amb=85.00|mach=c32");
+}
+
+TEST(ScenarioKeyTest, MethodInstancesAlwaysCarryTheWlSegment)
+{
+    // A parameterized spec keys under its full canonical parameter
+    // list: schema order, every default explicit.
+    EXPECT_EQ(
+        edramScenario("agg:groups=1024,tables=part", "P.all", 50.0)
+            .key()
+            .str(),
+        "agg|P.all|50.0|4000|1"
+        "|wl=tables=part,groups=1024,in=1048576,skew=0.8,gap=3");
+
+    // Even an all-defaults bare method spec keys the explicit list, so
+    // a method row can never alias a legacy-named row.
+    EXPECT_EQ(
+        edramScenario("agg", "P.all", 50.0).key().str(),
+        "agg|P.all|50.0|4000|1"
+        "|wl=tables=shared,groups=4096,in=1048576,skew=0.8,gap=3");
+
+    // Numeric spellings canonicalize: 2e6 -> 2000000, 64k -> 65536.
+    EXPECT_EQ(
+        edramScenario("serve:rps=2e6,ws=64k", "P.all", 50.0).key().str(),
+        "serve|P.all|50.0|4000|1"
+        "|wl=rps=2000000,ws=65536,data=1048576,wf=0.25,gap=3");
+}
+
+TEST(ScenarioKeyTest, WlSegmentComposesBeforeAmbientAndMachine)
+{
+    EXPECT_EQ(
+        edramScenario("agg", "P.all", 50.0, 65.0, 32).key().str(),
+        "agg|P.all|50.0|4000|1"
+        "|wl=tables=shared,groups=4096,in=1048576,skew=0.8,gap=3"
+        "|amb=65.00|mach=c32");
+}
+
+TEST(ScenarioKeyTest, LegacyNamesNeverGainAWlSegment)
+{
+    for (const Workload *w : paperWorkloads()) {
+        const ScenarioKey k =
+            edramScenario(w->name(), "P.all", 50.0).key();
+        EXPECT_EQ(k.workload, "") << w->name();
+        EXPECT_EQ(k.str().find("|wl="), std::string::npos) << w->name();
+    }
 }
 
 TEST(ScenarioKeyTest, EveryLegacyKeyRegeneratesExactly)
@@ -580,6 +625,104 @@ TEST(SessionTest, SharesWarmCacheRowsAcrossRuns)
     ASSERT_EQ(again.raw.size(), first.raw.size());
     EXPECT_EQ(again.raw[1].execTicks, first.raw[1].execTicks);
     std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Workload-method scenarios through the full Session stack
+// ---------------------------------------------------------------------
+
+/** SRAM baseline + one P.all run of a registry-resolved spec. */
+ExperimentPlan
+specPlan(const char *spec, std::uint64_t refs = 1500)
+{
+    const Workload *w = workloadRegistry().find(spec);
+    EXPECT_NE(w, nullptr) << spec;
+    SweepSpec sp;
+    sp.apps = {w};
+    sp.retentions = {usToTicks(50.0)};
+    sp.policies = {RefreshPolicy::periodic(DataPolicy::All)};
+    sp.sim.refsPerCore = refs;
+    return ExperimentPlan::fromSweepSpec(std::move(sp));
+}
+
+TEST(SessionTest, MethodWorkloadsRoundTripPlanJsonAndCache)
+{
+    unsetenv("REFRINT_REFS");
+    unsetenv("REFRINT_APPS");
+    const std::string path = ::testing::TempDir() + "/api_methods.csv";
+    std::remove(path.c_str());
+    Session session(SessionOptions{path, 2});
+
+    for (const char *spec : {"agg:tables=part,groups=1024,in=65536",
+                             "serve:rps=2e6,ws=4096,data=65536"}) {
+        const ExperimentPlan plan = specPlan(spec);
+        // The scenario's app is the canonical spec and survives the
+        // JSON round trip identically (the reloaded plan re-resolves
+        // it through the registry by name).
+        const ExperimentPlan reloaded =
+            ExperimentPlan::fromJson(plan.toJson());
+        EXPECT_EQ(reloaded, plan) << spec;
+        EXPECT_EQ(reloaded.toJson(), plan.toJson()) << spec;
+
+        const SweepResult cold = session.run(plan);
+        EXPECT_EQ(cold.simulations, 2u) << spec;
+        // The reloaded plan must hit the very same cache rows.
+        const SweepResult warm = session.run(reloaded);
+        EXPECT_EQ(warm.simulations, 0u) << spec;
+        ASSERT_EQ(warm.raw.size(), cold.raw.size());
+        EXPECT_EQ(warm.raw[1].execTicks, cold.raw[1].execTicks);
+        // The latency block replays through the cache bit-exactly.
+        EXPECT_EQ(warm.raw[1].requests, cold.raw[1].requests);
+        EXPECT_EQ(warm.raw[1].reqP50Us, cold.raw[1].reqP50Us);
+        EXPECT_EQ(warm.raw[1].reqP95Us, cold.raw[1].reqP95Us);
+        EXPECT_EQ(warm.raw[1].reqP99Us, cold.raw[1].reqP99Us);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SessionTest, ServeRowsCarryLatencyPercentilesThroughJsonl)
+{
+    unsetenv("REFRINT_REFS");
+    unsetenv("REFRINT_APPS");
+    const ExperimentPlan plan =
+        specPlan("serve:rps=2e6,ws=4096,data=65536", 3000);
+
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    JsonLinesSink sink(tmp);
+    Session session(SessionOptions{"", 1});
+    const SweepResult res = session.run(plan, {&sink});
+
+    // Every run of a request-serving workload completes requests and
+    // measures a monotone percentile ladder.
+    for (const RunResult &r : res.raw) {
+        EXPECT_GT(r.requests, 0.0) << r.config;
+        EXPECT_GT(r.reqP50Us, 0.0) << r.config;
+        EXPECT_LE(r.reqP50Us, r.reqP95Us) << r.config;
+        EXPECT_LE(r.reqP95Us, r.reqP99Us) << r.config;
+    }
+
+    // ...and the JSONL rows expose them as a latencyUs object.
+    std::rewind(tmp);
+    char line[8192];
+    std::size_t rows = 0;
+    while (std::fgets(line, sizeof(line), tmp) != nullptr) {
+        JsonValue v;
+        std::string err;
+        ASSERT_TRUE(JsonValue::parse(line, v, err)) << err;
+        EXPECT_GT(v.get("requests")->asNumber(), 0.0);
+        const JsonValue *lat = v.get("latencyUs");
+        ASSERT_NE(lat, nullptr);
+        const double p50 = lat->get("p50")->asNumber();
+        const double p95 = lat->get("p95")->asNumber();
+        const double p99 = lat->get("p99")->asNumber();
+        EXPECT_GT(p50, 0.0);
+        EXPECT_LE(p50, p95);
+        EXPECT_LE(p95, p99);
+        ++rows;
+    }
+    std::fclose(tmp);
+    EXPECT_EQ(rows, plan.size());
 }
 
 // ---------------------------------------------------------------------

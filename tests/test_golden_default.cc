@@ -127,10 +127,16 @@ TEST(GoldenDefault, SweepRowSetIsByteIdenticalToPreRefactor)
     ASSERT_FALSE(want.empty());
     ASSERT_EQ(got.size(), want.size());
 
-    for (const auto &[key, wantVals] : want) {
+    for (const auto &[key, goldenVals] : want) {
         const auto it = got.find(key);
         ASSERT_NE(it, got.end()) << "missing legacy row key: " << key;
-        ASSERT_EQ(it->second.size(), wantVals.size()) << key;
+        // The committed golden is a pre-v7 capture; fields appended
+        // since (the request-latency block) must read back as zero for
+        // these legacy workloads, so compare against a zero-padded
+        // golden row.
+        ASSERT_GE(it->second.size(), goldenVals.size()) << key;
+        std::vector<double> wantVals = goldenVals;
+        wantVals.resize(it->second.size(), 0.0);
         for (std::size_t i = 0; i < wantVals.size(); ++i) {
             const double w = wantVals[i], g = it->second[i];
             EXPECT_NEAR(g, w, std::abs(w) * 1e-9 + 1e-12)

@@ -30,6 +30,7 @@
 #include "harness/report.hh"
 #include "harness/sweep.hh"
 #include "trace/trace.hh"
+#include "workload/method.hh"
 #include "workload/workload.hh"
 
 namespace
@@ -40,6 +41,10 @@ using namespace refrint;
 struct Args
 {
     std::string app = "fft";
+
+    /** Every --app given, in order: sweep/figures use the full list to
+     *  replace the paper-app axis (single-app commands use .app). */
+    std::vector<std::string> apps;
     std::string policy = "R.WB(32,32)";
     double retentionUs = 50.0;
     std::uint64_t refs = 120'000;
@@ -180,8 +185,10 @@ parseArgs(int argc, char **argv, int first)
             usageError("%s applies only to the plan-running commands "
                        "(sweep, figures, thermal-study)",
                        k.c_str());
-        if (k == "--app")
+        if (k == "--app") {
             a.app = val();
+            a.apps.push_back(a.app);
+        }
         else if (k == "--policy")
             a.policy = val();
         else if (k == "--retention") {
@@ -369,6 +376,17 @@ sweepPlanFor(const Args &a, bool announceMachine)
 {
     SweepSpec spec;
     spec.sim.refsPerCore = a.refs;
+    // --app SPEC (repeatable) replaces the paper-app axis; specs can
+    // carry method parameters ("agg:tables=part,..."), which the
+    // comma-splitting REFRINT_APPS env list cannot.
+    for (const std::string &s : a.apps) {
+        ResolvedWorkload rw;
+        std::string err;
+        if (!workloadRegistry().resolve(s, rw, err))
+            fatal("sweep --app: %s\n%s", err.c_str(),
+                  workloadRegistry().describe().c_str());
+        spec.apps.push_back(rw.workload);
+    }
     if (a.cores != 16 || a.hybrid) {
         spec.machines = {MachineAxis{a.cores, a.hybrid}};
         if (announceMachine)
@@ -467,6 +485,10 @@ printRun(const Workload &app, const Args &a)
                 static_cast<unsigned long long>(r.counts.l1Refreshes),
                 static_cast<unsigned long long>(r.counts.l2Refreshes),
                 static_cast<unsigned long long>(r.counts.l3Refreshes));
+    if (r.requests > 0)
+        std::printf("requests       %.0f   latency p50/p95/p99  "
+                    "%.3f / %.3f / %.3f us\n",
+                    r.requests, r.reqP50Us, r.reqP95Us, r.reqP99Us);
 }
 
 // ---------------------------------------------------------------------
@@ -488,8 +510,10 @@ cmdRun(const Args &a)
     rejectPositionals(a);
     const Workload *app = findWorkload(a.app);
     if (app == nullptr) {
-        std::fprintf(stderr, "unknown application '%s' (try 'list')\n",
-                     a.app.c_str());
+        std::fprintf(stderr,
+                     "unknown application '%s' (try 'list')\n%s",
+                     a.app.c_str(),
+                     workloadRegistry().describe().c_str());
         return 1;
     }
     printRun(*app, a);
@@ -512,6 +536,9 @@ cmdSweepOrFigures(const Args &a, bool figures)
         if (figures)
             sinks.add(std::make_unique<FiguresSink>());
         sinks.add(std::make_unique<HeadlineSink>());
+        // Prints nothing unless the plan held request-serving runs, so
+        // the default sweep output stays byte-identical.
+        sinks.add(std::make_unique<LatencySink>());
     }
     Session session(SessionOptions{cachePathFor(a), a.jobs});
     session.run(plan, sinks.ptrs);
@@ -554,8 +581,9 @@ cmdThermalStudy(const Args &a)
     } else {
         if (findWorkload(a.app) == nullptr) {
             std::fprintf(stderr,
-                         "unknown application '%s' (try 'list')\n",
-                         a.app.c_str());
+                         "unknown application '%s' (try 'list')\n%s",
+                         a.app.c_str(),
+                         workloadRegistry().describe().c_str());
             return 1;
         }
         plan = thermalPlanFor(a);
@@ -664,6 +692,7 @@ cmdList(const Args &a)
                 "default 45,65,85\n");
     std::printf("machines: --cores 4..64 (square torus derived), "
                 "--hybrid (SRAM L1/L2 + eDRAM L3)\n");
+    std::printf("\n%s", workloadRegistry().describe(true).c_str());
     return 0;
 }
 
@@ -692,7 +721,8 @@ cmdHelp(const Args &a)
 const Command kCommands[] = {
     {"run", "one simulation, normalized against the SRAM baseline",
      "usage: refrint_cli run [options]\n"
-     "  --app NAME       workload (default fft; see 'list')\n"
+     "  --app SPEC       workload name or method spec, e.g.\n"
+     "                   'serve:rps=2e6,ws=64k' (default fft)\n"
      "  --policy P       refresh policy (default R.WB(32,32))\n"
      "  --retention US   eDRAM retention in us (default 50)\n"
      "  --refs N         references per core (default 120000)\n"
@@ -707,6 +737,9 @@ const Command kCommands[] = {
      "usage: refrint_cli sweep [options]\n"
      "  --plan FILE      run a JSON experiment plan instead of the\n"
      "                   built-in grid (see 'plan dump')\n"
+     "  --app SPEC       replace the paper-app axis (repeatable);\n"
+     "                   SPEC is a name or method spec, e.g.\n"
+     "                   'agg:tables=part,skew=0.8' (see 'list')\n"
      "  --refs N         references per core (default 120000)\n"
      "  --cores N        machine scale (4..64; rows machine-keyed)\n"
      "  --hybrid         SRAM L1/L2 over the eDRAM LLC\n",
