@@ -37,12 +37,31 @@ constexpr struct
     {"eNetPerDataMsg", &EnergyParams::eNetPerDataMsg},
 };
 
+/**
+ * Parse failure inside tryFromJson: thrown by the require* helpers,
+ * caught at the tryFromJson boundary and surfaced as (err, false) —
+ * or as a fatal exit 1 through fromJson.  Never escapes this file.
+ */
+struct PlanError
+{
+    std::string msg;
+};
+
+template <typename... Args>
+[[noreturn]] void
+planError(const char *fmt, Args... args)
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    throw PlanError{buf};
+}
+
 double
 requireNumber(const JsonValue &obj, const char *key, const char *where)
 {
     const JsonValue *v = obj.get(key);
     if (v == nullptr || !v->isNumber())
-        fatal("plan %s: missing numeric field \"%s\"", where, key);
+        planError("plan %s: missing numeric field \"%s\"", where, key);
     return v->asNumber();
 }
 
@@ -51,7 +70,7 @@ requireString(const JsonValue &obj, const char *key, const char *where)
 {
     const JsonValue *v = obj.get(key);
     if (v == nullptr || !v->isString())
-        fatal("plan %s: missing string field \"%s\"", where, key);
+        planError("plan %s: missing string field \"%s\"", where, key);
     return v->asString();
 }
 
@@ -64,8 +83,8 @@ requireU64(const JsonValue &obj, const char *key, const char *where,
     const double v = requireNumber(obj, key, where);
     if (v < minimum || v > 9.0e15 ||
         v != static_cast<double>(static_cast<std::uint64_t>(v)))
-        fatal("plan %s: \"%s\" must be an integer in [%g, 9e15]",
-              where, key, minimum);
+        planError("plan %s: \"%s\" must be an integer in [%g, 9e15]",
+                  where, key, minimum);
     return static_cast<std::uint64_t>(v);
 }
 
@@ -76,7 +95,7 @@ optionalBool(const JsonValue &obj, const char *key, bool dflt)
     if (v == nullptr)
         return dflt;
     if (!v->isBool())
-        fatal("plan field \"%s\" must be a boolean", key);
+        planError("plan field \"%s\" must be a boolean", key);
     return v->asBool();
 }
 
@@ -151,77 +170,130 @@ ExperimentPlan::toJson() const
     return doc.dump(2) + "\n";
 }
 
+bool
+ExperimentPlan::tryFromJson(const std::string &text, ExperimentPlan &out,
+                            std::string &err)
+{
+    JsonValue doc;
+    if (!JsonValue::parse(text, doc, err)) {
+        err = "cannot parse plan: " + err;
+        return false;
+    }
+    ExperimentPlan plan;
+    try {
+        if (!doc.isObject())
+            planError("plan document must be a JSON object");
+
+        plan.name = requireString(doc, "plan", "document");
+        const double version =
+            requireNumber(doc, "version", "document");
+        if (version != kPlanVersion)
+            planError("unsupported plan version %g (this build reads "
+                      "%d)",
+                      version, kPlanVersion);
+
+        if (const JsonValue *en = doc.get("energy")) {
+            if (!en->isObject())
+                planError("plan \"energy\" must be an object");
+            for (const auto &f : kEnergyFields)
+                plan.energy.*f.field =
+                    requireNumber(*en, f.name, "energy");
+        }
+
+        const JsonValue *list = doc.get("scenarios");
+        if (list == nullptr || !list->isArray())
+            planError("plan needs a \"scenarios\" array");
+        for (const JsonValue &o : list->items()) {
+            if (!o.isObject())
+                planError("every scenario must be a JSON object");
+            Scenario s;
+            s.app = requireString(o, "app", "scenario");
+            s.config = requireString(o, "config", "scenario");
+            s.retentionUs = requireNumber(o, "retentionUs", "scenario");
+            s.ambientC = requireNumber(o, "ambientC", "scenario");
+            const double cores = requireNumber(o, "cores", "scenario");
+            // The paper machine's own range: reject here so a bad plan
+            // fails with a clean fatal before any simulation starts,
+            // rather than panicking inside a worker.
+            if (cores < 4 || cores > 64 ||
+                cores != static_cast<double>(
+                             static_cast<std::uint32_t>(cores)))
+                planError("scenario \"cores\" must be an integer in "
+                          "[4, 64]");
+            s.cores = static_cast<std::uint32_t>(cores);
+            s.hybrid = optionalBool(o, "hybrid", false);
+            s.sim.refsPerCore = requireU64(o, "refs", "scenario");
+            s.sim.seed = requireU64(o, "seed", "scenario");
+            // The tick safety net: absent keeps the SimParams default,
+            // 0 would abort every run, so a given value must be
+            // positive.
+            if (o.get("maxTicks") != nullptr)
+                s.sim.maxTicks = static_cast<Tick>(requireU64(
+                    o, "maxTicks", "scenario", /*minimum=*/1));
+            const double b = requireNumber(o, "baseline", "scenario");
+            // -1 or the index of an earlier scenario; range-checked in
+            // double before the cast (validate() then checks it points
+            // at a baseline).
+            if (b < -1 ||
+                b >= static_cast<double>(plan.scenarios.size()) ||
+                b != std::floor(b))
+                planError("plan scenario: \"baseline\" must be -1 or "
+                          "the index of an earlier baseline scenario "
+                          "(got %g)",
+                          b);
+            // A baseline normalizes rows of its own family only: same
+            // app, same machine scale.  Pointing fft rows at an lu
+            // baseline — or 32-core rows at a 16-core baseline — would
+            // silently produce meaningless normalized output.
+            if (b >= 0) {
+                const Scenario &bs =
+                    plan.scenarios[static_cast<std::size_t>(b)];
+                // validate() would only panic on this later; a parse
+                // error keeps long-running consumers (serve) alive.
+                if (plan.baseline[static_cast<std::size_t>(b)] != -1)
+                    planError("plan scenario '%s': baseline %g is not "
+                              "itself a baseline scenario",
+                              s.app.c_str(), b);
+                if (bs.app != s.app)
+                    planError("plan scenario '%s': baseline %g is the "
+                              "baseline of a different workload "
+                              "('%s') — a scenario normalizes against "
+                              "the SRAM baseline of its own app",
+                              s.app.c_str(), b, bs.app.c_str());
+                if (bs.cores != s.cores)
+                    planError("plan scenario '%s' (%u cores): baseline "
+                              "%g runs a different machine (%u "
+                              "cores) — a scenario normalizes against "
+                              "the SRAM baseline of its own machine "
+                              "scale",
+                              s.app.c_str(), s.cores, b, bs.cores);
+            }
+            // Resolve the workload eagerly so a bad plan fails before
+            // any simulation starts.
+            if (findWorkload(s.app) == nullptr)
+                planError("plan scenario names unknown application "
+                          "'%s'\n%s",
+                          s.app.c_str(),
+                          workloadRegistry().describe().c_str());
+            plan.scenarios.push_back(std::move(s));
+            plan.baseline.push_back(static_cast<int>(b));
+        }
+    } catch (const PlanError &e) {
+        err = e.msg;
+        return false;
+    }
+    plan.validate();
+    out = std::move(plan);
+    return true;
+}
+
 ExperimentPlan
 ExperimentPlan::fromJson(const std::string &text)
 {
-    JsonValue doc;
-    std::string err;
-    if (!JsonValue::parse(text, doc, err))
-        fatal("cannot parse plan: %s", err.c_str());
-    if (!doc.isObject())
-        fatal("plan document must be a JSON object");
-
     ExperimentPlan plan;
-    plan.name = requireString(doc, "plan", "document");
-    const double version = requireNumber(doc, "version", "document");
-    if (version != kPlanVersion)
-        fatal("unsupported plan version %g (this build reads %d)",
-              version, kPlanVersion);
-
-    if (const JsonValue *en = doc.get("energy")) {
-        if (!en->isObject())
-            fatal("plan \"energy\" must be an object");
-        for (const auto &f : kEnergyFields)
-            plan.energy.*f.field = requireNumber(*en, f.name, "energy");
-    }
-
-    const JsonValue *list = doc.get("scenarios");
-    if (list == nullptr || !list->isArray())
-        fatal("plan needs a \"scenarios\" array");
-    for (const JsonValue &o : list->items()) {
-        if (!o.isObject())
-            fatal("every scenario must be a JSON object");
-        Scenario s;
-        s.app = requireString(o, "app", "scenario");
-        s.config = requireString(o, "config", "scenario");
-        s.retentionUs = requireNumber(o, "retentionUs", "scenario");
-        s.ambientC = requireNumber(o, "ambientC", "scenario");
-        const double cores = requireNumber(o, "cores", "scenario");
-        // The paper machine's own range: reject here so a bad plan
-        // fails with a clean fatal before any simulation starts,
-        // rather than panicking inside a worker.
-        if (cores < 4 || cores > 64 ||
-            cores != static_cast<double>(
-                         static_cast<std::uint32_t>(cores)))
-            fatal("scenario \"cores\" must be an integer in [4, 64]");
-        s.cores = static_cast<std::uint32_t>(cores);
-        s.hybrid = optionalBool(o, "hybrid", false);
-        s.sim.refsPerCore = requireU64(o, "refs", "scenario");
-        s.sim.seed = requireU64(o, "seed", "scenario");
-        // The tick safety net: absent keeps the SimParams default, 0
-        // would abort every run, so a given value must be positive.
-        if (o.get("maxTicks") != nullptr)
-            s.sim.maxTicks = static_cast<Tick>(
-                requireU64(o, "maxTicks", "scenario", /*minimum=*/1));
-        const double b = requireNumber(o, "baseline", "scenario");
-        // -1 or the index of an earlier scenario; range-checked in
-        // double before the cast (validate() then checks it points at
-        // a baseline).
-        if (b < -1 || b >= static_cast<double>(plan.scenarios.size()) ||
-            b != std::floor(b))
-            fatal("plan scenario: \"baseline\" must be -1 or the index "
-                  "of an earlier baseline scenario (got %g)",
-                  b);
-        // Resolve the workload eagerly so a bad plan fails before any
-        // simulation starts.
-        if (findWorkload(s.app) == nullptr)
-            fatal("plan scenario names unknown application '%s'\n%s",
-                  s.app.c_str(),
-                  workloadRegistry().describe().c_str());
-        plan.scenarios.push_back(std::move(s));
-        plan.baseline.push_back(static_cast<int>(b));
-    }
-    plan.validate();
+    std::string err;
+    if (!tryFromJson(text, plan, err))
+        fatal("%s", err.c_str());
     return plan;
 }
 

@@ -57,6 +57,16 @@ struct ExperimentPlan
     /** Parse a plan document; fatal (exit 1) on malformed input. */
     static ExperimentPlan fromJson(const std::string &text);
 
+    /**
+     * Non-fatal parse, for long-running consumers (`refrint serve`)
+     * that must survive malformed requests: returns false and sets
+     * @p err instead of exiting.  Applies exactly the fromJson checks,
+     * including the baseline-family rule (a scenario may only
+     * normalize against the SRAM baseline of its own app and machine).
+     */
+    static bool tryFromJson(const std::string &text, ExperimentPlan &out,
+                            std::string &err);
+
     /** Load/save a plan file; fatal (exit 1) on I/O or parse errors. */
     static ExperimentPlan loadFile(const std::string &path);
     void saveFile(const std::string &path) const;

@@ -174,4 +174,16 @@ ProgressSink::consume(const ExperimentPlan &plan, std::size_t index,
                  simulated ? "simulated" : "cached");
 }
 
+void
+ProgressSink::end(const ExperimentPlan &plan, const SweepResult &result)
+{
+    const RunMetrics &m = result.metrics;
+    std::fprintf(out_,
+                 "[%s] %zu scenarios: %zu simulated, %zu cached in "
+                 "%.2fs (%u jobs, %.0f%% utilization)\n",
+                 plan.name.c_str(), m.scenarios, m.simulated,
+                 m.cacheHits, m.wallSeconds, m.jobs,
+                 m.utilization() * 100.0);
+}
+
 } // namespace refrint

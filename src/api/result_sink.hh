@@ -101,7 +101,9 @@ class JsonLinesSink : public ResultSink
     std::string energyTag_; ///< plan's |en= key segment ("" = default)
 };
 
-/** Human progress ticker on stderr: one line per completed run. */
+/** Human progress ticker on stderr: one line per completed run, plus
+ *  a final RunMetrics summary (simulated/cached counts, wall time,
+ *  worker utilization) when the plan finishes. */
 class ProgressSink : public ResultSink
 {
   public:
@@ -110,6 +112,8 @@ class ProgressSink : public ResultSink
     void consume(const ExperimentPlan &plan, std::size_t index,
                  const RunResult &raw, const NormalizedResult *norm,
                  bool simulated) override;
+    void end(const ExperimentPlan &plan,
+             const SweepResult &result) override;
 
   private:
     std::FILE *out_;

@@ -1,0 +1,137 @@
+#include "api/result_store.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace refrint
+{
+
+namespace
+{
+
+/**
+ * Field list in serialization order — the single source of truth for
+ * both the reader and the writer, so they cannot drift apart or depend
+ * on the struct's memory layout.
+ */
+constexpr double CacheRow::*kCacheFields[] = {
+    &CacheRow::execTicks,    &CacheRow::instructions, &CacheRow::l1,
+    &CacheRow::l2,           &CacheRow::l3,           &CacheRow::dram,
+    &CacheRow::dynamic,      &CacheRow::leakage,      &CacheRow::refresh,
+    &CacheRow::core,         &CacheRow::net,          &CacheRow::dramAccesses,
+    &CacheRow::l3Misses,     &CacheRow::refreshes3,   &CacheRow::refWbs,
+    &CacheRow::refInvals,    &CacheRow::decayed,      &CacheRow::ambientC,
+    &CacheRow::maxTempC,     &CacheRow::requests,     &CacheRow::reqP50Us,
+    &CacheRow::reqP95Us,     &CacheRow::reqP99Us,
+};
+constexpr std::size_t kNumCacheFields =
+    sizeof(kCacheFields) / sizeof(kCacheFields[0]);
+static_assert(kNumCacheFields == sizeof(CacheRow) / sizeof(double),
+              "every CacheRow field must be serialized");
+
+/** Field count of a pre-v7 (v5/v6) row: everything up to maxTempC. */
+constexpr std::size_t kNumLegacyCacheFields = kNumCacheFields - 4;
+
+} // namespace
+
+std::string
+encodeCacheRow(const CacheRow &c)
+{
+    std::string out;
+    out.reserve(kNumCacheFields * 8);
+    char buf[32];
+    for (std::size_t i = 0; i < kNumCacheFields; ++i) {
+        // %.17g: max_digits10 for double, exact round-trip.
+        std::snprintf(buf, sizeof(buf), "%.17g", c.*kCacheFields[i]);
+        if (i)
+            out += ',';
+        out += buf;
+    }
+    return out;
+}
+
+bool
+decodeCacheRow(const std::string &payload, CacheRow &c)
+{
+    std::stringstream ss(payload);
+    std::string tok;
+    std::size_t i = 0;
+    while (i < kNumCacheFields && std::getline(ss, tok, ',')) {
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0')
+            return false;
+        c.*kCacheFields[i++] = v;
+    }
+    return i == kNumCacheFields || i == kNumLegacyCacheFields;
+}
+
+CacheRow
+cacheRowOf(const RunResult &r)
+{
+    CacheRow c{};
+    c.execTicks = static_cast<double>(r.execTicks);
+    c.instructions = static_cast<double>(r.instructions);
+    c.l1 = r.energy.l1;
+    c.l2 = r.energy.l2;
+    c.l3 = r.energy.l3;
+    c.dram = r.energy.dram;
+    c.dynamic = r.energy.dynamic;
+    c.leakage = r.energy.leakage;
+    c.refresh = r.energy.refresh;
+    c.core = r.energy.core;
+    c.net = r.energy.net;
+    c.dramAccesses = static_cast<double>(r.counts.dramAccesses);
+    c.l3Misses = static_cast<double>(r.counts.l3Misses);
+    c.refreshes3 = static_cast<double>(r.counts.l3Refreshes);
+    c.refWbs = static_cast<double>(r.counts.refreshWritebacks);
+    c.refInvals = static_cast<double>(r.counts.refreshInvalidations);
+    c.decayed = static_cast<double>(r.counts.decayedHits);
+    c.ambientC = r.ambientC;
+    c.maxTempC = r.maxTempC;
+    c.requests = r.requests;
+    c.reqP50Us = r.reqP50Us;
+    c.reqP95Us = r.reqP95Us;
+    c.reqP99Us = r.reqP99Us;
+    return c;
+}
+
+RunResult
+runFromCacheRow(const std::string &app, const std::string &config,
+                double retentionUs, const std::string &machine,
+                const CacheRow &c)
+{
+    RunResult r;
+    r.app = app;
+    r.config = config;
+    r.machine = machine;
+    r.retentionUs = retentionUs;
+    r.execTicks = static_cast<Tick>(c.execTicks);
+    r.instructions = static_cast<std::uint64_t>(c.instructions);
+    r.energy.l1 = c.l1;
+    r.energy.l2 = c.l2;
+    r.energy.l3 = c.l3;
+    r.energy.dram = c.dram;
+    r.energy.dynamic = c.dynamic;
+    r.energy.leakage = c.leakage;
+    r.energy.refresh = c.refresh;
+    r.energy.core = c.core;
+    r.energy.net = c.net;
+    r.counts.dramAccesses = static_cast<std::uint64_t>(c.dramAccesses);
+    r.counts.l3Misses = static_cast<std::uint64_t>(c.l3Misses);
+    r.counts.l3Refreshes = static_cast<std::uint64_t>(c.refreshes3);
+    r.counts.refreshWritebacks = static_cast<std::uint64_t>(c.refWbs);
+    r.counts.refreshInvalidations =
+        static_cast<std::uint64_t>(c.refInvals);
+    r.counts.decayedHits = static_cast<std::uint64_t>(c.decayed);
+    r.ambientC = c.ambientC;
+    r.maxTempC = c.maxTempC;
+    r.requests = c.requests;
+    r.reqP50Us = c.reqP50Us;
+    r.reqP95Us = c.reqP95Us;
+    r.reqP99Us = c.reqP99Us;
+    return r;
+}
+
+} // namespace refrint

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * ResultStore: the persistence seam behind Session.
+ *
+ * A result store maps canonical scenario keys (ScenarioKey::str()) to
+ * the numeric payload of one simulated run.  Session only ever talks
+ * to this interface; the two implementations are
+ *
+ *   RunCache      (api/run_cache.hh)  — the legacy single-CSV-file
+ *                 cache, one mutex, full-rewrite persistence.  Kept as
+ *                 the default for the classic sweep workflow and as
+ *                 the read-only import path for `cache migrate`.
+ *   ShardedStore  (service/store.hh)  — the content-addressed store of
+ *                 the experiment service: keys hash into N append-only
+ *                 shard files with length+checksum record framing, so
+ *                 multiple writer *processes* can append concurrently
+ *                 and a mid-write crash can never corrupt a committed
+ *                 row.
+ *
+ * The row payload (CacheRow) and its exact %.17g text codec live here
+ * so both implementations — and the migrate tool — serialize rows
+ * byte-identically.
+ */
+
+#ifndef REFRINT_API_RESULT_STORE_HH
+#define REFRINT_API_RESULT_STORE_HH
+
+#include <string>
+
+#include "harness/runner.hh"
+
+namespace refrint
+{
+
+/** The numeric payload serialized per run. */
+struct CacheRow
+{
+    double execTicks, instructions;
+    double l1, l2, l3, dram, dynamic, leakage, refresh, core, net;
+    double dramAccesses, l3Misses, refreshes3, refWbs, refInvals;
+    double decayed;
+    double ambientC, maxTempC;
+    double requests, reqP50Us, reqP95Us, reqP99Us;
+};
+
+/** Flatten a run result into its cache payload. */
+CacheRow cacheRowOf(const RunResult &r);
+
+/** Rebuild a run result from a cached payload plus its identity. */
+RunResult runFromCacheRow(const std::string &app,
+                          const std::string &config, double retentionUs,
+                          const std::string &machine, const CacheRow &c);
+
+/** Serialize a row as the canonical "f0,f1,..." field list (%.17g per
+ *  field — exact double round-trip, identical in every store). */
+std::string encodeCacheRow(const CacheRow &c);
+
+/**
+ * Parse a "f0,f1,..." payload into @p c.  Accepts a full current-
+ * version row or a legacy-length (pre-v7) prefix; the trailing
+ * request-latency fields then read as zero, which is their true value
+ * for legacy workloads.  @p c must be zero-initialized by the caller.
+ */
+bool decodeCacheRow(const std::string &payload, CacheRow &c);
+
+/**
+ * Where Session reads and writes simulated rows.  Implementations must
+ * be thread-safe: concurrent sweep workers share one store.
+ */
+class ResultStore
+{
+  public:
+    virtual ~ResultStore() = default;
+
+    virtual bool lookup(const std::string &key, CacheRow &out) const = 0;
+
+    /** Record a freshly simulated run under @p key. */
+    virtual void insert(const std::string &key, const CacheRow &c) = 0;
+
+    /** Make every inserted row durable (no-op for in-memory stores). */
+    virtual void flush() = 0;
+
+    /** Rows currently known (loaded + inserted). */
+    virtual std::size_t rowCount() const = 0;
+};
+
+} // namespace refrint
+
+#endif // REFRINT_API_RESULT_STORE_HH

@@ -1,9 +1,7 @@
 #include "api/run_cache.hh"
 
-#include <cstdio>
-#include <cstdlib>
+#include <algorithm>
 #include <fstream>
-#include <sstream>
 
 #include "common/log.hh"
 
@@ -16,129 +14,7 @@ namespace
 constexpr int kCacheVersion = 7;
 constexpr int kOldestReadableVersion = 5;
 
-/**
- * Field list in serialization order — the single source of truth for
- * both the reader and the writer, so they cannot drift apart or depend
- * on the struct's memory layout.
- */
-constexpr double CacheRow::*kCacheFields[] = {
-    &CacheRow::execTicks,    &CacheRow::instructions, &CacheRow::l1,
-    &CacheRow::l2,           &CacheRow::l3,           &CacheRow::dram,
-    &CacheRow::dynamic,      &CacheRow::leakage,      &CacheRow::refresh,
-    &CacheRow::core,         &CacheRow::net,          &CacheRow::dramAccesses,
-    &CacheRow::l3Misses,     &CacheRow::refreshes3,   &CacheRow::refWbs,
-    &CacheRow::refInvals,    &CacheRow::decayed,      &CacheRow::ambientC,
-    &CacheRow::maxTempC,     &CacheRow::requests,     &CacheRow::reqP50Us,
-    &CacheRow::reqP95Us,     &CacheRow::reqP99Us,
-};
-constexpr std::size_t kNumCacheFields =
-    sizeof(kCacheFields) / sizeof(kCacheFields[0]);
-static_assert(kNumCacheFields == sizeof(CacheRow) / sizeof(double),
-              "every CacheRow field must be serialized");
-
-/** Field count of a pre-v7 (v5/v6) row: everything up to maxTempC. */
-constexpr std::size_t kNumLegacyCacheFields = kNumCacheFields - 4;
-
-/** Parse "f0,f1,..." into the named fields.  A full v7 row or a
- *  legacy-length prefix is accepted; the caller zero-initializes, so
- *  missing request-latency fields read as zero. */
-bool
-readRow(const std::string &payload, CacheRow &c)
-{
-    std::stringstream ss(payload);
-    std::string tok;
-    std::size_t i = 0;
-    while (i < kNumCacheFields && std::getline(ss, tok, ',')) {
-        char *end = nullptr;
-        const double v = std::strtod(tok.c_str(), &end);
-        if (end == tok.c_str() || *end != '\0')
-            return false;
-        c.*kCacheFields[i++] = v;
-    }
-    return i == kNumCacheFields || i == kNumLegacyCacheFields;
-}
-
-void
-writeRow(std::ofstream &out, const std::string &key, const CacheRow &c)
-{
-    out << key << ";";
-    char buf[32];
-    for (std::size_t i = 0; i < kNumCacheFields; ++i) {
-        // %.17g: max_digits10 for double, exact round-trip.
-        std::snprintf(buf, sizeof(buf), "%.17g", c.*kCacheFields[i]);
-        out << (i ? "," : "") << buf;
-    }
-    out << "\n";
-}
-
 } // namespace
-
-CacheRow
-cacheRowOf(const RunResult &r)
-{
-    CacheRow c{};
-    c.execTicks = static_cast<double>(r.execTicks);
-    c.instructions = static_cast<double>(r.instructions);
-    c.l1 = r.energy.l1;
-    c.l2 = r.energy.l2;
-    c.l3 = r.energy.l3;
-    c.dram = r.energy.dram;
-    c.dynamic = r.energy.dynamic;
-    c.leakage = r.energy.leakage;
-    c.refresh = r.energy.refresh;
-    c.core = r.energy.core;
-    c.net = r.energy.net;
-    c.dramAccesses = static_cast<double>(r.counts.dramAccesses);
-    c.l3Misses = static_cast<double>(r.counts.l3Misses);
-    c.refreshes3 = static_cast<double>(r.counts.l3Refreshes);
-    c.refWbs = static_cast<double>(r.counts.refreshWritebacks);
-    c.refInvals = static_cast<double>(r.counts.refreshInvalidations);
-    c.decayed = static_cast<double>(r.counts.decayedHits);
-    c.ambientC = r.ambientC;
-    c.maxTempC = r.maxTempC;
-    c.requests = r.requests;
-    c.reqP50Us = r.reqP50Us;
-    c.reqP95Us = r.reqP95Us;
-    c.reqP99Us = r.reqP99Us;
-    return c;
-}
-
-RunResult
-runFromCacheRow(const std::string &app, const std::string &config,
-                double retentionUs, const std::string &machine,
-                const CacheRow &c)
-{
-    RunResult r;
-    r.app = app;
-    r.config = config;
-    r.machine = machine;
-    r.retentionUs = retentionUs;
-    r.execTicks = static_cast<Tick>(c.execTicks);
-    r.instructions = static_cast<std::uint64_t>(c.instructions);
-    r.energy.l1 = c.l1;
-    r.energy.l2 = c.l2;
-    r.energy.l3 = c.l3;
-    r.energy.dram = c.dram;
-    r.energy.dynamic = c.dynamic;
-    r.energy.leakage = c.leakage;
-    r.energy.refresh = c.refresh;
-    r.energy.core = c.core;
-    r.energy.net = c.net;
-    r.counts.dramAccesses = static_cast<std::uint64_t>(c.dramAccesses);
-    r.counts.l3Misses = static_cast<std::uint64_t>(c.l3Misses);
-    r.counts.l3Refreshes = static_cast<std::uint64_t>(c.refreshes3);
-    r.counts.refreshWritebacks = static_cast<std::uint64_t>(c.refWbs);
-    r.counts.refreshInvalidations =
-        static_cast<std::uint64_t>(c.refInvals);
-    r.counts.decayedHits = static_cast<std::uint64_t>(c.decayed);
-    r.ambientC = c.ambientC;
-    r.maxTempC = c.maxTempC;
-    r.requests = c.requests;
-    r.reqP50Us = c.reqP50Us;
-    r.reqP95Us = c.reqP95Us;
-    r.reqP99Us = c.reqP99Us;
-    return r;
-}
 
 RunCache::RunCache(std::string path) : path_(std::move(path))
 {
@@ -165,7 +41,7 @@ RunCache::RunCache(std::string path) : path_(std::move(path))
             continue;
         const std::string key = line.substr(0, sep);
         CacheRow c{};
-        if (readRow(line.substr(sep + 1), c))
+        if (decodeCacheRow(line.substr(sep + 1), c))
             rows_[key] = c; // last occurrence wins
     }
 }
@@ -187,7 +63,13 @@ RunCache::insert(const std::string &key, const CacheRow &c)
     std::lock_guard<std::mutex> lock(mu_);
     rows_[key] = c;
     dirty_ = true;
-    if (++sinceFlush_ >= kFlushInterval) {
+    // Durability rewrite, amortized: the threshold grows with the
+    // cache so a long sweep rewrites the file O(log rows) times
+    // instead of every kFlushInterval inserts (which made total
+    // persistence cost quadratic in the row count).
+    const std::size_t threshold =
+        std::max(kFlushInterval, rows_.size() / 8);
+    if (++sinceFlush_ >= threshold) {
         flushLocked();
         sinceFlush_ = 0;
     }
@@ -198,6 +80,27 @@ RunCache::flush()
 {
     std::lock_guard<std::mutex> lock(mu_);
     flushLocked();
+}
+
+std::size_t
+RunCache::rowCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return rows_.size();
+}
+
+std::size_t
+RunCache::rewrites() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return rewrites_;
+}
+
+std::map<std::string, CacheRow>
+RunCache::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return rows_;
 }
 
 void
@@ -214,7 +117,8 @@ RunCache::flushLocked()
     }
     out << "v" << kCacheVersion << "\n";
     for (const auto &[k, row] : rows_)
-        writeRow(out, k, row);
+        out << k << ";" << encodeCacheRow(row) << "\n";
+    ++rewrites_;
     dirty_ = false;
 }
 

@@ -1,7 +1,7 @@
 /**
  * @file
- * The persistent result cache behind Session: one CSV row per
- * simulated scenario, keyed by ScenarioKey::str().
+ * The legacy persistent result cache behind Session: one CSV row per
+ * simulated scenario, keyed by ScenarioKey::str(), in a single file.
  *
  * File-format history: v4 introduced named-field serialization (no
  * struct-layout reinterpret_cast), %.17g precision so every double
@@ -14,6 +14,12 @@
  * appends the request-latency fields (requests, p50/p95/p99 us); v5/v6
  * rows are read in place with those fields zero — which is their true
  * value, since legacy workloads have no request structure.
+ *
+ * This is one of two ResultStore implementations (see
+ * api/result_store.hh); the experiment service's sharded store
+ * (service/store.hh) supersedes it for concurrent-writer workloads,
+ * and `refrint_cli cache migrate` imports a file like this one into a
+ * store directory.
  */
 
 #ifndef REFRINT_API_RUN_CACHE_HH
@@ -23,29 +29,10 @@
 #include <mutex>
 #include <string>
 
-#include "harness/runner.hh"
+#include "api/result_store.hh"
 
 namespace refrint
 {
-
-/** The numeric payload serialized per run. */
-struct CacheRow
-{
-    double execTicks, instructions;
-    double l1, l2, l3, dram, dynamic, leakage, refresh, core, net;
-    double dramAccesses, l3Misses, refreshes3, refWbs, refInvals;
-    double decayed;
-    double ambientC, maxTempC;
-    double requests, reqP50Us, reqP95Us, reqP99Us;
-};
-
-/** Flatten a run result into its cache payload. */
-CacheRow cacheRowOf(const RunResult &r);
-
-/** Rebuild a run result from a cached payload plus its identity. */
-RunResult runFromCacheRow(const std::string &app,
-                          const std::string &config, double retentionUs,
-                          const std::string &machine, const CacheRow &c);
 
 /**
  * The sweep's persistent result cache.  Thread-safe: lookup/insert are
@@ -54,22 +41,37 @@ RunResult runFromCacheRow(const std::string &app,
  * for crash durability, and once at the end via flush()), so a
  * pre-existing file can never accumulate duplicate keys for a run.
  */
-class RunCache
+class RunCache : public ResultStore
 {
   public:
     /** Load @p path if it exists and has a readable version; an empty
      *  path disables persistence entirely. */
     explicit RunCache(std::string path);
 
-    bool lookup(const std::string &key, CacheRow &out) const;
+    bool lookup(const std::string &key, CacheRow &out) const override;
 
-    /** Record a freshly simulated run; persisted on flush().  Every
-     *  kFlushInterval inserts the file is also rewritten, so an
-     *  interrupted long sweep loses at most that many simulations. */
-    void insert(const std::string &key, const CacheRow &c);
+    /**
+     * Record a freshly simulated run; persisted on flush().  For crash
+     * durability during a long sweep the file is also rewritten
+     * periodically — but only once the pending (not yet persisted) row
+     * count passes max(kFlushInterval, rows/8).  The size-proportional
+     * threshold keeps the total periodic-rewrite cost O(rows log rows)
+     * instead of the historic O(rows^2 / kFlushInterval), while an
+     * interrupted sweep still loses at most ~12% of its new rows.
+     */
+    void insert(const std::string &key, const CacheRow &c) override;
 
     /** Rewrite the cache file with every known row. */
-    void flush();
+    void flush() override;
+
+    std::size_t rowCount() const override;
+
+    /** Full rewrites performed so far (observability for the flush
+     *  threshold; see DESIGN.md "Experiment service"). */
+    std::size_t rewrites() const;
+
+    /** Copy of every known row, for the `cache migrate` import path. */
+    std::map<std::string, CacheRow> snapshot() const;
 
   private:
     static constexpr std::size_t kFlushInterval = 16;
@@ -80,6 +82,7 @@ class RunCache
     mutable std::mutex mu_;
     std::map<std::string, CacheRow> rows_;
     std::size_t sinceFlush_ = 0;
+    std::size_t rewrites_ = 0;
     bool dirty_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "api/session.hh"
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 
 #include "api/run_cache.hh"
@@ -11,9 +12,15 @@ namespace refrint
 {
 
 Session::Session(SessionOptions opts)
-    : opts_(std::move(opts)),
-      cache_(std::make_unique<RunCache>(opts_.cachePath))
+    : jobs_(opts.jobs),
+      store_(std::make_unique<RunCache>(std::move(opts.cachePath)))
 {
+}
+
+Session::Session(std::unique_ptr<ResultStore> store, unsigned jobs)
+    : jobs_(jobs), store_(std::move(store))
+{
+    panicIf(store_ == nullptr, "Session needs a result store");
 }
 
 Session::~Session() = default;
@@ -30,6 +37,8 @@ Session::run(const ExperimentPlan &plan,
     std::vector<RunResult> results(n);
     std::vector<char> simulatedFlag(n, 0);
     std::atomic<std::size_t> simulated{0};
+    std::atomic<std::int64_t> busyNanos{0};
+    const auto wallStart = std::chrono::steady_clock::now();
 
     SweepResult out;
 
@@ -72,13 +81,15 @@ Session::run(const ExperimentPlan &plan,
     // the calibrated defaults keep the legacy keys byte-identical.
     const std::string energyTag = energyKeyTag(plan.energy);
 
-    parallelFor(n, resolveJobs(opts_.jobs), [&](std::size_t i) {
+    const unsigned jobs = resolveJobs(jobs_);
+    parallelFor(n, jobs, [&](std::size_t i) {
+        const auto t0 = std::chrono::steady_clock::now();
         const Scenario &sc = plan.scenarios[i];
         ScenarioKey sk = sc.key();
         sk.energy = energyTag;
         const std::string key = sk.str();
         CacheRow row;
-        if (cache_->lookup(key, row)) {
+        if (store_->lookup(key, row)) {
             results[i] = runFromCacheRow(sc.app, sc.config,
                                          sc.retentionUs,
                                          sc.machineLabel(), row);
@@ -95,18 +106,33 @@ Session::run(const ExperimentPlan &plan,
             // report identically.
             r.retentionUs = sc.retentionUs;
             r.app = sc.app;
-            cache_->insert(key, cacheRowOf(r));
+            store_->insert(key, cacheRowOf(r));
             simulated.fetch_add(1, std::memory_order_relaxed);
             simulatedFlag[i] = 1;
             results[i] = std::move(r);
         }
+        busyNanos.fetch_add(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count(),
+            std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(mu);
         done[i] = 1;
         emitReadyLocked();
     });
-    cache_->flush();
+    store_->flush();
 
     out.simulations = simulated.load();
+    out.metrics.scenarios = n;
+    out.metrics.simulated = out.simulations;
+    out.metrics.cacheHits = n - out.simulations;
+    out.metrics.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wallStart)
+            .count();
+    out.metrics.busySeconds =
+        static_cast<double>(busyNanos.load()) * 1e-9;
+    out.metrics.jobs = jobs;
     for (ResultSink *s : sinks)
         s->end(plan, out);
     return out;

@@ -31,7 +31,7 @@
 namespace refrint
 {
 
-class RunCache;
+class ResultStore;
 
 struct SessionOptions
 {
@@ -53,6 +53,14 @@ class Session
 {
   public:
     explicit Session(SessionOptions opts = {});
+
+    /**
+     * Run against an explicit result store (e.g. the experiment
+     * service's ShardedStore) instead of the legacy single-file cache.
+     * @p jobs as in SessionOptions.
+     */
+    Session(std::unique_ptr<ResultStore> store, unsigned jobs);
+
     ~Session();
 
     Session(const Session &) = delete;
@@ -61,16 +69,18 @@ class Session
     /**
      * Execute @p plan: cached scenarios load instantly, the rest
      * simulate on up to `jobs` workers.  Rows stream to @p sinks in
-     * plan order (serialized — sinks need no locking); the cache file
-     * is flushed before end() fires.  The cache stays loaded across
+     * plan order (serialized — sinks need no locking); the store is
+     * flushed before end() fires.  The store stays loaded across
      * run() calls, so successive plans in one session share warm rows.
+     * The returned SweepResult carries RunMetrics (simulated vs.
+     * cache-hit counts, wall time, worker utilization).
      */
     SweepResult run(const ExperimentPlan &plan,
                     const std::vector<ResultSink *> &sinks = {});
 
   private:
-    SessionOptions opts_;
-    std::unique_ptr<RunCache> cache_;
+    unsigned jobs_ = 0;
+    std::unique_ptr<ResultStore> store_;
 };
 
 } // namespace refrint

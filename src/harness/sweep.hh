@@ -90,6 +90,32 @@ struct SweepSpec
     void finalize();
 };
 
+/**
+ * Observability counters for one plan execution, filled by
+ * Session::run() and carried on SweepResult so every consumer — the
+ * sweep CLI's progress summary, `refrint serve`'s per-request metrics,
+ * embedding code — reports the same numbers instead of ad-hoc log
+ * lines.
+ */
+struct RunMetrics
+{
+    std::size_t scenarios = 0; ///< rows in the plan
+    std::size_t simulated = 0; ///< executed fresh (store misses)
+    std::size_t cacheHits = 0; ///< answered from the result store
+    double wallSeconds = 0;    ///< plan wall time
+    double busySeconds = 0;    ///< summed per-scenario wall time
+    unsigned jobs = 1;         ///< worker threads used
+
+    /** Fraction of worker capacity kept busy (1.0 = perfect). */
+    double
+    utilization() const
+    {
+        return wallSeconds > 0 && jobs > 0
+                   ? busySeconds / (wallSeconds * jobs)
+                   : 0.0;
+    }
+};
+
 /** One app's SRAM baseline plus all its policy runs, normalized. */
 struct SweepResult
 {
@@ -99,6 +125,9 @@ struct SweepResult
     /** Simulations actually executed (cache misses); a warm-cache
      *  sweep reports 0. */
     std::size_t simulations = 0;
+
+    /** Run observability counters (see RunMetrics). */
+    RunMetrics metrics;
 
     /**
      * Mean of @p field over the normalized rows matching the filter

@@ -1,0 +1,259 @@
+#include "service/coordinator.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "api/experiment_plan.hh"
+#include "common/log.hh"
+
+namespace refrint
+{
+
+namespace
+{
+
+/** A private temp file for one worker attempt's row stream. */
+std::string
+makeTempPath()
+{
+    const char *tmp = std::getenv("TMPDIR");
+    std::string tpl = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+    tpl += "/refrint-range-XXXXXX";
+    std::vector<char> buf(tpl.begin(), tpl.end());
+    buf.push_back('\0');
+    const int fd = ::mkstemp(buf.data());
+    if (fd < 0)
+        fatal("cannot create worker temp file %s: %s", tpl.c_str(),
+              std::strerror(errno));
+    ::close(fd);
+    return std::string(buf.data());
+}
+
+/** fork+exec `workerBin worker --plan F --range a:b [--store D]` with
+ *  stdout redirected to the task's temp file. */
+pid_t
+spawnWorkerProcess(const CoordinatorOptions &opts, const WorkerTask &task)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid; // parent (or fork failure, -1)
+
+    char attempt[16];
+    std::snprintf(attempt, sizeof(attempt), "%u", task.attempt);
+    ::setenv("REFRINT_WORKER_ATTEMPT", attempt, 1);
+
+    const int fd = ::open(task.outPath.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC, 0666);
+    if (fd < 0)
+        ::_exit(127);
+    ::dup2(fd, STDOUT_FILENO);
+    ::close(fd);
+
+    char range[64];
+    std::snprintf(range, sizeof(range), "%zu:%zu", task.begin, task.end);
+    std::vector<std::string> args = {opts.workerBin, "worker",
+                                     "--plan",       opts.planPath,
+                                     "--range",      range};
+    if (!opts.storeDir.empty()) {
+        args.push_back("--store");
+        args.push_back(opts.storeDir);
+    }
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (auto &a : args)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execv(opts.workerBin.c_str(), argv.data());
+    ::_exit(127);
+}
+
+std::string
+describeExit(int status)
+{
+    char buf[64];
+    if (WIFSIGNALED(status))
+        std::snprintf(buf, sizeof(buf), "killed by signal %d",
+                      WTERMSIG(status));
+    else if (WIFEXITED(status))
+        std::snprintf(buf, sizeof(buf), "exited with status %d",
+                      WEXITSTATUS(status));
+    else
+        std::snprintf(buf, sizeof(buf), "ended with raw status %d",
+                      status);
+    return buf;
+}
+
+} // namespace
+
+std::vector<std::pair<std::size_t, std::size_t>>
+shardPlanRanges(const ExperimentPlan &plan, unsigned workers)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    const std::size_t n = plan.size();
+    if (n == 0 || workers == 0)
+        return ranges;
+
+    // Positions where a range may start without splitting a baseline
+    // group: index 0 and every baseline scenario.  (A worker still
+    // runs correctly across any split — it prepends out-of-range
+    // baselines — but an aligned split never re-simulates one.)
+    std::vector<std::size_t> starts;
+    for (std::size_t i = 0; i < n; ++i)
+        if (i == 0 || plan.baseline[i] < 0)
+            if (starts.empty() || starts.back() != i)
+                starts.push_back(i);
+
+    // Fewer groups than workers: give up on alignment and cut anywhere
+    // (each cut costs at most one re-simulated baseline per range,
+    // which parallelism across the rest of the group repays).
+    if (starts.size() < workers) {
+        starts.clear();
+        for (std::size_t i = 0; i < n; ++i)
+            starts.push_back(i);
+    }
+
+    // Snap the w-way even cut points to the nearest group boundary.
+    std::vector<std::size_t> cuts{0};
+    for (unsigned k = 1; k < workers; ++k) {
+        const std::size_t ideal = (n * k) / workers;
+        std::size_t best = 0;
+        std::size_t bestDist = n + 1;
+        for (const std::size_t s : starts) {
+            if (s <= cuts.back() || s >= n)
+                continue;
+            const std::size_t dist =
+                s > ideal ? s - ideal : ideal - s;
+            if (dist < bestDist) {
+                bestDist = dist;
+                best = s;
+            }
+        }
+        if (bestDist > n)
+            break; // fewer groups than workers
+        cuts.push_back(best);
+    }
+    cuts.push_back(n);
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i)
+        ranges.emplace_back(cuts[i], cuts[i + 1]);
+    return ranges;
+}
+
+int
+runCoordinator(const CoordinatorOptions &opts)
+{
+    const ExperimentPlan plan = ExperimentPlan::loadFile(opts.planPath);
+    std::FILE *out = opts.out != nullptr ? opts.out : stdout;
+    if (plan.size() == 0)
+        return 0;
+
+    const unsigned workers = opts.workers == 0 ? 1 : opts.workers;
+    const auto ranges = shardPlanRanges(plan, workers);
+
+    WorkerSpawner spawn = opts.spawner;
+    if (!spawn) {
+        if (opts.workerBin.empty()) {
+            warn("coordinator: no worker binary configured");
+            return 1;
+        }
+        spawn = [&opts](const WorkerTask &task) {
+            return spawnWorkerProcess(opts, task);
+        };
+    }
+
+    std::vector<WorkerTask> tasks;
+    tasks.reserve(ranges.size());
+    for (const auto &[begin, end] : ranges)
+        tasks.push_back(WorkerTask{begin, end, 0, makeTempPath()});
+
+    auto cleanup = [&tasks]() {
+        for (const auto &t : tasks)
+            ::unlink(t.outPath.c_str());
+    };
+
+    std::map<pid_t, std::size_t> running; // pid -> task index
+    auto abandon = [&](const char *why) {
+        warn("coordinator: %s; terminating %zu outstanding worker(s)",
+             why, running.size());
+        for (const auto &[pid, idx] : running) {
+            (void)idx;
+            ::kill(pid, SIGTERM);
+        }
+        while (!running.empty()) {
+            int status = 0;
+            const pid_t pid = ::waitpid(-1, &status, 0);
+            if (pid < 0)
+                break;
+            running.erase(pid);
+        }
+        cleanup();
+        return 1;
+    };
+
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const pid_t pid = spawn(tasks[i]);
+        if (pid < 0)
+            return abandon("cannot spawn worker");
+        running[pid] = i;
+    }
+    inform("coordinator: %zu scenario(s) across %zu worker(s)",
+           plan.size(), tasks.size());
+
+    while (!running.empty()) {
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, 0);
+        if (pid < 0) {
+            if (errno == EINTR)
+                continue;
+            return abandon("waitpid failed");
+        }
+        const auto it = running.find(pid);
+        if (it == running.end())
+            continue; // not one of ours
+        const std::size_t idx = it->second;
+        running.erase(it);
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0)
+            continue; // range done
+
+        WorkerTask &task = tasks[idx];
+        if (task.attempt >= 1) {
+            warn("coordinator: range %zu:%zu failed twice (%s)",
+                 task.begin, task.end, describeExit(status).c_str());
+            return abandon("a range failed twice");
+        }
+        warn("coordinator: range %zu:%zu %s; retrying once",
+             task.begin, task.end, describeExit(status).c_str());
+        task.attempt = 1;
+        const pid_t retry = spawn(task);
+        if (retry < 0)
+            return abandon("cannot respawn worker");
+        running[retry] = idx;
+    }
+
+    // Every range succeeded: splice the row streams in range order.
+    for (const auto &task : tasks) {
+        std::ifstream in(task.outPath, std::ios::binary);
+        if (!in) {
+            warn("coordinator: lost worker output %s",
+                 task.outPath.c_str());
+            cleanup();
+            return 1;
+        }
+        char buf[1 << 16];
+        while (in.read(buf, sizeof(buf)) || in.gcount() > 0)
+            std::fwrite(buf, 1, static_cast<std::size_t>(in.gcount()),
+                        out);
+    }
+    std::fflush(out);
+    cleanup();
+    return 0;
+}
+
+} // namespace refrint

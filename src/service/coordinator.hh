@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Coordinator: shards an experiment plan across worker subprocesses
+ * and merges their JSON Lines row streams back into plan order.
+ *
+ * The plan is split into contiguous index ranges aligned to baseline
+ * groups (a SRAM baseline plus the scenarios normalizing against it),
+ * one range per worker, balanced by scenario count.  Each worker runs
+ * `<workerBin> worker --plan F --range a:b [--store D]` with its rows
+ * redirected to a private temp file; workers share the (crash- and
+ * concurrency-safe) sharded store, so nothing is simulated twice.  A
+ * worker that exits nonzero or dies on a signal is retried ONCE on a
+ * fresh subprocess (rows it already committed to the store are reused,
+ * not re-simulated); a second failure fails the whole run.  When every
+ * range has succeeded the temp files are concatenated in range order —
+ * producing output byte-identical to a single-process
+ * `sweep --plan F --jobs 1 --jsonl -` run over the same store state.
+ */
+
+#ifndef REFRINT_SERVICE_COORDINATOR_HH
+#define REFRINT_SERVICE_COORDINATOR_HH
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace refrint
+{
+
+struct ExperimentPlan;
+
+/** One worker assignment. */
+struct WorkerTask
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    unsigned attempt = 0;    ///< 0 first try, 1 the retry
+    std::string outPath;     ///< where this attempt's rows go
+};
+
+/**
+ * Launch one worker for @p task; returns its pid, or -1 on spawn
+ * failure.  The default spawner fork+execs `workerBin worker ...`;
+ * tests substitute a fork-only spawner that calls runWorkerRange()
+ * directly in the child, exercising real multi-process semantics
+ * without needing the CLI binary on disk.
+ */
+using WorkerSpawner = std::function<pid_t(const WorkerTask &)>;
+
+struct CoordinatorOptions
+{
+    std::string planPath;  ///< JSON plan file handed to every worker
+    std::string storeDir;  ///< shared sharded store; "" = none
+    unsigned workers = 3;  ///< target worker count (>= 1)
+    std::FILE *out = nullptr;  ///< merged JSONL (default stdout)
+    std::string workerBin; ///< refrint_cli path for the default spawner
+    WorkerSpawner spawner; ///< optional override (tests)
+};
+
+/**
+ * Split [0, plan.size()) into at most @p workers contiguous ranges,
+ * each starting on a baseline-group boundary, balanced by scenario
+ * count.  Fewer ranges than workers when the plan has fewer groups.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+shardPlanRanges(const ExperimentPlan &plan, unsigned workers);
+
+/** Run the coordinator; 0 on success, 1 on failure (a range failed
+ *  twice, a worker could not be spawned, or I/O failed). */
+int runCoordinator(const CoordinatorOptions &opts);
+
+} // namespace refrint
+
+#endif // REFRINT_SERVICE_COORDINATOR_HH

@@ -1,0 +1,98 @@
+#include "service/framing.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace refrint
+{
+
+std::uint64_t
+fnv64(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::string
+frameRecord(const std::string &payload)
+{
+    panicIf(payload.find('\n') != std::string::npos,
+            "framed payloads are single lines");
+    char header[48];
+    std::snprintf(header, sizeof(header), "\nR %zu %016llx ",
+                  payload.size(),
+                  static_cast<unsigned long long>(fnv64(payload)));
+    return header + payload + "\n";
+}
+
+bool
+unframeRecord(const std::string &line, std::string &payload)
+{
+    // "R <len> <hash16> <payload>"
+    if (line.size() < 4 || line[0] != 'R' || line[1] != ' ')
+        return false;
+    const auto lenEnd = line.find(' ', 2);
+    if (lenEnd == std::string::npos)
+        return false;
+    std::size_t len = 0;
+    for (std::size_t i = 2; i < lenEnd; ++i) {
+        if (line[i] < '0' || line[i] > '9')
+            return false;
+        len = len * 10 + static_cast<std::size_t>(line[i] - '0');
+        if (len > (1u << 24)) // sanity bound: no record is 16 MiB
+            return false;
+    }
+    const auto hashEnd = line.find(' ', lenEnd + 1);
+    if (hashEnd == std::string::npos ||
+        hashEnd - (lenEnd + 1) != 16)
+        return false;
+    std::uint64_t hash = 0;
+    for (std::size_t i = lenEnd + 1; i < hashEnd; ++i) {
+        const char c = line[i];
+        std::uint64_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint64_t>(c - 'a') + 10;
+        else
+            return false;
+        hash = (hash << 4) | digit;
+    }
+    const std::string body = line.substr(hashEnd + 1);
+    if (body.size() != len || fnv64(body) != hash)
+        return false;
+    payload = body;
+    return true;
+}
+
+ScanStats
+scanRecords(const std::string &data,
+            const std::function<void(const std::string &)> &onRecord)
+{
+    ScanStats stats;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        auto nl = data.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = data.size();
+        if (nl > pos) {
+            const std::string line = data.substr(pos, nl - pos);
+            std::string payload;
+            if (unframeRecord(line, payload)) {
+                ++stats.committed;
+                onRecord(payload);
+            } else {
+                ++stats.torn;
+            }
+        }
+        pos = nl + 1;
+    }
+    return stats;
+}
+
+} // namespace refrint

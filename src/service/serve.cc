@@ -1,0 +1,420 @@
+#include "service/serve.hh"
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "api/experiment_plan.hh"
+#include "api/json.hh"
+#include "api/result_sink.hh"
+#include "api/run_cache.hh"
+#include "api/session.hh"
+#include "common/log.hh"
+#include "service/store.hh"
+
+namespace refrint
+{
+
+namespace
+{
+
+/** Bind+listen on the configured address; -1 with a warn() on error. */
+int
+openListener(const ServeOptions &opts)
+{
+    if (!opts.socketPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (opts.socketPath.size() >= sizeof(addr.sun_path)) {
+            warn("serve: socket path too long: %s",
+                 opts.socketPath.c_str());
+            return -1;
+        }
+        std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            warn("serve: socket: %s", std::strerror(errno));
+            return -1;
+        }
+        ::unlink(opts.socketPath.c_str()); // stale socket from a crash
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(fd, 16) != 0) {
+            warn("serve: cannot listen on %s: %s",
+                 opts.socketPath.c_str(), std::strerror(errno));
+            ::close(fd);
+            return -1;
+        }
+        return fd;
+    }
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn("serve: socket: %s", std::strerror(errno));
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts.port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(fd, 16) != 0) {
+        warn("serve: cannot listen on 127.0.0.1:%u: %s", opts.port,
+             std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+struct ServeCounters
+{
+    std::size_t requests = 0;
+    std::size_t plans = 0;
+    std::size_t scenarios = 0;
+    std::size_t warm = 0;
+    std::size_t cold = 0;
+    std::size_t errors = 0;
+};
+
+void
+replyError(std::FILE *io, ServeCounters &counters, const std::string &msg)
+{
+    ++counters.errors;
+    std::fprintf(io, "{\"error\":%s}\n", jsonQuote(msg).c_str());
+    std::fflush(io);
+}
+
+/**
+ * Handle every request line on one connection.  Returns true when the
+ * service should keep running, false after a shutdown request.
+ */
+bool
+handleConnection(int fd, Session &session, ServeCounters &counters,
+                 std::size_t queueDepth)
+{
+    std::FILE *io = ::fdopen(fd, "r+");
+    if (io == nullptr) {
+        ::close(fd);
+        return true;
+    }
+    bool keepServing = true;
+    char *line = nullptr;
+    std::size_t cap = 0;
+    ssize_t n;
+    while (keepServing && (n = ::getline(&line, &cap, io)) >= 0) {
+        std::string text(line, static_cast<std::size_t>(n));
+        while (!text.empty() &&
+               (text.back() == '\n' || text.back() == '\r'))
+            text.pop_back();
+        if (text.empty())
+            continue;
+        ++counters.requests;
+
+        JsonValue doc;
+        std::string err;
+        if (!JsonValue::parse(text, doc, err)) {
+            replyError(io, counters, "bad request JSON: " + err);
+            continue;
+        }
+        const JsonValue *op =
+            doc.isObject() ? doc.get("op") : nullptr;
+        if (op != nullptr) {
+            if (!op->isString()) {
+                replyError(io, counters, "\"op\" must be a string");
+            } else if (op->asString() == "stats") {
+                std::fprintf(io,
+                             "{\"stats\":true,\"requests\":%zu,"
+                             "\"plans\":%zu,\"scenarios\":%zu,"
+                             "\"warm\":%zu,\"cold\":%zu,"
+                             "\"errors\":%zu,\"queueDepth\":%zu}\n",
+                             counters.requests, counters.plans,
+                             counters.scenarios, counters.warm,
+                             counters.cold, counters.errors,
+                             queueDepth);
+                std::fflush(io);
+            } else if (op->asString() == "shutdown") {
+                std::fprintf(io, "{\"bye\":true}\n");
+                std::fflush(io);
+                keepServing = false;
+            } else {
+                replyError(io, counters,
+                           "unknown op \"" + op->asString() + "\"");
+            }
+            continue;
+        }
+
+        ExperimentPlan plan;
+        if (!ExperimentPlan::tryFromJson(text, plan, err)) {
+            replyError(io, counters, err);
+            continue;
+        }
+
+        ++counters.plans;
+        JsonLinesSink rows(io);
+        std::vector<ResultSink *> sinks{&rows};
+        const SweepResult result = session.run(plan, sinks);
+        const RunMetrics &m = result.metrics;
+        counters.scenarios += m.scenarios;
+        counters.warm += m.cacheHits;
+        counters.cold += m.simulated;
+        const double msPerScenario =
+            m.scenarios > 0 ? m.wallSeconds * 1000.0 /
+                                  static_cast<double>(m.scenarios)
+                            : 0.0;
+        std::fprintf(io,
+                     "{\"done\":true,\"plan\":%s,\"scenarios\":%zu,"
+                     "\"warm\":%zu,\"cold\":%zu,\"queueDepth\":%zu,"
+                     "\"wallSeconds\":%s,\"msPerScenario\":%s}\n",
+                     jsonQuote(plan.name).c_str(), m.scenarios,
+                     m.cacheHits, m.simulated, queueDepth,
+                     jsonNumber(m.wallSeconds).c_str(),
+                     jsonNumber(msPerScenario).c_str());
+        std::fflush(io);
+    }
+    std::free(line);
+    std::fclose(io); // also closes fd
+    return keepServing;
+}
+
+} // namespace
+
+int
+runServe(const ServeOptions &opts)
+{
+    if (!opts.storeDir.empty() && !opts.cachePath.empty()) {
+        warn("serve: --store and --cache are exclusive");
+        return 1;
+    }
+    if (opts.socketPath.empty() && opts.port == 0) {
+        warn("serve: need --socket PATH or --port N");
+        return 1;
+    }
+
+    // A client dropping mid-response must not kill the service.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    const int listenFd = openListener(opts);
+    if (listenFd < 0)
+        return 1;
+
+    std::unique_ptr<ResultStore> store;
+    if (!opts.storeDir.empty())
+        store = std::make_unique<ShardedStore>(opts.storeDir);
+    else
+        store = std::make_unique<RunCache>(opts.cachePath);
+    Session session(std::move(store), opts.jobs);
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<int> pending;
+    bool stop = false;
+    bool acceptorDown = false;
+
+    std::thread acceptor([&]() {
+        for (;;) {
+            const int fd = ::accept(listenFd, nullptr, nullptr);
+            if (fd < 0) {
+                if (errno == EINTR)
+                    continue;
+                std::lock_guard<std::mutex> lock(mu);
+                acceptorDown = true; // listener closed or broken
+                cv.notify_one();
+                break;
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            if (stop) {
+                ::close(fd);
+                break;
+            }
+            pending.push_back(fd);
+            cv.notify_one();
+        }
+    });
+
+    if (!opts.socketPath.empty())
+        inform("serve: listening on %s", opts.socketPath.c_str());
+    else
+        inform("serve: listening on 127.0.0.1:%u", opts.port);
+
+    ServeCounters counters;
+    for (;;) {
+        int fd;
+        std::size_t depth;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock, [&]() {
+                return !pending.empty() || acceptorDown;
+            });
+            if (pending.empty())
+                break; // listener died with nothing queued
+            fd = pending.front();
+            pending.pop_front();
+            depth = pending.size();
+        }
+        if (!handleConnection(fd, session, counters, depth))
+            break;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stop = true;
+        for (const int fd : pending)
+            ::close(fd);
+        pending.clear();
+    }
+    ::shutdown(listenFd, SHUT_RDWR);
+    ::close(listenFd); // unblocks the acceptor
+    acceptor.join();
+    if (!opts.socketPath.empty())
+        ::unlink(opts.socketPath.c_str());
+    inform("serve: shut down after %zu request(s), %zu plan(s) "
+           "(%zu warm, %zu cold)",
+           counters.requests, counters.plans, counters.warm,
+           counters.cold);
+    return 0;
+}
+
+namespace
+{
+
+/** Connect to the serve address, retrying for ~2 s. */
+int
+connectWithRetry(const SubmitOptions &opts)
+{
+    for (int attempt = 0; attempt < 40; ++attempt) {
+        int fd = -1;
+        if (!opts.socketPath.empty()) {
+            sockaddr_un addr{};
+            addr.sun_family = AF_UNIX;
+            if (opts.socketPath.size() >= sizeof(addr.sun_path))
+                return -1;
+            std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                         sizeof(addr.sun_path) - 1);
+            fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            if (fd >= 0 &&
+                ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                          sizeof(addr)) == 0)
+                return fd;
+        } else {
+            sockaddr_in addr{};
+            addr.sin_family = AF_INET;
+            addr.sin_port =
+                htons(static_cast<std::uint16_t>(opts.port));
+            addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+            fd = ::socket(AF_INET, SOCK_STREAM, 0);
+            if (fd >= 0 &&
+                ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                          sizeof(addr)) == 0)
+                return fd;
+        }
+        if (fd >= 0)
+            ::close(fd);
+        timespec ts{0, 50 * 1000 * 1000}; // 50 ms
+        ::nanosleep(&ts, nullptr);
+    }
+    return -1;
+}
+
+} // namespace
+
+int
+runSubmit(const SubmitOptions &opts)
+{
+    if (opts.socketPath.empty() && opts.port == 0) {
+        warn("submit: need --socket PATH or --port N");
+        return 1;
+    }
+
+    std::string request;
+    if (opts.op == "run") {
+        std::ifstream in(opts.planPath);
+        if (!in) {
+            warn("submit: cannot read plan file %s",
+                 opts.planPath.c_str());
+            return 1;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+        JsonValue doc;
+        std::string err;
+        if (!JsonValue::parse(ss.str(), doc, err)) {
+            warn("submit: %s is not JSON: %s", opts.planPath.c_str(),
+                 err.c_str());
+            return 1;
+        }
+        request = doc.dump(0); // one compact line
+    } else if (opts.op == "stats" || opts.op == "shutdown") {
+        request = "{\"op\":\"" + opts.op + "\"}";
+    } else {
+        warn("submit: unknown op \"%s\"", opts.op.c_str());
+        return 1;
+    }
+
+    ::signal(SIGPIPE, SIG_IGN);
+    const int fd = connectWithRetry(opts);
+    if (fd < 0) {
+        if (!opts.socketPath.empty())
+            warn("submit: cannot connect to %s",
+                 opts.socketPath.c_str());
+        else
+            warn("submit: cannot connect to 127.0.0.1:%u", opts.port);
+        return 1;
+    }
+
+    std::FILE *io = ::fdopen(fd, "r+");
+    if (io == nullptr) {
+        ::close(fd);
+        return 1;
+    }
+    std::fprintf(io, "%s\n", request.c_str());
+    std::fflush(io);
+
+    std::FILE *out = opts.out != nullptr ? opts.out : stdout;
+    int rc = 1; // no terminator seen = failure
+    char *line = nullptr;
+    std::size_t cap = 0;
+    ssize_t n;
+    while ((n = ::getline(&line, &cap, io)) >= 0) {
+        std::fwrite(line, 1, static_cast<std::size_t>(n), out);
+        JsonValue doc;
+        std::string err;
+        const std::string text(line, static_cast<std::size_t>(n));
+        if (!JsonValue::parse(text, doc, err) || !doc.isObject())
+            continue; // row line; keep streaming
+        if (doc.get("error") != nullptr) {
+            rc = 1;
+            break;
+        }
+        if (doc.get("done") != nullptr || doc.get("stats") != nullptr ||
+            doc.get("bye") != nullptr) {
+            rc = 0;
+            break;
+        }
+    }
+    std::free(line);
+    std::fflush(out);
+    std::fclose(io);
+    return rc;
+}
+
+} // namespace refrint

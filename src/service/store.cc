@@ -1,0 +1,217 @@
+#include "service/store.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "api/json.hh"
+#include "api/run_cache.hh"
+#include "common/log.hh"
+#include "service/framing.hh"
+
+namespace refrint
+{
+
+namespace
+{
+
+constexpr int kStoreVersion = 1;
+
+std::string
+manifestPath(const std::string &dir)
+{
+    return dir + "/store.json";
+}
+
+/** Write @p data to @p fd in one write(2) call; retried only on EINTR
+ *  (a partial write of an O_APPEND record would break the framing's
+ *  atomicity contract, so it is reported rather than resumed). */
+bool
+writeWhole(int fd, const std::string &data)
+{
+    for (;;) {
+        const ssize_t n = ::write(fd, data.data(), data.size());
+        if (n == static_cast<ssize_t>(data.size()))
+            return true;
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+}
+
+} // namespace
+
+ShardedStore::ShardedStore(std::string dir, unsigned shards)
+    : dir_(std::move(dir))
+{
+    panicIf(dir_.empty(), "sharded store needs a directory");
+    // Create the directory if needed (EEXIST is the common warm case).
+    if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST)
+        fatal("cannot create store directory %s: %s", dir_.c_str(),
+              std::strerror(errno));
+
+    std::ifstream manifest(manifestPath(dir_));
+    if (manifest) {
+        std::stringstream ss;
+        ss << manifest.rdbuf();
+        JsonValue doc;
+        std::string err;
+        if (!JsonValue::parse(ss.str(), doc, err) || !doc.isObject())
+            fatal("unreadable store manifest %s: %s",
+                  manifestPath(dir_).c_str(), err.c_str());
+        const JsonValue *fmt = doc.get("format");
+        const JsonValue *ver = doc.get("version");
+        const JsonValue *sh = doc.get("shards");
+        if (fmt == nullptr || !fmt->isString() ||
+            fmt->asString() != "refrint-store" || ver == nullptr ||
+            !ver->isNumber() || ver->asNumber() != kStoreVersion ||
+            sh == nullptr || !sh->isNumber() || sh->asNumber() < 1 ||
+            sh->asNumber() > 4096)
+            fatal("store manifest %s is not a readable refrint-store "
+                  "v%d manifest",
+                  manifestPath(dir_).c_str(), kStoreVersion);
+        // The manifest always wins: the shard function must stay
+        // stable for the directory's lifetime.
+        shards_ = static_cast<unsigned>(sh->asNumber());
+    } else {
+        shards_ = shards == 0 ? kDefaultShards : shards;
+        JsonValue doc = JsonValue::object();
+        doc.set("format", JsonValue::string("refrint-store"));
+        doc.set("version", JsonValue::number(kStoreVersion));
+        doc.set("shards",
+                JsonValue::number(static_cast<double>(shards_)));
+        std::ofstream out(manifestPath(dir_), std::ios::trunc);
+        if (!out)
+            fatal("cannot write store manifest %s",
+                  manifestPath(dir_).c_str());
+        out << doc.dump(2) << "\n";
+    }
+
+    fds_.assign(shards_, -1);
+    dirty_.assign(shards_, 0);
+    for (unsigned s = 0; s < shards_; ++s)
+        loadShard(s);
+}
+
+ShardedStore::~ShardedStore()
+{
+    for (const int fd : fds_)
+        if (fd >= 0)
+            ::close(fd);
+}
+
+std::string
+ShardedStore::shardPath(unsigned shard) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "/shard-%03u.rsl", shard);
+    return dir_ + name;
+}
+
+unsigned
+ShardedStore::shardOf(const std::string &key) const
+{
+    return static_cast<unsigned>(fnv64(key) % shards_);
+}
+
+void
+ShardedStore::loadShard(unsigned shard)
+{
+    std::ifstream in(shardPath(shard), std::ios::binary);
+    if (!in)
+        return; // not written yet
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const ScanStats stats =
+        scanRecords(ss.str(), [&](const std::string &payload) {
+            const auto sep = payload.find(';');
+            if (sep == std::string::npos)
+                return;
+            CacheRow c{};
+            if (decodeCacheRow(payload.substr(sep + 1), c))
+                rows_[payload.substr(0, sep)] = c; // last wins
+        });
+    if (stats.torn > 0) {
+        torn_ += stats.torn;
+        warn("store shard %s: ignored %zu torn/corrupt record(s), "
+             "recovered %zu committed row(s)",
+             shardPath(shard).c_str(), stats.torn, stats.committed);
+    }
+}
+
+bool
+ShardedStore::lookup(const std::string &key, CacheRow &out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = rows_.find(key);
+    if (it == rows_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+void
+ShardedStore::insert(const std::string &key, const CacheRow &c)
+{
+    const unsigned shard = shardOf(key);
+    const std::string record = frameRecord(key + ";" + encodeCacheRow(c));
+    std::lock_guard<std::mutex> lock(mu_);
+    rows_[key] = c;
+    if (fds_[shard] < 0) {
+        fds_[shard] = ::open(shardPath(shard).c_str(),
+                             O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                             0666);
+        if (fds_[shard] < 0) {
+            warn("cannot open store shard %s: %s",
+                 shardPath(shard).c_str(), std::strerror(errno));
+            return;
+        }
+    }
+    if (!writeWhole(fds_[shard], record))
+        warn("short/failed append to store shard %s: %s",
+             shardPath(shard).c_str(), std::strerror(errno));
+    else
+        dirty_[shard] = 1;
+}
+
+void
+ShardedStore::flush()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (unsigned s = 0; s < shards_; ++s) {
+        if (dirty_[s] && fds_[s] >= 0) {
+            ::fdatasync(fds_[s]);
+            dirty_[s] = 0;
+        }
+    }
+}
+
+std::size_t
+ShardedStore::rowCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return rows_.size();
+}
+
+std::size_t
+migrateLegacyCache(const std::string &cachePath, ShardedStore &store)
+{
+    std::ifstream probe(cachePath);
+    if (!probe)
+        fatal("cannot read legacy cache file: %s", cachePath.c_str());
+    probe.close();
+    RunCache legacy(cachePath); // read-only import: never written back
+    const auto rows = legacy.snapshot();
+    for (const auto &[key, row] : rows)
+        store.insert(key, row);
+    store.flush();
+    return rows.size();
+}
+
+} // namespace refrint

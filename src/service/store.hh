@@ -1,0 +1,105 @@
+/**
+ * @file
+ * ShardedStore: the experiment service's content-addressed result
+ * store.
+ *
+ * A store is a directory:
+ *
+ *     store.json            manifest {"format","version","shards"}
+ *     shard-000.rsl         framed append-only records (framing.hh)
+ *     shard-001.rsl         ...
+ *
+ * Rows are addressed by their canonical ScenarioKey string; a key
+ * lives in shard fnv64(key) % shards forever (the shard count is
+ * fixed at creation and recorded in the manifest).  Each record's
+ * payload is "key;row" with the row encoded by the same %.17g codec
+ * the legacy cache uses (api/result_store.hh), so a migrated row is
+ * byte-identical to a freshly simulated one.
+ *
+ * Concurrency model: any number of *processes* may append to the same
+ * store concurrently — every insert is one O_APPEND write of one
+ * framed record, which cannot interleave with other appends, and a
+ * reader ignores anything that fails the frame check (see
+ * framing.hh).  Duplicate keys are benign: append-only means a re-
+ * simulated row simply appears twice, and readers keep the last
+ * occurrence.  Within a process the store is mutex-guarded like the
+ * legacy cache.
+ */
+
+#ifndef REFRINT_SERVICE_STORE_HH
+#define REFRINT_SERVICE_STORE_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/result_store.hh"
+
+namespace refrint
+{
+
+class ShardedStore : public ResultStore
+{
+  public:
+    static constexpr unsigned kDefaultShards = 8;
+
+    /**
+     * Open (or create) the store directory at @p dir.  A new store is
+     * created with @p shards shard files (0 = kDefaultShards); an
+     * existing store always uses its manifest's count, since the shard
+     * function must stay stable for the directory's lifetime.  Fatal
+     * (exit 1) on an unreadable manifest or uncreatable directory.
+     */
+    explicit ShardedStore(std::string dir, unsigned shards = 0);
+    ~ShardedStore() override;
+
+    ShardedStore(const ShardedStore &) = delete;
+    ShardedStore &operator=(const ShardedStore &) = delete;
+
+    bool lookup(const std::string &key, CacheRow &out) const override;
+
+    /** Append one framed record to the key's shard; durable as soon as
+     *  the write returns (no separate commit step). */
+    void insert(const std::string &key, const CacheRow &c) override;
+
+    /** fdatasync every shard touched since the last flush. */
+    void flush() override;
+
+    std::size_t rowCount() const override;
+
+    unsigned shards() const { return shards_; }
+
+    /** The stable shard index for @p key. */
+    unsigned shardOf(const std::string &key) const;
+
+    /** Torn/corrupt lines skipped while loading (observability). */
+    std::size_t tornRecords() const { return torn_; }
+
+    /** Shard file path (for tests and tooling). */
+    std::string shardPath(unsigned shard) const;
+
+  private:
+    void loadShard(unsigned shard);
+
+    std::string dir_;
+    unsigned shards_ = 0;
+    std::size_t torn_ = 0;
+    mutable std::mutex mu_;
+    std::map<std::string, CacheRow> rows_;
+    std::vector<int> fds_;        ///< per-shard append fd (lazy)
+    std::vector<char> dirty_;     ///< shard touched since last flush
+};
+
+/**
+ * Import every row of a legacy single-file cache (api/run_cache.hh)
+ * into @p store.  Returns the number of rows imported; fatal (exit 1)
+ * when @p cachePath is missing or unreadable.  The legacy file is only
+ * read, never modified.
+ */
+std::size_t migrateLegacyCache(const std::string &cachePath,
+                               ShardedStore &store);
+
+} // namespace refrint
+
+#endif // REFRINT_SERVICE_STORE_HH

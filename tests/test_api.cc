@@ -415,6 +415,62 @@ TEST(ExperimentPlanTest, LoaderRejectsBrokenPlans)
                 ::testing::ExitedWithCode(1), "cannot parse plan");
 }
 
+TEST(ExperimentPlanTest, LoaderRejectsCrossFamilyBaselines)
+{
+    // A baseline scenario for fft at 16 cores, plus one measured
+    // scenario pointing at it — with a configurable app and machine.
+    auto planWith = [](const char *app2, const char *cores2) {
+        return std::string(
+                   "{\"plan\": \"x\", \"version\": 1, \"scenarios\": ["
+                   "{\"app\": \"fft\", \"config\": \"SRAM\", "
+                   "\"retentionUs\": 0, \"ambientC\": 0, \"cores\": 16, "
+                   "\"refs\": 100, \"seed\": 1, \"baseline\": -1}, "
+                   "{\"app\": \"") +
+               app2 +
+               "\", \"config\": \"P.all\", \"retentionUs\": 50, "
+               "\"ambientC\": 0, \"cores\": " +
+               cores2 + ", \"refs\": 100, \"seed\": 1, \"baseline\": 0}]}";
+    };
+
+    // Control: the same-family plan parses.
+    ExperimentPlan plan;
+    std::string err;
+    EXPECT_TRUE(
+        ExperimentPlan::tryFromJson(planWith("fft", "16"), plan, err))
+        << err;
+
+    // Normalizing fft rows against an lu baseline, or 32-core rows
+    // against a 16-core baseline, dies cleanly at load time.
+    EXPECT_EXIT(ExperimentPlan::fromJson(planWith("lu", "16")),
+                ::testing::ExitedWithCode(1), "different workload");
+    EXPECT_EXIT(ExperimentPlan::fromJson(planWith("fft", "32")),
+                ::testing::ExitedWithCode(1), "different machine");
+
+    // The serve path sees the same rule as a recoverable error.
+    EXPECT_FALSE(
+        ExperimentPlan::tryFromJson(planWith("lu", "16"), plan, err));
+    EXPECT_NE(err.find("different workload"), std::string::npos);
+    EXPECT_FALSE(
+        ExperimentPlan::tryFromJson(planWith("fft", "32"), plan, err));
+    EXPECT_NE(err.find("different machine"), std::string::npos);
+
+    // A baseline index naming a non-baseline scenario is a parse
+    // error too (not a validate() abort — serve must survive it).
+    const std::string chained =
+        "{\"plan\": \"x\", \"version\": 1, \"scenarios\": ["
+        "{\"app\": \"fft\", \"config\": \"SRAM\", \"retentionUs\": 0, "
+        "\"ambientC\": 0, \"cores\": 16, \"refs\": 100, \"seed\": 1, "
+        "\"baseline\": -1}, "
+        "{\"app\": \"fft\", \"config\": \"P.all\", \"retentionUs\": 50, "
+        "\"ambientC\": 0, \"cores\": 16, \"refs\": 100, \"seed\": 1, "
+        "\"baseline\": 0}, "
+        "{\"app\": \"fft\", \"config\": \"P.dirty\", \"retentionUs\": "
+        "50, \"ambientC\": 0, \"cores\": 16, \"refs\": 100, \"seed\": "
+        "1, \"baseline\": 1}]}";
+    EXPECT_FALSE(ExperimentPlan::tryFromJson(chained, plan, err));
+    EXPECT_NE(err.find("not itself a baseline"), std::string::npos);
+}
+
 TEST(ExperimentPlanTest, MaxTicksIsOptionalButMustBePositive)
 {
     const char *noTicks =

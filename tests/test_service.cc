@@ -1,0 +1,548 @@
+/**
+ * @file
+ * Tests for the experiment service (src/service/): record framing,
+ * the sharded result store (concurrent writers, torn tails, legacy
+ * migration), the range worker, and the coordinator's retry/merge
+ * contract.  The multi-process tests fork real children — the same
+ * mechanics production uses — with a spawner that calls
+ * runWorkerRange() directly instead of exec'ing the CLI binary.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "api/experiment_plan.hh"
+#include "api/run_cache.hh"
+#include "api/session.hh"
+#include "service/coordinator.hh"
+#include "service/framing.hh"
+#include "service/store.hh"
+#include "service/worker.hh"
+
+namespace refrint::test
+{
+namespace
+{
+
+/** Self-deleting temp directory for store/plan files. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char tpl[] = "/tmp/refrint_svc_XXXXXX";
+        path = ::mkdtemp(tpl);
+        EXPECT_FALSE(path.empty());
+    }
+
+    ~TempDir() { std::filesystem::remove_all(path); }
+
+    std::string
+    file(const std::string &name) const
+    {
+        return path + "/" + name;
+    }
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** A deterministic, distinguishable row per seed. */
+CacheRow
+makeRow(double seed)
+{
+    CacheRow c{};
+    double *fields = &c.execTicks;
+    const std::size_t n = sizeof(CacheRow) / sizeof(double);
+    for (std::size_t i = 0; i < n; ++i)
+        fields[i] = seed * 1000.0 + static_cast<double>(i) + 0.125;
+    return c;
+}
+
+bool
+sameRow(const CacheRow &a, const CacheRow &b)
+{
+    return encodeCacheRow(a) == encodeCacheRow(b);
+}
+
+/**
+ * A two-group plan (fft and lu, each an SRAM baseline plus three
+ * policies) small enough to simulate in milliseconds.
+ */
+ExperimentPlan
+smallPlan()
+{
+    ExperimentPlan plan;
+    plan.name = "svc-test";
+    for (const char *app : {"fft", "lu"}) {
+        Scenario base;
+        base.app = app;
+        base.config = "SRAM";
+        base.retentionUs = 0.0;
+        base.cores = 4;
+        base.sim.refsPerCore = 300;
+        base.sim.seed = 1;
+        const int b = plan.addBaseline(base);
+        for (const char *pol : {"P.all", "R.WB(32,32)", "P.dirty"}) {
+            Scenario s = base;
+            s.config = pol;
+            s.retentionUs = 50.0;
+            plan.add(s, b);
+        }
+    }
+    return plan;
+}
+
+/** The single-process reference: the whole plan through one worker. */
+std::string
+referenceRows(const std::string &planPath, std::size_t n,
+              const std::string &outPath)
+{
+    std::FILE *f = std::fopen(outPath.c_str(), "w");
+    EXPECT_NE(f, nullptr);
+    WorkerRangeOptions opts;
+    opts.planPath = planPath;
+    opts.begin = 0;
+    opts.end = n;
+    opts.out = f;
+    EXPECT_EQ(runWorkerRange(opts), 0);
+    std::fclose(f);
+    return readFile(outPath);
+}
+
+/** Fork a child that runs @p task via runWorkerRange into its temp
+ *  file — the in-process stand-in for fork+exec of the CLI. */
+pid_t
+forkWorker(const std::string &planPath, const std::string &storeDir,
+           const WorkerTask &task)
+{
+    std::fflush(nullptr); // no buffered bytes duplicated into the child
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    char attempt[16];
+    std::snprintf(attempt, sizeof(attempt), "%u", task.attempt);
+    ::setenv("REFRINT_WORKER_ATTEMPT", attempt, 1);
+    std::FILE *f = std::fopen(task.outPath.c_str(), "w");
+    if (f == nullptr)
+        ::_exit(127);
+    WorkerRangeOptions opts;
+    opts.planPath = planPath;
+    opts.begin = task.begin;
+    opts.end = task.end;
+    opts.storeDir = storeDir;
+    opts.out = f;
+    const int rc = runWorkerRange(opts);
+    std::fclose(f);
+    ::_exit(rc);
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+TEST(FramingTest, RoundTripsPayloads)
+{
+    for (const std::string &payload :
+         {std::string("k;1,2,3"), std::string(""),
+          std::string(1000, 'x')}) {
+        const std::string rec = frameRecord(payload);
+        ASSERT_GE(rec.size(), 2u);
+        EXPECT_EQ(rec.front(), '\n');
+        EXPECT_EQ(rec.back(), '\n');
+        // Strip the framing newlines and validate the line itself.
+        std::string out;
+        EXPECT_TRUE(
+            unframeRecord(rec.substr(1, rec.size() - 2), out));
+        EXPECT_EQ(out, payload);
+    }
+
+    std::string out;
+    EXPECT_FALSE(unframeRecord("", out));
+    EXPECT_FALSE(unframeRecord("garbage", out));
+    EXPECT_FALSE(unframeRecord("R 3 0000000000000000 abc", out)); // sum
+    EXPECT_FALSE(unframeRecord("R 4 0 abc", out));                // len
+}
+
+TEST(FramingTest, EveryTruncationRecoversExactlyTheCommittedPrefix)
+{
+    std::vector<std::string> payloads;
+    std::string file;
+    for (int i = 0; i < 5; ++i) {
+        payloads.push_back("key" + std::to_string(i) + ";" +
+                           std::string(static_cast<std::size_t>(i) * 7,
+                                       'a' + static_cast<char>(i)));
+        file += frameRecord(payloads.back());
+    }
+
+    // However the tail is torn, every record the scan yields is a
+    // clean prefix of what was committed — never garbage, never a
+    // record glued to torn bytes.
+    for (std::size_t cut = 0; cut <= file.size(); ++cut) {
+        std::vector<std::string> got;
+        scanRecords(file.substr(0, cut),
+                    [&](const std::string &p) { got.push_back(p); });
+        ASSERT_LE(got.size(), payloads.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i], payloads[i]) << "cut at " << cut;
+    }
+
+    // The untruncated file scans completely, with nothing torn.
+    const ScanStats full =
+        scanRecords(file, [](const std::string &) {});
+    EXPECT_EQ(full.committed, payloads.size());
+    EXPECT_EQ(full.torn, 0u);
+}
+
+// ---------------------------------------------------------------------
+// ShardedStore
+// ---------------------------------------------------------------------
+
+TEST(ShardedStoreTest, InsertLookupAndReopen)
+{
+    TempDir dir;
+    const std::string storeDir = dir.file("store");
+    {
+        ShardedStore store(storeDir, 3);
+        EXPECT_EQ(store.shards(), 3u);
+        for (int i = 0; i < 40; ++i)
+            store.insert("key-" + std::to_string(i),
+                         makeRow(static_cast<double>(i)));
+        store.flush();
+        EXPECT_EQ(store.rowCount(), 40u);
+    }
+    // Reopen: the manifest fixes the shard count (the explicit arg is
+    // ignored), and every row survives with exact values.
+    ShardedStore store(storeDir, 16);
+    EXPECT_EQ(store.shards(), 3u);
+    EXPECT_EQ(store.rowCount(), 40u);
+    EXPECT_EQ(store.tornRecords(), 0u);
+    for (int i = 0; i < 40; ++i) {
+        CacheRow c{};
+        ASSERT_TRUE(store.lookup("key-" + std::to_string(i), c));
+        EXPECT_TRUE(sameRow(c, makeRow(static_cast<double>(i))));
+    }
+    CacheRow c{};
+    EXPECT_FALSE(store.lookup("no-such-key", c));
+}
+
+TEST(ShardedStoreTest, TornTailIsIgnoredCommittedRowsSurvive)
+{
+    TempDir dir;
+    const std::string storeDir = dir.file("store");
+    std::string shardFile;
+    {
+        ShardedStore store(storeDir, 2);
+        for (int i = 0; i < 10; ++i)
+            store.insert("key-" + std::to_string(i),
+                         makeRow(static_cast<double>(i)));
+        store.flush();
+        shardFile = store.shardPath(store.shardOf("key-3"));
+    }
+    // Simulate a crash mid-append: a torn half-record at the tail.
+    {
+        std::ofstream out(shardFile, std::ios::app | std::ios::binary);
+        out << "\nR 57 01234abc key-99;1,2";
+    }
+    ShardedStore store(storeDir);
+    EXPECT_EQ(store.rowCount(), 10u);
+    EXPECT_GE(store.tornRecords(), 1u);
+    CacheRow c{};
+    EXPECT_FALSE(store.lookup("key-99", c));
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(store.lookup("key-" + std::to_string(i), c));
+        EXPECT_TRUE(sameRow(c, makeRow(static_cast<double>(i))));
+    }
+}
+
+TEST(ShardedStoreTest, TwoProcessesAppendToTheSameStore)
+{
+    TempDir dir;
+    const std::string storeDir = dir.file("store");
+    const int perChild = 150;
+    // Create the store (and its manifest) before forking so the
+    // children race only on the shard appends, which is the contract.
+    { ShardedStore store(storeDir); }
+
+    std::vector<pid_t> children;
+    for (int child = 0; child < 2; ++child) {
+        std::fflush(nullptr);
+        const pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            ShardedStore store(storeDir);
+            for (int i = 0; i < perChild; ++i)
+                store.insert("p" + std::to_string(child) + "-" +
+                                 std::to_string(i),
+                             makeRow(child * 1000.0 + i));
+            store.flush();
+            ::_exit(0);
+        }
+        children.push_back(pid);
+    }
+    for (const pid_t pid : children) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status));
+        ASSERT_EQ(WEXITSTATUS(status), 0);
+    }
+
+    // Every row from both processes is committed and intact.
+    ShardedStore store(storeDir);
+    EXPECT_EQ(store.rowCount(), 2u * perChild);
+    EXPECT_EQ(store.tornRecords(), 0u);
+    for (int child = 0; child < 2; ++child)
+        for (int i = 0; i < perChild; ++i) {
+            CacheRow c{};
+            const std::string key = "p" + std::to_string(child) + "-" +
+                                    std::to_string(i);
+            ASSERT_TRUE(store.lookup(key, c)) << key;
+            EXPECT_TRUE(sameRow(c, makeRow(child * 1000.0 + i)));
+        }
+}
+
+TEST(ShardedStoreTest, MigratesLegacyCacheRowsExactly)
+{
+    TempDir dir;
+    const std::string cachePath = dir.file("legacy.csv");
+    {
+        RunCache legacy(cachePath);
+        for (int i = 0; i < 25; ++i)
+            legacy.insert("legacy-" + std::to_string(i),
+                          makeRow(static_cast<double>(i)));
+        legacy.flush();
+    }
+    ShardedStore store(dir.file("store"));
+    EXPECT_EQ(migrateLegacyCache(cachePath, store), 25u);
+    EXPECT_EQ(store.rowCount(), 25u);
+    for (int i = 0; i < 25; ++i) {
+        CacheRow c{};
+        ASSERT_TRUE(store.lookup("legacy-" + std::to_string(i), c));
+        EXPECT_TRUE(sameRow(c, makeRow(static_cast<double>(i))));
+    }
+    // The source file is read-only for the migration.
+    EXPECT_TRUE(std::filesystem::exists(cachePath));
+
+    // A missing source is a clean exit-1 diagnostic.
+    EXPECT_EXIT(migrateLegacyCache(dir.file("nope.csv"), store),
+                ::testing::ExitedWithCode(1), "cannot read legacy");
+}
+
+// ---------------------------------------------------------------------
+// Legacy cache: amortized flush
+// ---------------------------------------------------------------------
+
+TEST(RunCacheTest, FlushCountGrowsLogarithmicallyNotLinearly)
+{
+    TempDir dir;
+    const std::string path = dir.file("cache.csv");
+    const int n = 2000;
+    {
+        RunCache cache(path);
+        for (int i = 0; i < n; ++i)
+            cache.insert("k" + std::to_string(i),
+                         makeRow(static_cast<double>(i)));
+        // Fixed-interval flushing would rewrite the file n/16 = 125
+        // times (O(n^2) bytes); the dirty-count threshold keeps it
+        // logarithmic in n.
+        EXPECT_LE(cache.rewrites(), 40u);
+        EXPECT_GE(cache.rewrites(), 5u);
+        cache.flush();
+    }
+    RunCache reloaded(path);
+    EXPECT_EQ(reloaded.rowCount(), static_cast<std::size_t>(n));
+    CacheRow c{};
+    ASSERT_TRUE(reloaded.lookup("k1234", c));
+    EXPECT_TRUE(sameRow(c, makeRow(1234.0)));
+}
+
+// ---------------------------------------------------------------------
+// Session metrics
+// ---------------------------------------------------------------------
+
+TEST(SessionMetricsTest, CountsSimulatedThenWarmRuns)
+{
+    TempDir dir;
+    const ExperimentPlan plan = smallPlan();
+    {
+        Session session(
+            std::make_unique<ShardedStore>(dir.file("store")), 2);
+        const SweepResult r = session.run(plan);
+        EXPECT_EQ(r.metrics.scenarios, plan.size());
+        EXPECT_EQ(r.metrics.simulated, plan.size());
+        EXPECT_EQ(r.metrics.cacheHits, 0u);
+        EXPECT_GT(r.metrics.wallSeconds, 0.0);
+        EXPECT_GT(r.metrics.busySeconds, 0.0);
+        EXPECT_EQ(r.metrics.jobs, 2u);
+        EXPECT_GT(r.metrics.utilization(), 0.0);
+    }
+    // A fresh session over the same store answers everything warm.
+    Session session(std::make_unique<ShardedStore>(dir.file("store")),
+                    1);
+    const SweepResult r = session.run(plan);
+    EXPECT_EQ(r.metrics.simulated, 0u);
+    EXPECT_EQ(r.metrics.cacheHits, plan.size());
+}
+
+// ---------------------------------------------------------------------
+// Coordinator / worker
+// ---------------------------------------------------------------------
+
+TEST(CoordinatorTest, RangesAlignToBaselineGroups)
+{
+    const ExperimentPlan plan = smallPlan(); // groups at 0 and 4
+    const auto two = shardPlanRanges(plan, 2);
+    ASSERT_EQ(two.size(), 2u);
+    EXPECT_EQ(two[0].first, 0u);
+    EXPECT_EQ(two[0].second, 4u);
+    EXPECT_EQ(two[1].first, 4u);
+    EXPECT_EQ(two[1].second, 8u);
+
+    // More workers than groups: the split falls back to even cuts and
+    // still covers [0, n) contiguously.
+    const auto three = shardPlanRanges(plan, 3);
+    ASSERT_EQ(three.size(), 3u);
+    EXPECT_EQ(three.front().first, 0u);
+    EXPECT_EQ(three.back().second, plan.size());
+    for (std::size_t i = 0; i + 1 < three.size(); ++i)
+        EXPECT_EQ(three[i].second, three[i + 1].first);
+}
+
+TEST(CoordinatorTest, MergedRowsAreByteIdenticalToSingleProcess)
+{
+    TempDir dir;
+    const ExperimentPlan plan = smallPlan();
+    const std::string planPath = dir.file("plan.json");
+    plan.saveFile(planPath);
+    const std::string ref =
+        referenceRows(planPath, plan.size(), dir.file("ref.jsonl"));
+    ASSERT_FALSE(ref.empty());
+
+    CoordinatorOptions opts;
+    opts.planPath = planPath;
+    opts.workers = 3; // > group count: exercises mid-group ranges too
+    opts.spawner = [&](const WorkerTask &task) {
+        return forkWorker(planPath, "", task);
+    };
+    std::FILE *out = std::fopen(dir.file("merged.jsonl").c_str(), "w");
+    ASSERT_NE(out, nullptr);
+    opts.out = out;
+    EXPECT_EQ(runCoordinator(opts), 0);
+    std::fclose(out);
+
+    EXPECT_EQ(readFile(dir.file("merged.jsonl")), ref);
+}
+
+TEST(CoordinatorTest, RetriesAKilledWorkerAndStaysByteIdentical)
+{
+    TempDir dir;
+    const ExperimentPlan plan = smallPlan();
+    const std::string planPath = dir.file("plan.json");
+    plan.saveFile(planPath);
+    const std::string ref =
+        referenceRows(planPath, plan.size(), dir.file("ref.jsonl"));
+
+    // One worker SIGKILLs itself right before emitting global row 5
+    // on its first attempt; the retry (attempt 1) runs clean.
+    ::setenv("REFRINT_TEST_CRASH_INDEX", "5", 1);
+    ::unsetenv("REFRINT_WORKER_ATTEMPT");
+
+    CoordinatorOptions opts;
+    opts.planPath = planPath;
+    opts.workers = 3;
+    opts.storeDir = dir.file("store"); // committed rows are reused
+    opts.spawner = [&](const WorkerTask &task) {
+        return forkWorker(planPath, opts.storeDir, task);
+    };
+    std::FILE *out = std::fopen(dir.file("merged.jsonl").c_str(), "w");
+    ASSERT_NE(out, nullptr);
+    opts.out = out;
+    const int rc = runCoordinator(opts);
+    std::fclose(out);
+    ::unsetenv("REFRINT_TEST_CRASH_INDEX");
+    ASSERT_EQ(rc, 0);
+
+    // Byte-identity needs the "simulated" flags to match too — compare
+    // modulo that flag (the retried worker reuses rows the killed
+    // attempt already committed to the shared store), then exactly on
+    // everything else.
+    std::istringstream a(readFile(dir.file("merged.jsonl"))), b(ref);
+    std::string la, lb;
+    std::size_t rows = 0;
+    while (std::getline(a, la) && std::getline(b, lb)) {
+        const std::string t = "\"simulated\":true";
+        const std::string f = "\"simulated\":false";
+        for (std::string *s : {&la, &lb}) {
+            const auto at = s->find(f);
+            if (at != std::string::npos)
+                s->replace(at, f.size(), t);
+        }
+        EXPECT_EQ(la, lb) << "row " << rows;
+        ++rows;
+    }
+    EXPECT_EQ(rows, plan.size());
+    EXPECT_FALSE(std::getline(b, lb)); // same row count
+}
+
+TEST(WorkerTest, MidGroupRangeMatchesTheReferenceSlice)
+{
+    TempDir dir;
+    const ExperimentPlan plan = smallPlan();
+    const std::string planPath = dir.file("plan.json");
+    plan.saveFile(planPath);
+    const std::string ref =
+        referenceRows(planPath, plan.size(), dir.file("ref.jsonl"));
+
+    // Range 2:6 starts mid-group: the worker must prepend the fft
+    // baseline (index 0) for normalization but suppress its row.
+    std::FILE *f = std::fopen(dir.file("slice.jsonl").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    WorkerRangeOptions opts;
+    opts.planPath = planPath;
+    opts.begin = 2;
+    opts.end = 6;
+    opts.out = f;
+    EXPECT_EQ(runWorkerRange(opts), 0);
+    std::fclose(f);
+
+    std::istringstream all(ref);
+    std::string line, expect;
+    for (std::size_t i = 0; std::getline(all, line); ++i)
+        if (i >= 2 && i < 6)
+            expect += line + "\n";
+    EXPECT_EQ(readFile(dir.file("slice.jsonl")), expect);
+}
+
+TEST(WorkerTest, RejectsARangeOutsideThePlan)
+{
+    TempDir dir;
+    const std::string planPath = dir.file("plan.json");
+    smallPlan().saveFile(planPath);
+    WorkerRangeOptions opts;
+    opts.planPath = planPath;
+    opts.begin = 4;
+    opts.end = 99;
+    opts.out = stderr;
+    EXPECT_EQ(runWorkerRange(opts), 1);
+}
+
+} // namespace
+} // namespace refrint::test

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "api/experiment_plan.hh"
 #include "api/result_sink.hh"
 #include "api/session.hh"
@@ -29,6 +31,10 @@
 #include "harness/binning.hh"
 #include "harness/report.hh"
 #include "harness/sweep.hh"
+#include "service/coordinator.hh"
+#include "service/serve.hh"
+#include "service/store.hh"
+#include "service/worker.hh"
 #include "trace/trace.hh"
 #include "workload/method.hh"
 #include "workload/workload.hh"
@@ -58,10 +64,15 @@ struct Args
     double ambientC = 0.0; ///< 0 = thermal subsystem off
     std::string ambients = "45,65,85"; ///< thermal-study axis
     std::string cache; ///< result cache; empty = $REFRINT_CACHE/default
+    std::string store; ///< sharded result store dir (replaces --cache)
     std::string plan;  ///< JSON plan file replacing the built-in grid
     std::string jsonl; ///< JSON Lines result sink ("-" = stdout)
     std::string csv;   ///< CSV result sink ("-" = stdout)
     std::string in, out;
+    unsigned workers = 0;   ///< sweep: shard the plan across N workers
+    std::string range;      ///< worker: scenario index range "A:B"
+    std::string socket;     ///< serve/submit: unix socket path
+    unsigned port = 0;      ///< serve/submit: TCP port on 127.0.0.1
 
     /** Non-flag tokens, e.g. the "dump" in `plan dump`. */
     std::vector<std::string> positional;
@@ -79,6 +90,8 @@ struct Command
     const char *usage;   ///< synopsis + options for `help <cmd>`
     int (*run)(const Args &);
     bool runsPlans = false; ///< accepts the shared sink/cache flags
+    bool usesPlan = false;  ///< accepts --plan without the sink flags
+                            ///< (worker, submit)
 };
 
 /** Flags shared by every plan-running command. */
@@ -90,6 +103,8 @@ const char kCommonSinkHelp[] =
     "  --progress       per-run progress ticker on stderr\n"
     "  --cache PATH     result cache (default $REFRINT_CACHE or\n"
     "                   ./refrint_sweep_cache.csv)\n"
+    "  --store DIR      sharded result store directory (crash- and\n"
+    "                   multi-process-safe; replaces --cache)\n"
     "  --jobs N         worker threads (default $REFRINT_JOBS or 1)\n";
 
 void
@@ -179,8 +194,13 @@ parseArgs(int argc, char **argv, int first)
             a.gridFlags.push_back(k);
         // The plan/sink flags only mean something to commands that run
         // plans; anywhere else they would be silently ignored.
-        if ((k == "--plan" || k == "--jsonl" || k == "--csv" ||
-             k == "--progress") &&
+        if (k == "--plan" && (gActive == nullptr ||
+                              !(gActive->runsPlans || gActive->usesPlan)))
+            usageError("%s applies only to the commands that run or "
+                       "ship plans (sweep, figures, thermal-study, "
+                       "worker, submit)",
+                       k.c_str());
+        if ((k == "--jsonl" || k == "--csv" || k == "--progress") &&
             (gActive == nullptr || !gActive->runsPlans))
             usageError("%s applies only to the plan-running commands "
                        "(sweep, figures, thermal-study)",
@@ -230,6 +250,24 @@ parseArgs(int argc, char **argv, int first)
             a.ambients = val();
         else if (k == "--cache")
             a.cache = val();
+        else if (k == "--store")
+            a.store = val();
+        else if (k == "--workers") {
+            const std::uint64_t n = argU64("--workers", val());
+            if (n == 0 || n > 256)
+                usageError("--workers wants an integer in [1, 256]");
+            a.workers = static_cast<unsigned>(n);
+        }
+        else if (k == "--range")
+            a.range = val();
+        else if (k == "--socket")
+            a.socket = val();
+        else if (k == "--port") {
+            const std::uint64_t n = argU64("--port", val());
+            if (n == 0 || n > 65535)
+                usageError("--port wants an integer in [1, 65535]");
+            a.port = static_cast<unsigned>(n);
+        }
         else if (k == "--plan")
             a.plan = val();
         else if (k == "--jsonl")
@@ -280,6 +318,21 @@ std::string
 cachePathFor(const Args &a)
 {
     return a.cache.empty() ? defaultCachePath() : a.cache;
+}
+
+/** Build the session behind a plan-running command: a sharded store
+ *  when --store is given, the legacy single-file cache otherwise. */
+std::unique_ptr<Session>
+sessionFor(const Args &a)
+{
+    if (!a.store.empty() && !a.cache.empty())
+        usageError("--store and --cache are exclusive (one result "
+                   "location per run)");
+    if (!a.store.empty())
+        return std::make_unique<Session>(
+            std::make_unique<ShardedStore>(a.store), a.jobs);
+    return std::make_unique<Session>(
+        SessionOptions{cachePathFor(a), a.jobs});
 }
 
 // ---------------------------------------------------------------------
@@ -520,11 +573,73 @@ cmdRun(const Args &a)
     return 0;
 }
 
+/** sweep --workers N: shard the plan across worker subprocesses and
+ *  merge their row streams (service/coordinator.hh). */
+int
+runSweepCoordinated(const Args &a)
+{
+    if (a.jsonl.empty())
+        usageError("sweep --workers streams merged rows only; add "
+                   "--jsonl FILE (or --jsonl -)");
+    if (!a.csv.empty() || a.progress)
+        usageError("sweep --workers supports only the --jsonl sink");
+    if (!a.cache.empty())
+        usageError("workers share a --store directory; the legacy "
+                   "--cache file is single-process");
+
+    char exe[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    if (n <= 0) {
+        std::fprintf(stderr,
+                     "cannot resolve the worker binary path\n");
+        return 1;
+    }
+    exe[n] = '\0';
+
+    // Workers load the plan from a file; write the built-in grid out
+    // when no --plan was given.
+    std::string planPath = a.plan;
+    std::string tempPlan;
+    if (planPath.empty()) {
+        const ExperimentPlan plan = sweepPlanFor(a, false);
+        char tpl[] = "/tmp/refrint-plan-XXXXXX";
+        const int fd = ::mkstemp(tpl);
+        if (fd < 0) {
+            std::fprintf(stderr, "cannot create temp plan file\n");
+            return 1;
+        }
+        ::close(fd);
+        tempPlan = tpl;
+        plan.saveFile(tempPlan);
+        planPath = tempPlan;
+    }
+
+    CoordinatorOptions opts;
+    opts.planPath = planPath;
+    opts.storeDir = a.store;
+    opts.workers = a.workers;
+    opts.workerBin = exe;
+    SinkSet files; // reuse the sink-file plumbing for the merged stream
+    opts.out = openSinkFile(files, a.jsonl);
+    int rc = 1;
+    if (opts.out != nullptr)
+        rc = runCoordinator(opts);
+    if (!tempPlan.empty())
+        ::unlink(tempPlan.c_str());
+    return rc;
+}
+
 int
 cmdSweepOrFigures(const Args &a, bool figures)
 {
     rejectPositionals(a);
     rejectGridFlagsWithPlan(a);
+    if (a.workers > 0) {
+        if (figures)
+            usageError("--workers applies to sweep; figures renders "
+                       "its report in one process");
+        return runSweepCoordinated(a);
+    }
     const bool quiet = stdoutIsMachineReadable(a);
     const ExperimentPlan plan =
         !a.plan.empty() ? ExperimentPlan::loadFile(a.plan)
@@ -540,8 +655,7 @@ cmdSweepOrFigures(const Args &a, bool figures)
         // the default sweep output stays byte-identical.
         sinks.add(std::make_unique<LatencySink>());
     }
-    Session session(SessionOptions{cachePathFor(a), a.jobs});
-    session.run(plan, sinks.ptrs);
+    sessionFor(a)->run(plan, sinks.ptrs);
     return 0;
 }
 
@@ -593,8 +707,7 @@ cmdThermalStudy(const Args &a)
         return 1;
     if (!quiet)
         sinks.add(std::make_unique<ThermalStudySink>(app, retentionUs));
-    Session session(SessionOptions{cachePathFor(a), a.jobs});
-    session.run(plan, sinks.ptrs);
+    sessionFor(a)->run(plan, sinks.ptrs);
     return 0;
 }
 
@@ -641,6 +754,103 @@ cmdPlan(const Args &a)
         std::fputs(plan.toJson().c_str(), stdout);
     else
         plan.saveFile(a.out);
+    return 0;
+}
+
+int
+cmdWorker(const Args &a)
+{
+    rejectPositionals(a);
+    if (a.plan.empty())
+        usageError("worker needs --plan FILE");
+    const auto colon = a.range.find(':');
+    std::uint64_t begin = 0, end = 0;
+    if (a.range.empty() || colon == std::string::npos ||
+        !parseU64Strict(a.range.substr(0, colon).c_str(), begin) ||
+        !parseU64Strict(a.range.substr(colon + 1).c_str(), end) ||
+        begin >= end)
+        usageError("worker needs --range A:B with A < B (scenario "
+                   "indices into the plan)");
+    if (!a.store.empty() && !a.cache.empty())
+        usageError("--store and --cache are exclusive");
+
+    WorkerRangeOptions opts;
+    opts.planPath = a.plan;
+    opts.begin = static_cast<std::size_t>(begin);
+    opts.end = static_cast<std::size_t>(end);
+    opts.storeDir = a.store;
+    opts.cachePath = a.cache; // deliberately NOT the $REFRINT_CACHE
+                              // default: an unasked-for shared file
+                              // would break coordinator byte-identity
+    opts.jobs = a.jobs == 0 ? 1 : a.jobs;
+    return runWorkerRange(opts);
+}
+
+int
+cmdServe(const Args &a)
+{
+    rejectPositionals(a);
+    if (a.socket.empty() == (a.port == 0))
+        usageError("serve needs exactly one of --socket PATH or "
+                   "--port N");
+    if (!a.store.empty() && !a.cache.empty())
+        usageError("--store and --cache are exclusive");
+    ServeOptions opts;
+    opts.socketPath = a.socket;
+    opts.port = a.port;
+    opts.storeDir = a.store;
+    opts.cachePath = a.cache;
+    opts.jobs = a.jobs;
+    return runServe(opts);
+}
+
+int
+cmdSubmit(const Args &a)
+{
+    std::string op = "run";
+    if (!a.positional.empty()) {
+        op = a.positional[0];
+        if (a.positional.size() > 1)
+            usageError("unexpected argument '%s'",
+                       a.positional[1].c_str());
+        if (op != "stats" && op != "shutdown")
+            usageError("unknown submit action '%s' (a plan via --plan, "
+                       "or 'stats'/'shutdown')",
+                       op.c_str());
+    }
+    if (a.socket.empty() == (a.port == 0))
+        usageError("submit needs exactly one of --socket PATH or "
+                   "--port N");
+    if (op == "run" && a.plan.empty())
+        usageError("submit needs --plan FILE (or the 'stats'/"
+                   "'shutdown' action)");
+    SubmitOptions opts;
+    opts.socketPath = a.socket;
+    opts.port = a.port;
+    opts.planPath = a.plan;
+    opts.op = op;
+    return runSubmit(opts);
+}
+
+int
+cmdCache(const Args &a)
+{
+    if (a.positional.empty() || a.positional[0] != "migrate")
+        usageError("cache wants the 'migrate' action, e.g. "
+                   "'refrint_cli cache migrate --store DIR'");
+    if (a.positional.size() > 1)
+        usageError("unexpected argument '%s'",
+                   a.positional[1].c_str());
+    if (a.store.empty())
+        usageError("cache migrate needs --store DIR (the sharded "
+                   "store to import into)");
+    const std::string cachePath = cachePathFor(a);
+    ShardedStore store(a.store);
+    const std::size_t n = migrateLegacyCache(cachePath, store);
+    std::printf("migrated %zu row(s) from %s into %s (%u shards, "
+                "%zu rows total)\n",
+                n, cachePath.c_str(), a.store.c_str(), store.shards(),
+                store.rowCount());
     return 0;
 }
 
@@ -742,7 +952,10 @@ const Command kCommands[] = {
      "                   'agg:tables=part,skew=0.8' (see 'list')\n"
      "  --refs N         references per core (default 120000)\n"
      "  --cores N        machine scale (4..64; rows machine-keyed)\n"
-     "  --hybrid         SRAM L1/L2 over the eDRAM LLC\n",
+     "  --hybrid         SRAM L1/L2 over the eDRAM LLC\n"
+     "  --workers N      shard the plan across N worker subprocesses\n"
+     "                   (needs --jsonl; merged rows are byte-identical\n"
+     "                   to a single-process --jobs 1 run)\n",
      cmdSweep, /*runsPlans=*/true},
     {"figures", "Figs. 6.1-6.4 + the headline table",
      "usage: refrint_cli figures [options]\n"
@@ -770,6 +983,49 @@ const Command kCommands[] = {
      "\nA dumped plan replays with 'sweep --plan FILE' and produces\n"
      "rows byte-identical to the grid it was dumped from.\n",
      cmdPlan},
+    {"worker", "run one scenario range of a plan (coordinator half)",
+     "usage: refrint_cli worker --plan FILE --range A:B [options]\n"
+     "  --plan FILE      the FULL experiment plan (JSON)\n"
+     "  --range A:B      scenario indices to run, A inclusive to B\n"
+     "                   exclusive; rows stream to stdout as JSON\n"
+     "                   Lines with their global plan identity\n"
+     "  --store DIR      sharded result store shared by all workers\n"
+     "  --cache PATH     legacy cache (single worker only)\n"
+     "  --jobs N         threads inside this worker (default 1)\n"
+     "\nNormally spawned by 'sweep --workers N'; runnable by hand for\n"
+     "debugging a shard.\n",
+     cmdWorker, /*runsPlans=*/false, /*usesPlan=*/true},
+    {"serve", "long-running experiment service on a socket",
+     "usage: refrint_cli serve (--socket PATH | --port N) [options]\n"
+     "  --socket PATH    listen on a unix socket\n"
+     "  --port N         listen on 127.0.0.1:N\n"
+     "  --store DIR      sharded result store (answers warm scenarios\n"
+     "                   without simulating)\n"
+     "  --cache PATH     legacy cache instead of a store\n"
+     "  --jobs N         worker threads for cold scenarios\n"
+     "\nRequests are newline-delimited JSON: a plan document runs it\n"
+     "(rows + a {\"done\":...} summary with warm/cold counts, queue\n"
+     "depth and per-scenario latency); {\"op\":\"stats\"} reports\n"
+     "service counters; {\"op\":\"shutdown\"} stops the server.\n",
+     cmdServe},
+    {"submit", "send one request to a running 'serve'",
+     "usage: refrint_cli submit (--socket PATH | --port N)\n"
+     "                          (--plan FILE | stats | shutdown)\n"
+     "  --plan FILE      plan to run; response rows stream to stdout\n"
+     "  stats            print the service counters\n"
+     "  shutdown         stop the server\n"
+     "\nRetries the connect for ~2s, so 'serve &' then 'submit' works\n"
+     "without sleeps.  Exits 1 when the server answers an error.\n",
+     cmdSubmit, /*runsPlans=*/false, /*usesPlan=*/true},
+    {"cache", "migrate a legacy cache file into a sharded store",
+     "usage: refrint_cli cache migrate --store DIR [--cache PATH]\n"
+     "  --store DIR      destination sharded store (created if needed)\n"
+     "  --cache PATH     source cache file (default $REFRINT_CACHE or\n"
+     "                   ./refrint_sweep_cache.csv); read, never\n"
+     "                   modified\n"
+     "\nMigrated rows are byte-identical to freshly simulated ones, so\n"
+     "a follow-up 'sweep --store DIR' is all-warm.\n",
+     cmdCache},
     {"trace-record", "record a workload's reference stream to a file",
      "usage: refrint_cli trace-record --app NAME --out FILE\n"
      "  --refs N --seed S --cores N    recording parameters\n",
