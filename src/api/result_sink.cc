@@ -1,7 +1,11 @@
 #include "api/result_sink.hh"
 
+#include <cerrno>
+#include <cstring>
+
 #include "api/experiment_plan.hh"
 #include "api/json.hh"
+#include "common/log.hh"
 
 namespace refrint
 {
@@ -159,7 +163,17 @@ JsonLinesSink::consume(const ExperimentPlan &plan, std::size_t index,
     }
 
     const std::string line = o.dump(0);
-    std::fprintf(out_, "%s\n", line.c_str());
+    // A dropped row would silently desynchronize downstream consumers
+    // (coordinator merge offsets, salvage line counts), so any write
+    // failure — full disk, closed pipe — is fatal here, not deferred.
+    // Non-strict sinks (serve) tolerate it; the caller checks ferror().
+    if ((std::fprintf(out_, "%s\n", line.c_str()) < 0 ||
+         std::ferror(out_)) &&
+        strict_)
+        fatal("JSONL row stream write failed at offset %lld "
+              "(row %zu of plan %s): %s",
+              static_cast<long long>(std::ftell(out_)), index,
+              plan.name.c_str(), std::strerror(errno));
 }
 
 void

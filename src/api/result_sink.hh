@@ -89,7 +89,18 @@ class CsvSink : public ResultSink
 class JsonLinesSink : public ResultSink
 {
   public:
-    explicit JsonLinesSink(std::FILE *out) : out_(out) {}
+    /**
+     * @p strict (the default) makes any row write failure fatal with
+     * the stream offset — right for files and pipes feeding the
+     * coordinator merge, where a silently dropped row desynchronizes
+     * salvage line counts and merge offsets.  Pass false for
+     * best-effort streams (a serve client that hangs up mid-response
+     * must not kill the service); the caller then checks ferror().
+     */
+    explicit JsonLinesSink(std::FILE *out, bool strict = true)
+        : out_(out), strict_(strict)
+    {
+    }
 
     void begin(const ExperimentPlan &plan) override;
     void consume(const ExperimentPlan &plan, std::size_t index,
@@ -98,6 +109,7 @@ class JsonLinesSink : public ResultSink
 
   private:
     std::FILE *out_;
+    bool strict_;
     std::string energyTag_; ///< plan's |en= key segment ("" = default)
 };
 

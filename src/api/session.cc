@@ -27,7 +27,8 @@ Session::~Session() = default;
 
 SweepResult
 Session::run(const ExperimentPlan &plan,
-             const std::vector<ResultSink *> &sinks)
+             const std::vector<ResultSink *> &sinks,
+             double deadlineSeconds)
 {
     plan.validate();
     for (ResultSink *s : sinks)
@@ -36,9 +37,15 @@ Session::run(const ExperimentPlan &plan,
     const std::size_t n = plan.size();
     std::vector<RunResult> results(n);
     std::vector<char> simulatedFlag(n, 0);
+    std::vector<char> skippedFlag(n, 0);
     std::atomic<std::size_t> simulated{0};
+    std::atomic<std::size_t> skipped{0};
     std::atomic<std::int64_t> busyNanos{0};
     const auto wallStart = std::chrono::steady_clock::now();
+    const auto deadline =
+        wallStart + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(deadlineSeconds));
 
     SweepResult out;
 
@@ -55,6 +62,8 @@ Session::run(const ExperimentPlan &plan,
     auto emitReadyLocked = [&]() {
         while (frontier < n && done[frontier]) {
             const std::size_t i = frontier++;
+            if (skippedFlag[i])
+                continue; // abandoned past the deadline: no row
             const RunResult &r = results[i];
             out.raw.push_back(r);
             const int b = plan.baseline[i];
@@ -84,6 +93,16 @@ Session::run(const ExperimentPlan &plan,
     const unsigned jobs = resolveJobs(jobs_);
     parallelFor(n, jobs, [&](std::size_t i) {
         const auto t0 = std::chrono::steady_clock::now();
+        if (deadlineSeconds > 0 && t0 >= deadline) {
+            // Cooperative overload control: the budget is spent, so
+            // abandon instead of starting more work.
+            skipped.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(mu);
+            skippedFlag[i] = 1;
+            done[i] = 1;
+            emitReadyLocked();
+            return;
+        }
         const Scenario &sc = plan.scenarios[i];
         ScenarioKey sk = sc.key();
         sk.energy = energyTag;
@@ -125,7 +144,12 @@ Session::run(const ExperimentPlan &plan,
     out.simulations = simulated.load();
     out.metrics.scenarios = n;
     out.metrics.simulated = out.simulations;
-    out.metrics.cacheHits = n - out.simulations;
+    out.metrics.skipped = skipped.load();
+    out.metrics.cacheHits = n - out.simulations - out.metrics.skipped;
+    if (out.metrics.skipped > 0)
+        warn("run deadline (%.2fs) expired: abandoned %zu of %zu "
+             "scenario(s) before they started",
+             deadlineSeconds, out.metrics.skipped, n);
     out.metrics.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wallStart)

@@ -74,9 +74,17 @@ class Session
      * run() calls, so successive plans in one session share warm rows.
      * The returned SweepResult carries RunMetrics (simulated vs.
      * cache-hit counts, wall time, worker utilization).
+     *
+     * @p deadlineSeconds > 0 bounds the run's wall time cooperatively:
+     * once the budget is spent, scenarios that have not yet STARTED
+     * are abandoned (no row is emitted for them; in-flight simulations
+     * still finish) and counted in RunMetrics.skipped.  Rows whose
+     * baseline was abandoned emit without a normalized view.  Overload
+     * control for `refrint serve`; 0 (the default) never skips.
      */
     SweepResult run(const ExperimentPlan &plan,
-                    const std::vector<ResultSink *> &sinks = {});
+                    const std::vector<ResultSink *> &sinks = {},
+                    double deadlineSeconds = 0);
 
   private:
     unsigned jobs_ = 0;

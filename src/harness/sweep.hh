@@ -102,6 +102,8 @@ struct RunMetrics
     std::size_t scenarios = 0; ///< rows in the plan
     std::size_t simulated = 0; ///< executed fresh (store misses)
     std::size_t cacheHits = 0; ///< answered from the result store
+    std::size_t skipped = 0;   ///< abandoned: run deadline expired
+                               ///< before these scenarios started
     double wallSeconds = 0;    ///< plan wall time
     double busySeconds = 0;    ///< summed per-scenario wall time
     unsigned jobs = 1;         ///< worker threads used

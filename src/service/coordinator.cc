@@ -1,17 +1,24 @@
 #include "service/coordinator.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
+#include <sstream>
+#include <vector>
 
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include "api/experiment_plan.hh"
+#include "api/json.hh"
 #include "common/log.hh"
 
 namespace refrint
@@ -19,6 +26,8 @@ namespace refrint
 
 namespace
 {
+
+using Clock = std::chrono::steady_clock;
 
 /** A private temp file for one worker attempt's row stream. */
 std::string
@@ -91,6 +100,84 @@ describeExit(int status)
     return buf;
 }
 
+/**
+ * The salvageable prefix of a dead attempt's row stream: complete
+ * lines that parse as JSON objects, stopping at the first torn or
+ * unparseable one (workers flush per row, so a SIGKILL can tear at
+ * most the final line).  Returns (rows, bytes) of the good prefix.
+ */
+std::pair<std::size_t, std::size_t>
+salvageablePrefix(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {0, 0};
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string data = ss.str();
+
+    std::size_t rows = 0, bytes = 0, pos = 0;
+    while (pos < data.size()) {
+        const auto nl = data.find('\n', pos);
+        if (nl == std::string::npos)
+            break; // torn final line: never flushed whole
+        const std::string line = data.substr(pos, nl - pos);
+        JsonValue doc;
+        std::string err;
+        if (line.empty() || !JsonValue::parse(line, doc, err) ||
+            !doc.isObject())
+            break;
+        ++rows;
+        bytes = nl + 1;
+        pos = nl + 1;
+    }
+    return {rows, bytes};
+}
+
+/** One range's progress through attempts and salvage. */
+struct RangeState
+{
+    std::size_t begin = 0, end = 0; ///< the original assignment
+    std::size_t next = 0;   ///< first index no attempt has completed
+    unsigned attempt = 0;   ///< attempts launched so far
+    pid_t pid = -1;         ///< running attempt (-1 = none)
+    std::string curPath;    ///< running/last attempt's row file
+    /** Merged in order: (path, byte limit; SIZE_MAX = whole file). */
+    std::vector<std::pair<std::string, std::size_t>> parts;
+    off_t lastSize = 0;            ///< curPath size last observed
+    Clock::time_point lastGrowth;  ///< when it last grew
+    Clock::time_point notBefore;   ///< backoff: no respawn before this
+    bool wantRespawn = false;
+    bool done = false;
+    bool failed = false;
+};
+
+/** Copy @p limit bytes (SIZE_MAX = all) of @p path to @p out; any
+ *  short write is fatal with the file and offset — a full disk must
+ *  not silently truncate the merged stream. */
+void
+copyRows(const std::string &path, std::size_t limit, std::FILE *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("coordinator: lost worker output %s", path.c_str());
+    char buf[1 << 16];
+    std::size_t left = limit;
+    while (left > 0 && (in.read(buf, static_cast<std::streamsize>(
+                                         std::min(sizeof(buf), left))),
+                        in.gcount() > 0)) {
+        const std::size_t n = static_cast<std::size_t>(in.gcount());
+        if (std::fwrite(buf, 1, n, out) != n)
+            fatal("coordinator: short write merging %s at output "
+                  "offset %lld: %s (disk full?)",
+                  path.c_str(),
+                  static_cast<long long>(std::ftell(out)),
+                  std::strerror(errno));
+        if (left != static_cast<std::size_t>(-1))
+            left -= n;
+    }
+}
+
 } // namespace
 
 std::vector<std::pair<std::size_t, std::size_t>>
@@ -147,15 +234,19 @@ shardPlanRanges(const ExperimentPlan &plan, unsigned workers)
 }
 
 int
-runCoordinator(const CoordinatorOptions &opts)
+runCoordinator(const CoordinatorOptions &opts, CoordinatorStats *stats)
 {
     const ExperimentPlan plan = ExperimentPlan::loadFile(opts.planPath);
     std::FILE *out = opts.out != nullptr ? opts.out : stdout;
+    CoordinatorStats localStats;
+    if (stats == nullptr)
+        stats = &localStats;
+    *stats = CoordinatorStats{};
     if (plan.size() == 0)
         return 0;
 
     const unsigned workers = opts.workers == 0 ? 1 : opts.workers;
-    const auto ranges = shardPlanRanges(plan, workers);
+    const auto rangeSpans = shardPlanRanges(plan, workers);
 
     WorkerSpawner spawn = opts.spawner;
     if (!spawn) {
@@ -168,23 +259,48 @@ runCoordinator(const CoordinatorOptions &opts)
         };
     }
 
-    std::vector<WorkerTask> tasks;
-    tasks.reserve(ranges.size());
-    for (const auto &[begin, end] : ranges)
-        tasks.push_back(WorkerTask{begin, end, 0, makeTempPath()});
+    std::vector<RangeState> ranges;
+    ranges.reserve(rangeSpans.size());
+    for (const auto &[begin, end] : rangeSpans) {
+        RangeState r;
+        r.begin = begin;
+        r.end = end;
+        r.next = begin;
+        ranges.push_back(std::move(r));
+    }
 
-    auto cleanup = [&tasks]() {
-        for (const auto &t : tasks)
-            ::unlink(t.outPath.c_str());
+    std::vector<std::string> tempFiles; // everything to unlink
+    auto cleanup = [&tempFiles]() {
+        for (const auto &path : tempFiles)
+            ::unlink(path.c_str());
     };
 
-    std::map<pid_t, std::size_t> running; // pid -> task index
+    std::map<pid_t, std::size_t> running; // pid -> range index
+    std::set<pid_t> deadlineKilled;
+
+    auto launch = [&](std::size_t idx) -> bool {
+        RangeState &r = ranges[idx];
+        r.curPath = makeTempPath();
+        tempFiles.push_back(r.curPath);
+        const WorkerTask task{r.next, r.end, r.attempt, r.curPath};
+        const pid_t pid = spawn(task);
+        if (pid < 0)
+            return false;
+        ++r.attempt;
+        r.pid = pid;
+        r.lastSize = 0;
+        r.lastGrowth = Clock::now();
+        r.wantRespawn = false;
+        running[pid] = idx;
+        return true;
+    };
+
     auto abandon = [&](const char *why) {
         warn("coordinator: %s; terminating %zu outstanding worker(s)",
              why, running.size());
         for (const auto &[pid, idx] : running) {
             (void)idx;
-            ::kill(pid, SIGTERM);
+            ::kill(pid, SIGKILL);
         }
         while (!running.empty()) {
             int status = 0;
@@ -197,62 +313,172 @@ runCoordinator(const CoordinatorOptions &opts)
         return 1;
     };
 
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-        const pid_t pid = spawn(tasks[i]);
-        if (pid < 0)
+    for (std::size_t i = 0; i < ranges.size(); ++i)
+        if (!launch(i))
             return abandon("cannot spawn worker");
-        running[pid] = i;
-    }
-    inform("coordinator: %zu scenario(s) across %zu worker(s)",
-           plan.size(), tasks.size());
+    inform("coordinator: %zu scenario(s) across %zu worker(s), "
+           "%u retr%s per range%s",
+           plan.size(), ranges.size(), opts.retries,
+           opts.retries == 1 ? "y" : "ies",
+           opts.workerTimeoutSec > 0 ? ", progress deadline armed"
+                                     : "");
 
-    while (!running.empty()) {
+    /** A failed (or deadline-killed) attempt: salvage its flushed
+     *  prefix, then either re-dispatch the remainder after backoff or
+     *  declare the range failed. */
+    auto attemptFailed = [&](std::size_t idx, const std::string &how) {
+        RangeState &r = ranges[idx];
+        const auto [rows, bytes] = salvageablePrefix(r.curPath);
+        if (rows > 0) {
+            r.parts.emplace_back(r.curPath, bytes);
+            r.next += rows;
+            stats->salvagedRows += rows;
+        }
+        if (r.next >= r.end) {
+            // The attempt died after flushing its final row (e.g. in
+            // teardown): everything is salvaged, nothing to re-run.
+            warn("coordinator: range %zu:%zu %s after its last row; "
+                 "all %zu row(s) salvaged",
+                 r.begin, r.end, how.c_str(), rows);
+            r.done = true;
+            return;
+        }
+        if (r.attempt > opts.retries) {
+            warn("coordinator: range %zu:%zu %s on attempt %u/%u; "
+                 "giving up on scenarios %zu:%zu",
+                 r.begin, r.end, how.c_str(), r.attempt,
+                 opts.retries + 1, r.next, r.end);
+            r.failed = true;
+            return;
+        }
+        const unsigned doublings = std::min(r.attempt - 1, 20u);
+        const double delay =
+            std::min(opts.backoffCapSec,
+                     opts.backoffBaseSec *
+                         static_cast<double>(1u << doublings));
+        warn("coordinator: range %zu:%zu %s (attempt %u/%u); salvaged "
+             "%zu row(s), retrying %zu:%zu in %.2fs",
+             r.begin, r.end, how.c_str(), r.attempt, opts.retries + 1,
+             rows, r.next, r.end, delay);
+        ++stats->retriesUsed;
+        r.wantRespawn = true;
+        r.notBefore =
+            Clock::now() +
+            std::chrono::microseconds(
+                static_cast<std::int64_t>(delay * 1e6));
+    };
+
+    auto anyPendingRespawn = [&]() {
+        for (const RangeState &r : ranges)
+            if (r.wantRespawn)
+                return true;
+        return false;
+    };
+
+    while (!running.empty() || anyPendingRespawn()) {
         int status = 0;
-        const pid_t pid = ::waitpid(-1, &status, 0);
-        if (pid < 0) {
-            if (errno == EINTR)
-                continue;
+        const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+        if (pid < 0 && errno != EINTR && errno != ECHILD)
             return abandon("waitpid failed");
-        }
-        const auto it = running.find(pid);
-        if (it == running.end())
-            continue; // not one of ours
-        const std::size_t idx = it->second;
-        running.erase(it);
-        if (WIFEXITED(status) && WEXITSTATUS(status) == 0)
-            continue; // range done
 
-        WorkerTask &task = tasks[idx];
-        if (task.attempt >= 1) {
-            warn("coordinator: range %zu:%zu failed twice (%s)",
-                 task.begin, task.end, describeExit(status).c_str());
-            return abandon("a range failed twice");
+        if (pid > 0) {
+            const auto it = running.find(pid);
+            if (it == running.end())
+                continue; // not one of ours
+            const std::size_t idx = it->second;
+            running.erase(it);
+            RangeState &r = ranges[idx];
+            r.pid = -1;
+            if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+                r.parts.emplace_back(r.curPath,
+                                     static_cast<std::size_t>(-1));
+                r.done = true;
+            } else if (deadlineKilled.erase(pid) > 0) {
+                attemptFailed(idx, "made no progress for " +
+                                       std::to_string(static_cast<long>(
+                                           opts.workerTimeoutSec)) +
+                                       "s (killed)");
+            } else {
+                attemptFailed(idx, describeExit(status));
+            }
+            continue; // reap eagerly before sleeping again
         }
-        warn("coordinator: range %zu:%zu %s; retrying once",
-             task.begin, task.end, describeExit(status).c_str());
-        task.attempt = 1;
-        const pid_t retry = spawn(task);
-        if (retry < 0)
-            return abandon("cannot respawn worker");
-        running[retry] = idx;
+
+        const auto now = Clock::now();
+
+        // Progress deadlines: a worker whose row file has not grown
+        // for workerTimeoutSec is hung (workers flush per row); kill
+        // it and let the reap path salvage + retry.
+        if (opts.workerTimeoutSec > 0) {
+            for (auto &[wpid, idx] : running) {
+                RangeState &r = ranges[idx];
+                struct stat st{};
+                const off_t size =
+                    ::stat(r.curPath.c_str(), &st) == 0 ? st.st_size
+                                                        : 0;
+                if (size > r.lastSize) {
+                    r.lastSize = size;
+                    r.lastGrowth = now;
+                } else if (deadlineKilled.count(wpid) == 0 &&
+                           std::chrono::duration<double>(
+                               now - r.lastGrowth)
+                                   .count() > opts.workerTimeoutSec) {
+                    warn("coordinator: range %zu:%zu (pid %d) made no "
+                         "progress for %.1fs; killing it",
+                         r.next, r.end, static_cast<int>(wpid),
+                         opts.workerTimeoutSec);
+                    deadlineKilled.insert(wpid);
+                    ++stats->deadlineKills;
+                    ::kill(wpid, SIGKILL);
+                }
+            }
+        }
+
+        // Backed-off respawns whose delay has elapsed.
+        for (std::size_t i = 0; i < ranges.size(); ++i)
+            if (ranges[i].wantRespawn && now >= ranges[i].notBefore)
+                if (!launch(i))
+                    return abandon("cannot respawn worker");
+
+        timespec ts{0, 20 * 1000 * 1000}; // 20 ms poll
+        ::nanosleep(&ts, nullptr);
     }
 
-    // Every range succeeded: splice the row streams in range order.
-    for (const auto &task : tasks) {
-        std::ifstream in(task.outPath, std::ios::binary);
-        if (!in) {
-            warn("coordinator: lost worker output %s",
-                 task.outPath.c_str());
-            cleanup();
-            return 1;
-        }
-        char buf[1 << 16];
-        while (in.read(buf, sizeof(buf)) || in.gcount() > 0)
-            std::fwrite(buf, 1, static_cast<std::size_t>(in.gcount()),
-                        out);
-    }
-    std::fflush(out);
+    // Merge every range's parts in range order: salvaged prefixes are
+    // byte-for-byte the rows the dead attempts flushed, so a fully
+    // recovered run is byte-identical to a fault-free one.
+    for (const RangeState &r : ranges)
+        for (const auto &[path, limit] : r.parts)
+            copyRows(path, limit, out);
+    if (std::fflush(out) != 0)
+        fatal("coordinator: cannot flush merged row stream: %s",
+              std::strerror(errno));
+
+    for (const RangeState &r : ranges)
+        if (r.failed)
+            stats->missing.emplace_back(r.next, r.end);
     cleanup();
+
+    if (stats->salvagedRows > 0)
+        inform("coordinator: salvaged %zu row(s) from failed "
+               "attempt(s) across %zu retr%s",
+               stats->salvagedRows, stats->retriesUsed,
+               stats->retriesUsed == 1 ? "y" : "ies");
+    if (!stats->missing.empty()) {
+        std::string desc;
+        std::size_t count = 0;
+        for (const auto &[a, b] : stats->missing) {
+            if (!desc.empty())
+                desc += ", ";
+            desc += std::to_string(a) + ":" + std::to_string(b);
+            count += b - a;
+        }
+        warn("coordinator: %zu scenario(s) NEVER completed after "
+             "%u attempt(s) per range — missing plan indices [%s); "
+             "all other rows were merged",
+             count, opts.retries + 1, desc.c_str());
+        return 1;
+    }
     return 0;
 }
 

@@ -7,14 +7,32 @@
  * groups (a SRAM baseline plus the scenarios normalizing against it),
  * one range per worker, balanced by scenario count.  Each worker runs
  * `<workerBin> worker --plan F --range a:b [--store D]` with its rows
- * redirected to a private temp file; workers share the (crash- and
- * concurrency-safe) sharded store, so nothing is simulated twice.  A
- * worker that exits nonzero or dies on a signal is retried ONCE on a
- * fresh subprocess (rows it already committed to the store are reused,
- * not re-simulated); a second failure fails the whole run.  When every
- * range has succeeded the temp files are concatenated in range order —
- * producing output byte-identical to a single-process
- * `sweep --plan F --jobs 1 --jsonl -` run over the same store state.
+ * redirected to a private temp file; workers may share the (crash- and
+ * concurrency-safe) sharded store, so nothing is simulated twice.
+ *
+ * Failure handling:
+ *
+ *  - A worker that exits nonzero or dies on a signal is retried on a
+ *    fresh subprocess, up to `retries` times per range, with capped
+ *    exponential backoff between attempts.
+ *  - A worker whose row stream stops growing for `workerTimeoutSec`
+ *    (workers flush per row) is presumed hung and SIGKILLed, then
+ *    treated exactly like a crashed worker.  Slow-but-progressing
+ *    workers never trip the deadline.
+ *  - Before each retry the dead attempt's flushed output is SALVAGED:
+ *    its complete, parseable prefix rows are kept and only the indices
+ *    past the salvaged frontier are re-dispatched, so a crash at row k
+ *    of a range costs only rows >= k.
+ *  - A range that exhausts its retries does not abort the run: every
+ *    other range still finishes, salvaged rows of the failed range are
+ *    merged, and the coordinator exits nonzero with an exact report of
+ *    the missing scenario indices (graceful degradation instead of
+ *    all-or-nothing).
+ *
+ * When every range succeeds the temp files are concatenated in range
+ * order — producing output byte-identical to a single-process
+ * `sweep --plan F --jobs 1 --jsonl -` run over the same store state,
+ * faults or no faults.
  */
 
 #ifndef REFRINT_SERVICE_COORDINATOR_HH
@@ -33,12 +51,13 @@ namespace refrint
 
 struct ExperimentPlan;
 
-/** One worker assignment. */
+/** One worker assignment (possibly a salvage re-dispatch: begin is
+ *  then the first index the previous attempts had NOT completed). */
 struct WorkerTask
 {
     std::size_t begin = 0;
     std::size_t end = 0;
-    unsigned attempt = 0;    ///< 0 first try, 1 the retry
+    unsigned attempt = 0;    ///< 0 first try, 1.. the retries
     std::string outPath;     ///< where this attempt's rows go
 };
 
@@ -59,6 +78,23 @@ struct CoordinatorOptions
     std::FILE *out = nullptr;  ///< merged JSONL (default stdout)
     std::string workerBin; ///< refrint_cli path for the default spawner
     WorkerSpawner spawner; ///< optional override (tests)
+
+    unsigned retries = 1;  ///< extra attempts per range after the first
+    double workerTimeoutSec = 0; ///< no-progress deadline; 0 disables
+    double backoffBaseSec = 0.25; ///< first retry delay; doubles per
+                                  ///< attempt, capped at backoffCapSec
+    double backoffCapSec = 5.0;
+};
+
+/** What one coordinator run did — for callers and tests. */
+struct CoordinatorStats
+{
+    std::size_t salvagedRows = 0;   ///< rows kept from dead attempts
+    std::size_t retriesUsed = 0;    ///< respawns (incl. deadline kills)
+    std::size_t deadlineKills = 0;  ///< workers SIGKILLed for no
+                                    ///< progress
+    std::vector<std::pair<std::size_t, std::size_t>> missing;
+                                    ///< index ranges never completed
 };
 
 /**
@@ -69,9 +105,14 @@ struct CoordinatorOptions
 std::vector<std::pair<std::size_t, std::size_t>>
 shardPlanRanges(const ExperimentPlan &plan, unsigned workers);
 
-/** Run the coordinator; 0 on success, 1 on failure (a range failed
- *  twice, a worker could not be spawned, or I/O failed). */
-int runCoordinator(const CoordinatorOptions &opts);
+/**
+ * Run the coordinator; 0 on success, 1 on failure (a range exhausted
+ * its retries — the merged stream then lacks exactly the reported
+ * missing indices — or a worker could not be spawned, or I/O failed).
+ * @p stats (optional) receives salvage/retry/missing accounting.
+ */
+int runCoordinator(const CoordinatorOptions &opts,
+                   CoordinatorStats *stats = nullptr);
 
 } // namespace refrint
 

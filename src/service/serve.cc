@@ -13,8 +13,10 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <time.h>
 #include <unistd.h>
@@ -25,6 +27,7 @@
 #include "api/run_cache.hh"
 #include "api/session.hh"
 #include "common/log.hh"
+#include "service/faults.hh"
 #include "service/store.hh"
 
 namespace refrint
@@ -86,6 +89,15 @@ openListener(const ServeOptions &opts)
     return fd;
 }
 
+/** SIGTERM latch for the graceful drain (async-signal-safe). */
+volatile sig_atomic_t gDrainRequested = 0;
+
+void
+onSigterm(int)
+{
+    gDrainRequested = 1;
+}
+
 struct ServeCounters
 {
     std::size_t requests = 0;
@@ -94,7 +106,20 @@ struct ServeCounters
     std::size_t warm = 0;
     std::size_t cold = 0;
     std::size_t errors = 0;
+    std::size_t shed = 0;       ///< connections refused: queue full
+    std::size_t idleClosed = 0; ///< connections closed: idle timeout
 };
+
+/** Arm a receive timeout on @p fd; 0 disables (wait forever). */
+void
+setReadTimeout(int fd, double seconds)
+{
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
 
 void
 replyError(std::FILE *io, ServeCounters &counters, const std::string &msg)
@@ -107,11 +132,20 @@ replyError(std::FILE *io, ServeCounters &counters, const std::string &msg)
 /**
  * Handle every request line on one connection.  Returns true when the
  * service should keep running, false after a shutdown request.
+ * @p draining caps how long we wait for the client's next line so a
+ * silent connection cannot stall the SIGTERM drain.
  */
 bool
-handleConnection(int fd, Session &session, ServeCounters &counters,
-                 std::size_t queueDepth)
+handleConnection(int fd, Session &session, const ServeOptions &opts,
+                 ServeCounters &counters, std::size_t queueDepth,
+                 bool draining)
 {
+    double readTimeout = opts.idleTimeoutSec;
+    if (draining && (readTimeout <= 0 || readTimeout > 1.0))
+        readTimeout = 1.0;
+    if (readTimeout > 0)
+        setReadTimeout(fd, readTimeout);
+
     std::FILE *io = ::fdopen(fd, "r+");
     if (io == nullptr) {
         ::close(fd);
@@ -121,14 +155,32 @@ handleConnection(int fd, Session &session, ServeCounters &counters,
     char *line = nullptr;
     std::size_t cap = 0;
     ssize_t n;
-    while (keepServing && (n = ::getline(&line, &cap, io)) >= 0) {
+    while (keepServing) {
+        errno = 0;
+        if ((n = ::getline(&line, &cap, io)) < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                ++counters.idleClosed;
+                inform("serve: closing connection idle for %.1fs",
+                       readTimeout);
+            }
+            break;
+        }
         std::string text(line, static_cast<std::size_t>(n));
         while (!text.empty() &&
                (text.back() == '\n' || text.back() == '\r'))
             text.pop_back();
         if (text.empty())
             continue;
-        ++counters.requests;
+        const std::size_t reqOrdinal = counters.requests++;
+
+        // Chaos hook: hang up abruptly on request #N, so client
+        // robustness against a dying server is testable.
+        if (FaultPlan::global().at("serve.drop_conn", reqOrdinal)) {
+            warn("serve: fault injection dropping connection at "
+                 "request %zu",
+                 reqOrdinal);
+            break;
+        }
 
         JsonValue doc;
         std::string err;
@@ -146,11 +198,12 @@ handleConnection(int fd, Session &session, ServeCounters &counters,
                              "{\"stats\":true,\"requests\":%zu,"
                              "\"plans\":%zu,\"scenarios\":%zu,"
                              "\"warm\":%zu,\"cold\":%zu,"
-                             "\"errors\":%zu,\"queueDepth\":%zu}\n",
+                             "\"errors\":%zu,\"shed\":%zu,"
+                             "\"queueDepth\":%zu}\n",
                              counters.requests, counters.plans,
                              counters.scenarios, counters.warm,
                              counters.cold, counters.errors,
-                             queueDepth);
+                             counters.shed, queueDepth);
                 std::fflush(io);
             } else if (op->asString() == "shutdown") {
                 std::fprintf(io, "{\"bye\":true}\n");
@@ -170,13 +223,30 @@ handleConnection(int fd, Session &session, ServeCounters &counters,
         }
 
         ++counters.plans;
-        JsonLinesSink rows(io);
+        // Non-strict: a client hanging up mid-response must not kill
+        // the service; the run completes (warming the store) and the
+        // dead stream is noticed below.
+        JsonLinesSink rows(io, /*strict=*/false);
         std::vector<ResultSink *> sinks{&rows};
-        const SweepResult result = session.run(plan, sinks);
+        const SweepResult result =
+            session.run(plan, sinks, opts.requestTimeoutSec);
         const RunMetrics &m = result.metrics;
         counters.scenarios += m.scenarios;
         counters.warm += m.cacheHits;
         counters.cold += m.simulated;
+        if (std::ferror(io))
+            break; // client is gone; nothing more to say
+        if (m.skipped > 0) {
+            // An incomplete response must end unambiguously: an error
+            // terminator, never the done-summary.
+            replyError(io, counters,
+                       "deadline: " + std::to_string(m.skipped) +
+                           " of " + std::to_string(m.scenarios) +
+                           " scenarios abandoned after " +
+                           std::to_string(opts.requestTimeoutSec) +
+                           "s");
+            continue;
+        }
         const double msPerScenario =
             m.scenarios > 0 ? m.wallSeconds * 1000.0 /
                                   static_cast<double>(m.scenarios)
@@ -213,6 +283,13 @@ runServe(const ServeOptions &opts)
     // A client dropping mid-response must not kill the service.
     ::signal(SIGPIPE, SIG_IGN);
 
+    // SIGTERM = graceful drain (no SA_RESTART: poll/accept must wake).
+    gDrainRequested = 0;
+    struct sigaction sa{};
+    sa.sa_handler = onSigterm;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGTERM, &sa, nullptr);
+
     const int listenFd = openListener(opts);
     if (listenFd < 0)
         return 1;
@@ -224,30 +301,66 @@ runServe(const ServeOptions &opts)
         store = std::make_unique<RunCache>(opts.cachePath);
     Session session(std::move(store), opts.jobs);
 
+    const std::size_t maxQueue = opts.maxQueue == 0 ? 1 : opts.maxQueue;
     std::mutex mu;
     std::condition_variable cv;
     std::deque<int> pending;
     bool stop = false;
     bool acceptorDown = false;
+    std::size_t shedCount = 0;
 
+    // The acceptor polls (instead of blocking in accept) so a SIGTERM
+    // delivered to ANY thread is noticed within one poll interval.
     std::thread acceptor([&]() {
         for (;;) {
-            const int fd = ::accept(listenFd, nullptr, nullptr);
-            if (fd < 0) {
-                if (errno == EINTR)
-                    continue;
+            if (gDrainRequested != 0) {
+                std::lock_guard<std::mutex> lock(mu);
+                acceptorDown = true;
+                cv.notify_one();
+                break;
+            }
+            pollfd pfd{listenFd, POLLIN, 0};
+            const int ready = ::poll(&pfd, 1, 200 /* ms */);
+            if (ready < 0 && errno != EINTR) {
                 std::lock_guard<std::mutex> lock(mu);
                 acceptorDown = true; // listener closed or broken
                 cv.notify_one();
                 break;
             }
-            std::lock_guard<std::mutex> lock(mu);
-            if (stop) {
-                ::close(fd);
+            if (ready <= 0)
+                continue;
+            const int fd = ::accept(listenFd, nullptr, nullptr);
+            if (fd < 0) {
+                if (errno == EINTR || errno == EAGAIN)
+                    continue;
+                std::lock_guard<std::mutex> lock(mu);
+                acceptorDown = true;
+                cv.notify_one();
                 break;
             }
-            pending.push_back(fd);
-            cv.notify_one();
+            bool shed = false;
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                if (stop) {
+                    ::close(fd);
+                    break;
+                }
+                if (pending.size() >= maxQueue) {
+                    shed = true;
+                    ++shedCount;
+                } else {
+                    pending.push_back(fd);
+                    cv.notify_one();
+                }
+            }
+            if (shed) {
+                // Bounded queue: fail fast instead of letting tail
+                // latency grow without limit.
+                static const char msg[] = "{\"error\":\"overloaded\"}\n";
+                ssize_t ignored = ::write(fd, msg, sizeof(msg) - 1);
+                (void)ignored;
+                ::close(fd);
+            }
         }
     });
 
@@ -257,27 +370,39 @@ runServe(const ServeOptions &opts)
         inform("serve: listening on 127.0.0.1:%u", opts.port);
 
     ServeCounters counters;
+    bool drainLogged = false;
     for (;;) {
         int fd;
         std::size_t depth;
+        bool draining;
         {
             std::unique_lock<std::mutex> lock(mu);
+            counters.shed = shedCount;
             cv.wait(lock, [&]() {
                 return !pending.empty() || acceptorDown;
             });
+            draining = acceptorDown && gDrainRequested != 0;
             if (pending.empty())
-                break; // listener died with nothing queued
+                break; // listener gone and the queue is dry
             fd = pending.front();
             pending.pop_front();
             depth = pending.size();
         }
-        if (!handleConnection(fd, session, counters, depth))
+        if (draining && !drainLogged) {
+            drainLogged = true;
+            inform("serve: SIGTERM — draining %zu queued "
+                   "connection(s), then exiting",
+                   depth + 1);
+        }
+        if (!handleConnection(fd, session, opts, counters, depth,
+                              draining))
             break;
     }
 
     {
         std::lock_guard<std::mutex> lock(mu);
         stop = true;
+        counters.shed = shedCount;
         for (const int fd : pending)
             ::close(fd);
         pending.clear();
@@ -287,10 +412,14 @@ runServe(const ServeOptions &opts)
     acceptor.join();
     if (!opts.socketPath.empty())
         ::unlink(opts.socketPath.c_str());
-    inform("serve: shut down after %zu request(s), %zu plan(s) "
-           "(%zu warm, %zu cold)",
+    // The session's store was flushed at the end of every run();
+    // nothing buffered survives here, so a restart against the same
+    // store answers everything warm.
+    inform("serve: %s after %zu request(s), %zu plan(s) "
+           "(%zu warm, %zu cold, %zu shed, %zu idle-closed)",
+           gDrainRequested != 0 ? "drained (SIGTERM)" : "shut down",
            counters.requests, counters.plans, counters.warm,
-           counters.cold);
+           counters.cold, counters.shed, counters.idleClosed);
     return 0;
 }
 

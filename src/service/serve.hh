@@ -28,6 +28,29 @@
  * Connections are accepted concurrently but served in arrival order;
  * queueDepth reports how many connections were waiting when a request
  * was picked up.
+ *
+ * Overload and failure behavior:
+ *
+ *  - The pending-connection queue is BOUNDED (maxQueue).  A connection
+ *    arriving when it is full is shed immediately with one
+ *    {"error":"overloaded"} line — fail fast beats an unbounded queue
+ *    whose tail latency grows without limit.  Sheds are counted in
+ *    the stats ("shed").
+ *  - requestTimeoutSec > 0 bounds each plan run's wall time: scenarios
+ *    not yet started when the budget expires are abandoned (their rows
+ *    are missing) and the response ends with {"error":"deadline ..."}
+ *    instead of the done-summary, so clients never mistake a truncated
+ *    response for a complete one.
+ *  - idleTimeoutSec > 0 closes connections whose client sends nothing
+ *    for that long, so one silent client cannot head-of-line block the
+ *    service forever.
+ *  - SIGTERM drains gracefully: stop accepting, finish every already-
+ *    queued connection (under a short read timeout), flush the store,
+ *    exit 0.  A restart against the same store answers everything
+ *    warm.
+ *  - Chaos hook: a $REFRINT_FAULTS schedule (service/faults.hh) entry
+ *    serve.drop_conn@N makes the service drop the connection abruptly
+ *    while handling request #N (0-based), for client-robustness tests.
  */
 
 #ifndef REFRINT_SERVICE_SERVE_HH
@@ -46,10 +69,18 @@ struct ServeOptions
     std::string storeDir;   ///< sharded result store; "" = none
     std::string cachePath;  ///< legacy cache (exclusive with storeDir)
     unsigned jobs = 0;      ///< worker threads (0 = $REFRINT_JOBS)
+
+    std::size_t maxQueue = 16;    ///< pending-connection bound; a full
+                                  ///< queue sheds with {"error":
+                                  ///< "overloaded"}
+    double requestTimeoutSec = 0; ///< per-plan wall deadline; 0 = none
+    double idleTimeoutSec = 0;    ///< silent-client read timeout;
+                                  ///< 0 = wait forever
 };
 
-/** Run the service until a shutdown request; 0 on clean shutdown,
- *  1 on setup failure (bad listen address, conflicting stores). */
+/** Run the service until a shutdown request or SIGTERM (graceful
+ *  drain); 0 on clean shutdown, 1 on setup failure (bad listen
+ *  address, conflicting stores). */
 int runServe(const ServeOptions &opts);
 
 struct SubmitOptions

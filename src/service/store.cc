@@ -1,6 +1,7 @@
 #include "service/store.hh"
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -13,6 +14,7 @@
 #include "api/json.hh"
 #include "api/run_cache.hh"
 #include "common/log.hh"
+#include "service/faults.hh"
 #include "service/framing.hh"
 
 namespace refrint
@@ -29,26 +31,110 @@ manifestPath(const std::string &dir)
     return dir + "/store.json";
 }
 
-/** Write @p data to @p fd in one write(2) call; retried only on EINTR
- *  (a partial write of an O_APPEND record would break the framing's
- *  atomicity contract, so it is reported rather than resumed). */
-bool
-writeWhole(int fd, const std::string &data)
+/** Parse an existing manifest's shard count; 0 when there is none,
+ *  fatal when there is one but it is unreadable. */
+unsigned
+readManifestShards(const std::string &dir)
+{
+    std::ifstream manifest(manifestPath(dir));
+    if (!manifest)
+        return 0;
+    std::stringstream ss;
+    ss << manifest.rdbuf();
+    JsonValue doc;
+    std::string err;
+    if (!JsonValue::parse(ss.str(), doc, err) || !doc.isObject())
+        fatal("unreadable store manifest %s: %s",
+              manifestPath(dir).c_str(), err.c_str());
+    const JsonValue *fmt = doc.get("format");
+    const JsonValue *ver = doc.get("version");
+    const JsonValue *sh = doc.get("shards");
+    if (fmt == nullptr || !fmt->isString() ||
+        fmt->asString() != "refrint-store" || ver == nullptr ||
+        !ver->isNumber() || ver->asNumber() != kStoreVersion ||
+        sh == nullptr || !sh->isNumber() || sh->asNumber() < 1 ||
+        sh->asNumber() > 4096)
+        fatal("store manifest %s is not a readable refrint-store "
+              "v%d manifest",
+              manifestPath(dir).c_str(), kStoreVersion);
+    return static_cast<unsigned>(sh->asNumber());
+}
+
+/** fsync @p dir so a just-renamed or just-created entry is durable;
+ *  best-effort (some filesystems refuse directory fsync). */
+void
+syncDirectory(const std::string &dir)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+/** Write @p data to @p path whole, fsync'd, fatal on any failure —
+ *  the durability contract for manifests and repaired shards. */
+void
+writeFileDurably(const std::string &path, const std::string &data)
+{
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+    if (fd < 0)
+        fatal("cannot write %s: %s", path.c_str(),
+              std::strerror(errno));
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            fatal("short write to %s at offset %zu: %s", path.c_str(),
+                  off, std::strerror(errno));
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0)
+        fatal("cannot fsync %s: %s", path.c_str(),
+              std::strerror(errno));
+    ::close(fd);
+}
+
+/**
+ * Append @p data to @p fd in one write(2) call, retried only on EINTR
+ * (a resumed partial write of an O_APPEND record would break the
+ * framing's atomicity contract).  A failed append, or a short one
+ * (0 <= n < size: ENOSPC, quota), is FATAL with the file and offset —
+ * a store that silently drops rows would poison every later warm run.
+ * The torn bytes a short write leaves behind are the documented
+ * torn-line case: readers skip them and `cache scrub` repairs them.
+ */
+void
+appendRaw(int fd, const std::string &data, const std::string &path)
 {
     for (;;) {
         const ssize_t n = ::write(fd, data.data(), data.size());
         if (n == static_cast<ssize_t>(data.size()))
-            return true;
+            return;
         if (n < 0 && errno == EINTR)
             continue;
-        return false;
+        const off_t end = ::lseek(fd, 0, SEEK_END);
+        if (n < 0)
+            fatal("append to store shard %s failed at offset %lld: %s",
+                  path.c_str(), static_cast<long long>(end),
+                  std::strerror(errno));
+        fatal("short append to store shard %s: wrote %lld of %zu "
+              "bytes ending at offset %lld (disk full?); committed "
+              "rows are intact, run 'cache scrub --repair'",
+              path.c_str(), static_cast<long long>(n), data.size(),
+              static_cast<long long>(end));
     }
 }
 
 } // namespace
 
-ShardedStore::ShardedStore(std::string dir, unsigned shards)
-    : dir_(std::move(dir))
+ShardedStore::ShardedStore(std::string dir, unsigned shards,
+                           bool syncEveryAppend)
+    : dir_(std::move(dir)), syncEveryAppend_(syncEveryAppend)
 {
     panicIf(dir_.empty(), "sharded store needs a directory");
     // Create the directory if needed (EEXIST is the common warm case).
@@ -56,41 +142,18 @@ ShardedStore::ShardedStore(std::string dir, unsigned shards)
         fatal("cannot create store directory %s: %s", dir_.c_str(),
               std::strerror(errno));
 
-    std::ifstream manifest(manifestPath(dir_));
-    if (manifest) {
-        std::stringstream ss;
-        ss << manifest.rdbuf();
-        JsonValue doc;
-        std::string err;
-        if (!JsonValue::parse(ss.str(), doc, err) || !doc.isObject())
-            fatal("unreadable store manifest %s: %s",
-                  manifestPath(dir_).c_str(), err.c_str());
-        const JsonValue *fmt = doc.get("format");
-        const JsonValue *ver = doc.get("version");
-        const JsonValue *sh = doc.get("shards");
-        if (fmt == nullptr || !fmt->isString() ||
-            fmt->asString() != "refrint-store" || ver == nullptr ||
-            !ver->isNumber() || ver->asNumber() != kStoreVersion ||
-            sh == nullptr || !sh->isNumber() || sh->asNumber() < 1 ||
-            sh->asNumber() > 4096)
-            fatal("store manifest %s is not a readable refrint-store "
-                  "v%d manifest",
-                  manifestPath(dir_).c_str(), kStoreVersion);
-        // The manifest always wins: the shard function must stay
-        // stable for the directory's lifetime.
-        shards_ = static_cast<unsigned>(sh->asNumber());
-    } else {
+    // The manifest always wins: the shard function must stay stable
+    // for the directory's lifetime.
+    shards_ = readManifestShards(dir_);
+    if (shards_ == 0) {
         shards_ = shards == 0 ? kDefaultShards : shards;
         JsonValue doc = JsonValue::object();
         doc.set("format", JsonValue::string("refrint-store"));
         doc.set("version", JsonValue::number(kStoreVersion));
         doc.set("shards",
                 JsonValue::number(static_cast<double>(shards_)));
-        std::ofstream out(manifestPath(dir_), std::ios::trunc);
-        if (!out)
-            fatal("cannot write store manifest %s",
-                  manifestPath(dir_).c_str());
-        out << doc.dump(2) << "\n";
+        writeFileDurably(manifestPath(dir_), doc.dump(2) + "\n");
+        syncDirectory(dir_);
     }
 
     fds_.assign(shards_, -1);
@@ -140,7 +203,8 @@ ShardedStore::loadShard(unsigned shard)
     if (stats.torn > 0) {
         torn_ += stats.torn;
         warn("store shard %s: ignored %zu torn/corrupt record(s), "
-             "recovered %zu committed row(s)",
+             "recovered %zu committed row(s) — 'cache scrub --repair' "
+             "quarantines the damage",
              shardPath(shard).c_str(), stats.torn, stats.committed);
     }
 }
@@ -167,15 +231,42 @@ ShardedStore::insert(const std::string &key, const CacheRow &c)
         fds_[shard] = ::open(shardPath(shard).c_str(),
                              O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
                              0666);
-        if (fds_[shard] < 0) {
-            warn("cannot open store shard %s: %s",
-                 shardPath(shard).c_str(), std::strerror(errno));
-            return;
+        if (fds_[shard] < 0)
+            fatal("cannot open store shard %s for append: %s",
+                  shardPath(shard).c_str(), std::strerror(errno));
+    }
+
+    // Deterministic fault sites for the chaos harness: the ordinal is
+    // this instance's append count, so a schedule names "the N-th
+    // append this process performs".
+    const std::uint64_t ordinal = appends_++;
+    const FaultPlan &faults = FaultPlan::global();
+    if (!faults.empty()) {
+        if (faults.at("store.torn_write", ordinal)) {
+            // Crash mid-write: half the record lands, then the process
+            // dies — the canonical torn-line scenario.
+            (void)!::write(fds_[shard], record.data(),
+                           record.size() / 2);
+            std::raise(SIGKILL);
+        }
+        if (faults.at("store.short_write", ordinal)) {
+            // ENOSPC-style short write: half the record lands and the
+            // append path must fail loudly.
+            (void)!::write(fds_[shard], record.data(),
+                           record.size() / 2);
+            const off_t end = ::lseek(fds_[shard], 0, SEEK_END);
+            fatal("short append to store shard %s: wrote %zu of %zu "
+                  "bytes ending at offset %lld (disk full?); "
+                  "committed rows are intact, run 'cache scrub "
+                  "--repair'",
+                  shardPath(shard).c_str(), record.size() / 2,
+                  record.size(), static_cast<long long>(end));
         }
     }
-    if (!writeWhole(fds_[shard], record))
-        warn("short/failed append to store shard %s: %s",
-             shardPath(shard).c_str(), std::strerror(errno));
+
+    appendRaw(fds_[shard], record, shardPath(shard));
+    if (syncEveryAppend_)
+        ::fdatasync(fds_[shard]);
     else
         dirty_[shard] = 1;
 }
@@ -197,6 +288,166 @@ ShardedStore::rowCount() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return rows_.size();
+}
+
+// ---------------------------------------------------------------------
+// Scrub & repair
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** One shard's scan, classified for scrub. */
+struct ShardScan
+{
+    std::vector<std::string> order;           ///< keys, first-seen order
+    std::map<std::string, std::string> last;  ///< key -> last payload
+    std::vector<std::string> badLines;        ///< frame-invalid lines
+    std::size_t committed = 0;
+    std::size_t tornTail = 0;
+    std::size_t midFile = 0;
+    std::size_t duplicates = 0;
+
+    bool
+    needsRepair() const
+    {
+        return tornTail > 0 || midFile > 0 || duplicates > 0;
+    }
+};
+
+ShardScan
+scanShardFile(const std::string &data)
+{
+    ShardScan scan;
+    // First pass: find where the last frame-valid record ends, so
+    // damage can be classified as torn tail (after it — what a crash
+    // leaves) vs. mid-file corruption (before it — what a crash can
+    // never produce).
+    std::size_t lastValidEnd = 0;
+    {
+        std::size_t pos = 0;
+        while (pos < data.size()) {
+            auto nl = data.find('\n', pos);
+            if (nl == std::string::npos)
+                nl = data.size();
+            if (nl > pos) {
+                std::string payload;
+                if (unframeRecord(data.substr(pos, nl - pos), payload))
+                    lastValidEnd = nl;
+            }
+            pos = nl + 1;
+        }
+    }
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        auto nl = data.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = data.size();
+        if (nl > pos) {
+            const std::string line = data.substr(pos, nl - pos);
+            std::string payload;
+            if (unframeRecord(line, payload)) {
+                ++scan.committed;
+                const auto sep = payload.find(';');
+                const std::string key =
+                    sep == std::string::npos ? payload
+                                             : payload.substr(0, sep);
+                auto it = scan.last.find(key);
+                if (it == scan.last.end()) {
+                    scan.order.push_back(key);
+                    scan.last.emplace(key, std::move(payload));
+                } else {
+                    ++scan.duplicates;
+                    it->second = std::move(payload); // last wins
+                }
+            } else {
+                scan.badLines.push_back(line);
+                if (pos >= lastValidEnd)
+                    ++scan.tornTail;
+                else
+                    ++scan.midFile;
+            }
+        }
+        pos = nl + 1;
+    }
+    return scan;
+}
+
+} // namespace
+
+ScrubReport
+scrubStore(const std::string &dir, bool repair, std::FILE *out)
+{
+    if (out == nullptr)
+        out = stderr;
+    const unsigned shards = readManifestShards(dir);
+    if (shards == 0)
+        fatal("%s is not a refrint store (no store.json manifest)",
+              dir.c_str());
+
+    ScrubReport report;
+    report.shardsScanned = shards;
+    for (unsigned s = 0; s < shards; ++s) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "/shard-%03u", s);
+        const std::string path = dir + name + ".rsl";
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            continue; // never written
+        std::stringstream ss;
+        ss << in.rdbuf();
+        in.close();
+        const ShardScan scan = scanShardFile(ss.str());
+
+        report.committed += scan.committed;
+        report.uniqueKeys += scan.last.size();
+        report.tornTail += scan.tornTail;
+        report.midFile += scan.midFile;
+        report.duplicates += scan.duplicates;
+
+        if (scan.tornTail > 0 || scan.midFile > 0)
+            std::fprintf(out,
+                         "shard-%03u.rsl: %zu torn-tail line(s), %zu "
+                         "mid-file corrupt line(s), %zu good "
+                         "record(s)\n",
+                         s, scan.tornTail, scan.midFile,
+                         scan.committed);
+
+        if (!repair || !scan.needsRepair())
+            continue;
+
+        // Quarantine the damaged lines, then atomically rewrite the
+        // shard with only its frame-valid records, duplicates
+        // compacted to the last occurrence.
+        if (!scan.badLines.empty()) {
+            std::ofstream bad(dir + name + ".bad",
+                              std::ios::app | std::ios::binary);
+            if (!bad)
+                fatal("cannot write quarantine file %s.bad",
+                      (dir + name).c_str());
+            for (const std::string &line : scan.badLines)
+                bad << line << "\n";
+            bad.close();
+            report.quarantined += scan.badLines.size();
+        }
+        std::string rebuilt;
+        for (const std::string &key : scan.order)
+            rebuilt += frameRecord(scan.last.at(key));
+        const std::string tmp = path + ".tmp";
+        writeFileDurably(tmp, rebuilt);
+        if (::rename(tmp.c_str(), path.c_str()) != 0)
+            fatal("cannot replace %s with its repaired copy: %s",
+                  path.c_str(), std::strerror(errno));
+        syncDirectory(dir);
+        report.compacted += scan.duplicates;
+        std::fprintf(out,
+                     "shard-%03u.rsl: repaired — %zu line(s) "
+                     "quarantined to shard-%03u.bad, %zu duplicate "
+                     "record(s) compacted, %zu row(s) kept\n",
+                     s, scan.badLines.size(), s, scan.duplicates,
+                     scan.last.size());
+    }
+    return report;
 }
 
 std::size_t

@@ -8,6 +8,7 @@
  *     store.json            manifest {"format","version","shards"}
  *     shard-000.rsl         framed append-only records (framing.hh)
  *     shard-001.rsl         ...
+ *     shard-001.bad         quarantined corrupt records (scrub --repair)
  *
  * Rows are addressed by their canonical ScenarioKey string; a key
  * lives in shard fnv64(key) % shards forever (the shard count is
@@ -24,11 +25,22 @@
  * simulated row simply appears twice, and readers keep the last
  * occurrence.  Within a process the store is mutex-guarded like the
  * legacy cache.
+ *
+ * Durability policy:
+ *  - The manifest is fsync'd at creation — a store directory that
+ *    exists always has a readable manifest.
+ *  - An append that fails, or writes fewer bytes than the record
+ *    (ENOSPC, quota), is FATAL with the shard file and byte offset —
+ *    never a silently absent row.  The torn bytes on disk are the
+ *    documented torn-line case readers already skip and scrub repairs.
+ *  - flush() fdatasyncs every shard touched since the last flush;
+ *    syncEveryAppend makes each insert durable before it returns.
  */
 
 #ifndef REFRINT_SERVICE_STORE_HH
 #define REFRINT_SERVICE_STORE_HH
 
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <string>
@@ -50,8 +62,11 @@ class ShardedStore : public ResultStore
      * existing store always uses its manifest's count, since the shard
      * function must stay stable for the directory's lifetime.  Fatal
      * (exit 1) on an unreadable manifest or uncreatable directory.
+     * @p syncEveryAppend fdatasyncs after each insert (durable before
+     * the insert returns) instead of only at flush().
      */
-    explicit ShardedStore(std::string dir, unsigned shards = 0);
+    explicit ShardedStore(std::string dir, unsigned shards = 0,
+                          bool syncEveryAppend = false);
     ~ShardedStore() override;
 
     ShardedStore(const ShardedStore &) = delete;
@@ -59,8 +74,8 @@ class ShardedStore : public ResultStore
 
     bool lookup(const std::string &key, CacheRow &out) const override;
 
-    /** Append one framed record to the key's shard; durable as soon as
-     *  the write returns (no separate commit step). */
+    /** Append one framed record to the key's shard.  Fatal (exit 1) on
+     *  a failed or short append — see the durability policy above. */
     void insert(const std::string &key, const CacheRow &c) override;
 
     /** fdatasync every shard touched since the last flush. */
@@ -84,12 +99,53 @@ class ShardedStore : public ResultStore
 
     std::string dir_;
     unsigned shards_ = 0;
+    bool syncEveryAppend_ = false;
     std::size_t torn_ = 0;
+    std::size_t appends_ = 0; ///< appends this instance attempted
+                              ///< (the store.* fault-point ordinal)
     mutable std::mutex mu_;
     std::map<std::string, CacheRow> rows_;
     std::vector<int> fds_;        ///< per-shard append fd (lazy)
     std::vector<char> dirty_;     ///< shard touched since last flush
 };
+
+/**
+ * Outcome of scrubbing a store directory (`refrint cache scrub`).
+ *
+ * Damage is classified by position: invalid non-blank lines after a
+ * shard's last frame-valid record are a *torn tail* (the expected
+ * artifact of a crash mid-append — at most one line, at the end);
+ * invalid lines before it are *mid-file corruption* (bit rot, manual
+ * editing, a filesystem fault) which a crash can never produce.
+ */
+struct ScrubReport
+{
+    unsigned shardsScanned = 0;
+    std::size_t committed = 0;   ///< frame-valid records seen
+    std::size_t uniqueKeys = 0;  ///< distinct keys among them
+    std::size_t tornTail = 0;    ///< invalid lines after the last
+                                 ///< valid record of their shard
+    std::size_t midFile = 0;     ///< invalid lines before it
+    std::size_t duplicates = 0;  ///< same-key re-appends
+    std::size_t quarantined = 0; ///< bad lines moved to .bad (--repair)
+    std::size_t compacted = 0;   ///< duplicate records dropped (--repair)
+
+    bool clean() const { return tornTail == 0 && midFile == 0; }
+};
+
+/**
+ * Verify every record of every shard in @p dir against its framing
+ * checksum, reporting torn tails vs. mid-file corruption per shard on
+ * @p out (default stderr).  With @p repair, each damaged shard is
+ * atomically rewritten with only its frame-valid records — duplicate
+ * keys compacted to the last occurrence — and the damaged lines are
+ * appended verbatim to `shard-NNN.bad` for post-mortem.  Fatal
+ * (exit 1) on an unreadable store or a failed rewrite.  The store must
+ * not be concurrently written while a --repair runs (scrub without
+ * repair only reads).
+ */
+ScrubReport scrubStore(const std::string &dir, bool repair,
+                       std::FILE *out = nullptr);
 
 /**
  * Import every row of a legacy single-file cache (api/run_cache.hh)

@@ -1,6 +1,5 @@
 #include "service/worker.hh"
 
-#include <csignal>
 #include <cstdlib>
 #include <memory>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "api/session.hh"
 #include "common/env.hh"
 #include "common/log.hh"
+#include "service/faults.hh"
 #include "service/store.hh"
 
 namespace refrint
@@ -24,24 +24,21 @@ namespace
  * GLOBAL indices (so keys, labels and shapes match a single-process
  * run exactly), and drops the rows of any baselines prepended for
  * out-of-range normalization.
+ *
+ * Each row is flushed to @p out as soon as it is emitted: the
+ * coordinator watches the temp file's row frontier to tell a hung
+ * worker from a slow one, and salvages the flushed prefix of a dead
+ * worker's stream — buffered rows would be invisible to both.
  */
 class RangeForwardSink : public ResultSink
 {
   public:
     RangeForwardSink(const ExperimentPlan &fullPlan, std::size_t begin,
-                     std::size_t prefix, ResultSink &inner)
-        : full_(fullPlan), begin_(begin), prefix_(prefix), inner_(inner)
+                     std::size_t prefix, ResultSink &inner,
+                     std::FILE *out)
+        : full_(fullPlan), begin_(begin), prefix_(prefix),
+          inner_(inner), out_(out)
     {
-        crashIndex_ = static_cast<std::size_t>(-1);
-        // Deterministic fault injection for the coordinator retry
-        // tests: die (as if OOM-killed) right before emitting one row,
-        // on the first attempt only.
-        const char *crash = std::getenv("REFRINT_TEST_CRASH_INDEX");
-        const char *attempt = std::getenv("REFRINT_WORKER_ATTEMPT");
-        std::uint64_t idx = 0;
-        if (crash != nullptr && parseU64Strict(crash, idx) &&
-            (attempt == nullptr || std::string(attempt) == "0"))
-            crashIndex_ = static_cast<std::size_t>(idx);
     }
 
     void
@@ -60,9 +57,11 @@ class RangeForwardSink : public ResultSink
         if (index < prefix_)
             return; // out-of-range baseline, not this range's row
         const std::size_t global = begin_ + (index - prefix_);
-        if (global == crashIndex_)
-            std::raise(SIGKILL);
+        // The chaos seam: crash, hang or dawdle right before this row
+        // (attempt 0 only; see service/faults.hh).
+        maybeInjectWorkerFault(global);
         inner_.consume(full_, global, raw, norm, simulated);
+        std::fflush(out_);
     }
 
     void
@@ -77,7 +76,7 @@ class RangeForwardSink : public ResultSink
     std::size_t begin_;
     std::size_t prefix_;
     ResultSink &inner_;
-    std::size_t crashIndex_;
+    std::FILE *out_;
 };
 
 } // namespace
@@ -145,7 +144,7 @@ runWorkerRange(const WorkerRangeOptions &opts)
 
     std::FILE *out = opts.out != nullptr ? opts.out : stdout;
     JsonLinesSink rows(out);
-    RangeForwardSink forward(plan, opts.begin, prefix, rows);
+    RangeForwardSink forward(plan, opts.begin, prefix, rows, out);
     std::vector<ResultSink *> sinks{&forward};
 
     Session session(std::move(store), opts.jobs);

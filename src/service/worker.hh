@@ -15,6 +15,10 @@
  * needed for normalization) while suppressing its row from the output
  * stream — the coordinator aligns ranges to baseline groups so this
  * path is normally cold, but any range is correct.
+ *
+ * Every emitted row is flushed immediately: the coordinator watches
+ * the output file's growth as the worker's liveness signal (progress
+ * deadline) and salvages the flushed prefix of a dead worker's stream.
  */
 
 #ifndef REFRINT_SERVICE_WORKER_HH
@@ -42,10 +46,10 @@ struct WorkerRangeOptions
  * runtime error.  Exactly one of storeDir/cachePath may be set;
  * neither set means no persistence (every scenario simulates).
  *
- * Test hook: when $REFRINT_TEST_CRASH_INDEX names a global scenario
- * index inside the range and $REFRINT_WORKER_ATTEMPT is unset or "0",
- * the worker kills itself (SIGKILL) just before emitting that row —
- * deterministic fault injection for the coordinator's retry path.
+ * Chaos hook: a $REFRINT_FAULTS schedule (service/faults.hh) may
+ * crash, hang or slow this worker right before it emits a named
+ * global row — on attempt 0 only ($REFRINT_WORKER_ATTEMPT unset or
+ * "0"), so the coordinator's recovery is what tests observe.
  */
 int runWorkerRange(const WorkerRangeOptions &opts);
 

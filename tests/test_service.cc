@@ -2,21 +2,29 @@
  * @file
  * Tests for the experiment service (src/service/): record framing,
  * the sharded result store (concurrent writers, torn tails, legacy
- * migration), the range worker, and the coordinator's retry/merge
- * contract.  The multi-process tests fork real children — the same
- * mechanics production uses — with a spawner that calls
- * runWorkerRange() directly instead of exec'ing the CLI binary.
+ * migration), scrub & repair, the range worker, the coordinator's
+ * retry/deadline/salvage contract under injected faults
+ * ($REFRINT_FAULTS), and the serve loop's overload control (queue
+ * shedding, idle timeout, SIGTERM drain).  The multi-process tests
+ * fork real children — the same mechanics production uses — with a
+ * spawner that calls runWorkerRange() directly instead of exec'ing
+ * the CLI binary.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -26,7 +34,9 @@
 #include "api/run_cache.hh"
 #include "api/session.hh"
 #include "service/coordinator.hh"
+#include "service/faults.hh"
 #include "service/framing.hh"
+#include "service/serve.hh"
 #include "service/store.hh"
 #include "service/worker.hh"
 
@@ -141,6 +151,10 @@ forkWorker(const std::string &planPath, const std::string &storeDir,
     char attempt[16];
     std::snprintf(attempt, sizeof(attempt), "%u", task.attempt);
     ::setenv("REFRINT_WORKER_ATTEMPT", attempt, 1);
+    // The gtest parent touched the cached global fault plan (store
+    // inserts query it) before the test setenv'd $REFRINT_FAULTS; a
+    // real worker is a fresh exec and parses it on first use.
+    FaultPlan::reloadGlobalForTest();
     std::FILE *f = std::fopen(task.outPath.c_str(), "w");
     if (f == nullptr)
         ::_exit(127);
@@ -462,12 +476,13 @@ TEST(CoordinatorTest, RetriesAKilledWorkerAndStaysByteIdentical)
 
     // One worker SIGKILLs itself right before emitting global row 5
     // on its first attempt; the retry (attempt 1) runs clean.
-    ::setenv("REFRINT_TEST_CRASH_INDEX", "5", 1);
+    ::setenv("REFRINT_FAULTS", "worker.crash@5", 1);
     ::unsetenv("REFRINT_WORKER_ATTEMPT");
 
     CoordinatorOptions opts;
     opts.planPath = planPath;
     opts.workers = 3;
+    opts.backoffBaseSec = 0.01; // keep the retry fast in tests
     opts.storeDir = dir.file("store"); // committed rows are reused
     opts.spawner = [&](const WorkerTask &task) {
         return forkWorker(planPath, opts.storeDir, task);
@@ -475,10 +490,13 @@ TEST(CoordinatorTest, RetriesAKilledWorkerAndStaysByteIdentical)
     std::FILE *out = std::fopen(dir.file("merged.jsonl").c_str(), "w");
     ASSERT_NE(out, nullptr);
     opts.out = out;
-    const int rc = runCoordinator(opts);
+    CoordinatorStats stats;
+    const int rc = runCoordinator(opts, &stats);
     std::fclose(out);
-    ::unsetenv("REFRINT_TEST_CRASH_INDEX");
+    ::unsetenv("REFRINT_FAULTS");
     ASSERT_EQ(rc, 0);
+    EXPECT_EQ(stats.retriesUsed, 1u);
+    EXPECT_TRUE(stats.missing.empty());
 
     // Byte-identity needs the "simulated" flags to match too — compare
     // modulo that flag (the retried worker reuses rows the killed
@@ -542,6 +560,608 @@ TEST(WorkerTest, RejectsARangeOutsideThePlan)
     opts.end = 99;
     opts.out = stderr;
     EXPECT_EQ(runWorkerRange(opts), 1);
+}
+
+// ---------------------------------------------------------------------
+// FaultPlan
+// ---------------------------------------------------------------------
+
+TEST(FaultPlanTest, ParsesSchedulesAndAnswersPointQueries)
+{
+    const FaultPlan plan(
+        "worker.crash@5,worker.slow@2:40,store.torn_write@7");
+    EXPECT_EQ(plan.specs().size(), 3u);
+    EXPECT_TRUE(plan.at("worker.crash", 5));
+    EXPECT_FALSE(plan.at("worker.crash", 4));
+    EXPECT_FALSE(plan.at("worker.hang", 5));
+    std::uint64_t ms = 0;
+    EXPECT_TRUE(plan.at("worker.slow", 2, &ms));
+    EXPECT_EQ(ms, 40u);
+    EXPECT_TRUE(plan.at("store.torn_write", 7));
+    EXPECT_FALSE(plan.at("serve.drop_conn", 7));
+    EXPECT_TRUE(FaultPlan().empty());
+    EXPECT_TRUE(FaultPlan("").empty());
+}
+
+TEST(FaultPlanTest, RejectsMalformedSchedules)
+{
+    EXPECT_EXIT(FaultPlan("worker.crash"),
+                ::testing::ExitedWithCode(1), "point@ordinal");
+    EXPECT_EXIT(FaultPlan("bogus.point@3"),
+                ::testing::ExitedWithCode(1), "unknown fault point");
+    EXPECT_EXIT(FaultPlan("worker.crash@x"),
+                ::testing::ExitedWithCode(1), "decimal ordinal");
+    EXPECT_EXIT(FaultPlan("worker.slow@1:fast"),
+                ::testing::ExitedWithCode(1), "decimal value");
+}
+
+// ---------------------------------------------------------------------
+// Store fault injection & scrub
+// ---------------------------------------------------------------------
+
+TEST(StoreFaultTest, ShortWriteIsACleanFatalNotASilentDrop)
+{
+    TempDir dir;
+    EXPECT_EXIT(
+        {
+            ::setenv("REFRINT_FAULTS", "store.short_write@0", 1);
+            FaultPlan::reloadGlobalForTest();
+            ShardedStore store(dir.file("store"));
+            store.insert("k", makeRow(1.0));
+        },
+        ::testing::ExitedWithCode(1), "short append");
+}
+
+TEST(StoreFaultTest, TornWriteCrashLeavesScrubRepairableDamage)
+{
+    TempDir dir;
+    const std::string storeDir = dir.file("store");
+    {
+        ShardedStore store(storeDir, 2);
+        for (int i = 0; i < 10; ++i)
+            store.insert("key-" + std::to_string(i),
+                         makeRow(static_cast<double>(i)));
+        store.flush();
+    }
+
+    // A child process crashes mid-append: the fault writes half the
+    // framed record, then SIGKILLs — exactly what power loss or an OOM
+    // kill between write(2) and completion leaves behind.
+    std::fflush(nullptr);
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        ::setenv("REFRINT_FAULTS", "store.torn_write@0", 1);
+        FaultPlan::reloadGlobalForTest();
+        ShardedStore store(storeDir);
+        store.insert("victim", makeRow(99.0));
+        ::_exit(0); // unreachable: the fault kills us first
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+    // Scrub sees the torn tail (a crash artifact, not corruption).
+    ScrubReport rep = scrubStore(storeDir, /*repair=*/false);
+    EXPECT_EQ(rep.tornTail, 1u);
+    EXPECT_EQ(rep.midFile, 0u);
+    EXPECT_EQ(rep.committed, 10u);
+    EXPECT_FALSE(rep.clean());
+
+    // Repair quarantines it; the store then loads clean and warm.
+    rep = scrubStore(storeDir, /*repair=*/true);
+    EXPECT_EQ(rep.quarantined, 1u);
+    EXPECT_TRUE(scrubStore(storeDir, false).clean());
+    ShardedStore store(storeDir);
+    EXPECT_EQ(store.tornRecords(), 0u);
+    EXPECT_EQ(store.rowCount(), 10u);
+    for (int i = 0; i < 10; ++i) {
+        CacheRow c{};
+        ASSERT_TRUE(store.lookup("key-" + std::to_string(i), c));
+        EXPECT_TRUE(sameRow(c, makeRow(static_cast<double>(i))));
+    }
+    CacheRow c{};
+    EXPECT_FALSE(store.lookup("victim", c));
+}
+
+TEST(ScrubTest, ClassifiesTornTailVsMidFileCorruption)
+{
+    TempDir dir;
+    const std::string storeDir = dir.file("store");
+    std::string shardFile;
+    {
+        ShardedStore store(storeDir, 1);
+        for (int i = 0; i < 6; ++i)
+            store.insert("key-" + std::to_string(i),
+                         makeRow(static_cast<double>(i)));
+        store.flush();
+        shardFile = store.shardPath(0);
+    }
+    const std::string pristine = readFile(shardFile);
+    ASSERT_TRUE(scrubStore(storeDir, false).clean());
+
+    // Garbage after the last valid record: a torn tail.
+    {
+        std::ofstream out(shardFile, std::ios::app | std::ios::binary);
+        out << "\nR 57 01234abc key-99;1,2";
+    }
+    ScrubReport rep = scrubStore(storeDir, false);
+    EXPECT_GE(rep.tornTail, 1u);
+    EXPECT_EQ(rep.midFile, 0u);
+
+    // A flipped byte inside the first record: mid-file corruption,
+    // which no crash can produce.
+    {
+        std::string damaged = pristine;
+        damaged[10] ^= 0x01;
+        std::ofstream out(shardFile,
+                          std::ios::trunc | std::ios::binary);
+        out << damaged;
+    }
+    rep = scrubStore(storeDir, false);
+    EXPECT_EQ(rep.tornTail, 0u);
+    EXPECT_GE(rep.midFile, 1u);
+}
+
+TEST(ScrubTest, RandomSingleByteCorruptionIsAlwaysDetectedAndRepaired)
+{
+    TempDir dir;
+    const std::string storeDir = dir.file("store");
+    const int nKeys = 12;
+    // Every key is appended twice back to back, so one damaged line
+    // can never take a key's only copy — repair must keep every key
+    // answerable.
+    {
+        ShardedStore store(storeDir, 2);
+        for (int i = 0; i < nKeys; ++i)
+            for (int copy = 0; copy < 2; ++copy)
+                store.insert("key-" + std::to_string(i),
+                             makeRow(static_cast<double>(i)));
+        store.flush();
+    }
+    std::vector<std::pair<std::string, std::string>> pristine;
+    {
+        ShardedStore store(storeDir);
+        for (unsigned s = 0; s < store.shards(); ++s)
+            pristine.emplace_back(store.shardPath(s),
+                                  readFile(store.shardPath(s)));
+    }
+    ASSERT_TRUE(scrubStore(storeDir, false).clean());
+
+    std::mt19937 rng(42);
+    for (int iter = 0; iter < 12; ++iter) {
+        // Restore the pristine store, then flip one random byte of one
+        // random non-empty shard.
+        for (const auto &[path, data] : pristine) {
+            std::ofstream out(path,
+                              std::ios::trunc | std::ios::binary);
+            out << data;
+        }
+        const auto &victim =
+            pristine[rng() % pristine.size()];
+        if (victim.second.empty())
+            continue;
+        const std::size_t pos = rng() % victim.second.size();
+        {
+            std::string damaged = victim.second;
+            damaged[pos] ^= 0x01;
+            std::ofstream out(victim.first,
+                              std::ios::trunc | std::ios::binary);
+            out << damaged;
+        }
+
+        // Detected: a framing checksum never lets a flipped bit pass.
+        const ScrubReport found = scrubStore(storeDir, false);
+        EXPECT_FALSE(found.clean())
+            << "flip at byte " << pos << " of " << victim.first
+            << " went undetected";
+
+        // Repaired: damage quarantined, every key still answers warm.
+        scrubStore(storeDir, /*repair=*/true);
+        EXPECT_TRUE(scrubStore(storeDir, false).clean());
+        ShardedStore store(storeDir);
+        EXPECT_EQ(store.tornRecords(), 0u);
+        for (int i = 0; i < nKeys; ++i) {
+            CacheRow c{};
+            const std::string key = "key-" + std::to_string(i);
+            ASSERT_TRUE(store.lookup(key, c))
+                << key << " lost after repairing a flip at byte "
+                << pos << " of " << victim.first;
+            EXPECT_TRUE(sameRow(c, makeRow(static_cast<double>(i))));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session deadline (serve overload control)
+// ---------------------------------------------------------------------
+
+TEST(SessionDeadlineTest, SkipsUnstartedScenariosPastTheDeadline)
+{
+    Session session(SessionOptions{"", 1});
+    const ExperimentPlan plan = smallPlan();
+    const SweepResult r = session.run(plan, {}, 1e-6);
+    EXPECT_GT(r.metrics.skipped, 0u);
+    EXPECT_EQ(r.raw.size(), plan.size() - r.metrics.skipped);
+    EXPECT_EQ(r.metrics.scenarios, plan.size());
+
+    // No deadline: nothing is ever skipped.
+    Session fresh(SessionOptions{"", 1});
+    const SweepResult full = fresh.run(plan);
+    EXPECT_EQ(full.metrics.skipped, 0u);
+    EXPECT_EQ(full.raw.size(), plan.size());
+}
+
+// ---------------------------------------------------------------------
+// Coordinator chaos: hangs, slowness, exhausted retries
+// ---------------------------------------------------------------------
+
+TEST(CoordinatorTest, DeadlineKillsAHungWorkerAndSalvagesItsRows)
+{
+    TempDir dir;
+    const ExperimentPlan plan = smallPlan();
+    const std::string planPath = dir.file("plan.json");
+    plan.saveFile(planPath);
+    const std::string ref =
+        referenceRows(planPath, plan.size(), dir.file("ref.jsonl"));
+
+    // The worker owning rows 4:8 hangs forever right before row 5;
+    // its flushed row 4 must be salvaged and only 5:8 re-dispatched.
+    ::setenv("REFRINT_FAULTS", "worker.hang@5", 1);
+    ::unsetenv("REFRINT_WORKER_ATTEMPT");
+
+    CoordinatorOptions opts;
+    opts.planPath = planPath;
+    opts.workers = 2; // group-aligned: 0:4 and 4:8
+    opts.workerTimeoutSec = 1.0;
+    opts.backoffBaseSec = 0.01;
+    opts.spawner = [&](const WorkerTask &task) {
+        return forkWorker(planPath, "", task);
+    };
+    std::FILE *out = std::fopen(dir.file("merged.jsonl").c_str(), "w");
+    ASSERT_NE(out, nullptr);
+    opts.out = out;
+    CoordinatorStats stats;
+    const int rc = runCoordinator(opts, &stats);
+    std::fclose(out);
+    ::unsetenv("REFRINT_FAULTS");
+
+    ASSERT_EQ(rc, 0);
+    EXPECT_EQ(stats.deadlineKills, 1u);
+    EXPECT_EQ(stats.retriesUsed, 1u);
+    EXPECT_EQ(stats.salvagedRows, 1u); // row 4, flushed before the hang
+    EXPECT_TRUE(stats.missing.empty());
+    // Without a shared store nothing is answered warm, so recovery is
+    // byte-exact: salvaged rows + re-simulated rows == fault-free run.
+    EXPECT_EQ(readFile(dir.file("merged.jsonl")), ref);
+}
+
+TEST(CoordinatorTest, SlowButProgressingWorkerSurvivesTheDeadline)
+{
+    TempDir dir;
+    const ExperimentPlan plan = smallPlan();
+    const std::string planPath = dir.file("plan.json");
+    plan.saveFile(planPath);
+    const std::string ref =
+        referenceRows(planPath, plan.size(), dir.file("ref.jsonl"));
+
+    // 300 ms of dawdling before row 5 is well under the 1.5 s
+    // no-progress deadline: slow is not hung.
+    ::setenv("REFRINT_FAULTS", "worker.slow@5:300", 1);
+    ::unsetenv("REFRINT_WORKER_ATTEMPT");
+
+    CoordinatorOptions opts;
+    opts.planPath = planPath;
+    opts.workers = 2;
+    opts.workerTimeoutSec = 1.5;
+    opts.spawner = [&](const WorkerTask &task) {
+        return forkWorker(planPath, "", task);
+    };
+    std::FILE *out = std::fopen(dir.file("merged.jsonl").c_str(), "w");
+    ASSERT_NE(out, nullptr);
+    opts.out = out;
+    CoordinatorStats stats;
+    const int rc = runCoordinator(opts, &stats);
+    std::fclose(out);
+    ::unsetenv("REFRINT_FAULTS");
+
+    ASSERT_EQ(rc, 0);
+    EXPECT_EQ(stats.deadlineKills, 0u);
+    EXPECT_EQ(stats.retriesUsed, 0u);
+    EXPECT_EQ(readFile(dir.file("merged.jsonl")), ref);
+}
+
+TEST(CoordinatorTest, ExhaustedRetriesDegradeGracefullyWithAnExactReport)
+{
+    TempDir dir;
+    const ExperimentPlan plan = smallPlan();
+    const std::string planPath = dir.file("plan.json");
+    plan.saveFile(planPath);
+    const std::string ref =
+        referenceRows(planPath, plan.size(), dir.file("ref.jsonl"));
+
+    // retries=0: the crash before row 5 is terminal for its range —
+    // but every other row must still be merged, and the missing
+    // indices reported exactly.
+    ::setenv("REFRINT_FAULTS", "worker.crash@5", 1);
+    ::unsetenv("REFRINT_WORKER_ATTEMPT");
+
+    CoordinatorOptions opts;
+    opts.planPath = planPath;
+    opts.workers = 2;
+    opts.retries = 0;
+    opts.spawner = [&](const WorkerTask &task) {
+        return forkWorker(planPath, "", task);
+    };
+    std::FILE *out = std::fopen(dir.file("merged.jsonl").c_str(), "w");
+    ASSERT_NE(out, nullptr);
+    opts.out = out;
+    CoordinatorStats stats;
+    const int rc = runCoordinator(opts, &stats);
+    std::fclose(out);
+    ::unsetenv("REFRINT_FAULTS");
+
+    EXPECT_EQ(rc, 1);
+    ASSERT_EQ(stats.missing.size(), 1u);
+    EXPECT_EQ(stats.missing[0].first, 5u);
+    EXPECT_EQ(stats.missing[0].second, 8u);
+    EXPECT_EQ(stats.salvagedRows, 1u); // row 4 survived the crash
+
+    // The merged stream holds exactly rows 0..4 of the reference.
+    std::istringstream all(ref);
+    std::string line, expect;
+    for (std::size_t i = 0; std::getline(all, line); ++i)
+        if (i < 5)
+            expect += line + "\n";
+    EXPECT_EQ(readFile(dir.file("merged.jsonl")), expect);
+}
+
+// ---------------------------------------------------------------------
+// Serve: overload control, timeouts, graceful drain
+// ---------------------------------------------------------------------
+
+/** A forked server pid that is SIGKILLed on scope exit, so a failed
+ *  assertion can never leak a child holding the test's pipes open. */
+struct ServerGuard
+{
+    pid_t pid = -1;
+
+    ~ServerGuard()
+    {
+        if (pid <= 0)
+            return;
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+    }
+};
+
+/** Fork a child running runServe (with an optional fault schedule). */
+pid_t
+forkServe(const ServeOptions &opts, const char *faults = nullptr)
+{
+    std::fflush(nullptr);
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    if (faults != nullptr)
+        ::setenv("REFRINT_FAULTS", faults, 1);
+    else
+        ::unsetenv("REFRINT_FAULTS");
+    FaultPlan::reloadGlobalForTest();
+    ::_exit(runServe(opts));
+}
+
+/** Connect to a unix socket, retrying for ~5 s while the forked
+ *  server binds. */
+int
+connectUnix(const std::string &path)
+{
+    for (int attempt = 0; attempt < 100; ++attempt) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd >= 0 &&
+            ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            return fd;
+        if (fd >= 0)
+            ::close(fd);
+        timespec ts{0, 50 * 1000 * 1000};
+        ::nanosleep(&ts, nullptr);
+    }
+    return -1;
+}
+
+/** Write one request line; false when the peer already hung up
+ *  (MSG_NOSIGNAL: a closed peer must fail the send, not SIGPIPE the
+ *  test binary). */
+bool
+sendLine(int fd, const std::string &s)
+{
+    const std::string msg = s + "\n";
+    std::size_t off = 0;
+    while (off < msg.size()) {
+        const ssize_t n = ::send(fd, msg.data() + off,
+                                 msg.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** One '\n'-terminated line, or "" on EOF. */
+std::string
+readLine(int fd)
+{
+    std::string out;
+    char c = 0;
+    while (::read(fd, &c, 1) == 1) {
+        if (c == '\n')
+            return out;
+        out += c;
+    }
+    return out;
+}
+
+/** waitpid with a 15 s guard so a wedged server fails the test
+ *  instead of hanging the suite. */
+int
+waitExit(ServerGuard &server)
+{
+    const pid_t pid = server.pid;
+    server.pid = -1;
+    for (int waitedMs = 0; waitedMs < 15000; waitedMs += 20) {
+        int status = 0;
+        if (::waitpid(pid, &status, WNOHANG) == pid)
+            return status;
+        timespec ts{0, 20 * 1000 * 1000};
+        ::nanosleep(&ts, nullptr);
+    }
+    ADD_FAILURE() << "server pid " << pid << " did not exit in time";
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return status;
+}
+
+TEST(ServeTest, SigtermDrainsInFlightWorkAndExitsZero)
+{
+    TempDir dir;
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    opts.storeDir = dir.file("store");
+    opts.jobs = 1;
+    ServerGuard server{forkServe(opts)};
+    ASSERT_GE(server.pid, 0);
+
+    const int fd = connectUnix(opts.socketPath);
+    ASSERT_GE(fd, 0);
+    EXPECT_TRUE(sendLine(fd, "{\"op\":\"stats\"}"));
+    EXPECT_NE(readLine(fd).find("\"stats\":true"), std::string::npos);
+
+    // SIGTERM while our connection is still open: the server must
+    // finish with it (we close), flush, and exit 0 — not die mid-work.
+    ASSERT_EQ(::kill(server.pid, SIGTERM), 0);
+    ::close(fd);
+    const int status = waitExit(server);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(ServeTest, FullQueueShedsNewConnectionsWithAnOverloadError)
+{
+    TempDir dir;
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    opts.maxQueue = 1;
+    opts.jobs = 1;
+    ServerGuard server{forkServe(opts)};
+    ASSERT_GE(server.pid, 0);
+
+    // A is being served (its stats reply proves it was dequeued); B
+    // fills the one-slot queue; C must be shed immediately.
+    const int fdA = connectUnix(opts.socketPath);
+    ASSERT_GE(fdA, 0);
+    ASSERT_TRUE(sendLine(fdA, "{\"op\":\"stats\"}"));
+    ASSERT_NE(readLine(fdA).find("\"stats\":true"), std::string::npos);
+
+    const int fdB = connectUnix(opts.socketPath);
+    ASSERT_GE(fdB, 0);
+    const int fdC = connectUnix(opts.socketPath);
+    ASSERT_GE(fdC, 0);
+    EXPECT_EQ(readLine(fdC), "{\"error\":\"overloaded\"}");
+    ::close(fdC);
+    ::close(fdB);
+    ::close(fdA);
+
+    // A later connection sees the shed counted — but it races the
+    // queue drain (B is still pending until the server reaps it), so
+    // retry while we are shed ourselves; extra sheds only grow the
+    // counter we then read.
+    int fdD = -1;
+    std::string stats;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+        fdD = connectUnix(opts.socketPath);
+        ASSERT_GE(fdD, 0);
+        sendLine(fdD, "{\"op\":\"stats\"}");
+        stats = readLine(fdD);
+        if (stats.find("\"stats\":true") != std::string::npos)
+            break;
+        ::close(fdD);
+        fdD = -1;
+        timespec ts{0, 20 * 1000 * 1000};
+        ::nanosleep(&ts, nullptr);
+    }
+    ASSERT_GE(fdD, 0);
+    EXPECT_NE(stats.find("\"shed\":"), std::string::npos);
+    EXPECT_EQ(stats.find("\"shed\":0"), std::string::npos)
+        << "shed connections were not counted: " << stats;
+    EXPECT_TRUE(sendLine(fdD, "{\"op\":\"shutdown\"}"));
+    EXPECT_EQ(readLine(fdD), "{\"bye\":true}");
+    ::close(fdD);
+    const int status = waitExit(server);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(ServeTest, IdleClientIsDisconnectedAfterTheTimeout)
+{
+    TempDir dir;
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    opts.idleTimeoutSec = 0.2;
+    opts.jobs = 1;
+    ServerGuard server{forkServe(opts)};
+    ASSERT_GE(server.pid, 0);
+
+    // Send nothing: the server must hang up on us, not wait forever.
+    const int fdIdle = connectUnix(opts.socketPath);
+    ASSERT_GE(fdIdle, 0);
+    EXPECT_EQ(readLine(fdIdle), ""); // EOF
+    ::close(fdIdle);
+
+    // The service survived the idle client and still answers.
+    const int fd = connectUnix(opts.socketPath);
+    ASSERT_GE(fd, 0);
+    EXPECT_TRUE(sendLine(fd, "{\"op\":\"shutdown\"}"));
+    EXPECT_EQ(readLine(fd), "{\"bye\":true}");
+    ::close(fd);
+    const int status = waitExit(server);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(ServeTest, DropConnFaultSeversTheConversationNotTheService)
+{
+    TempDir dir;
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    opts.jobs = 1;
+    ServerGuard server{forkServe(opts, "serve.drop_conn@1")};
+    ASSERT_GE(server.pid, 0);
+
+    const int fd = connectUnix(opts.socketPath);
+    ASSERT_GE(fd, 0);
+    EXPECT_TRUE(sendLine(fd, "{\"op\":\"stats\"}")); // request 0: served
+    EXPECT_NE(readLine(fd).find("\"stats\":true"), std::string::npos);
+    sendLine(fd, "{\"op\":\"stats\"}"); // request 1: dropped
+    EXPECT_EQ(readLine(fd), "");        // abrupt EOF, no reply
+    ::close(fd);
+
+    // The service itself is fine; a fresh connection still works.
+    const int fd2 = connectUnix(opts.socketPath);
+    ASSERT_GE(fd2, 0);
+    EXPECT_TRUE(sendLine(fd2, "{\"op\":\"shutdown\"}"));
+    EXPECT_EQ(readLine(fd2), "{\"bye\":true}");
+    ::close(fd2);
+    const int status = waitExit(server);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
 }
 
 } // namespace

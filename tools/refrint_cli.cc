@@ -70,9 +70,16 @@ struct Args
     std::string csv;   ///< CSV result sink ("-" = stdout)
     std::string in, out;
     unsigned workers = 0;   ///< sweep: shard the plan across N workers
+    unsigned retries = 1;   ///< sweep --workers: extra attempts/range
+    double workerTimeout = 0; ///< sweep --workers: no-progress deadline
+    bool sync = false;      ///< --store: fdatasync every append
+    bool repair = false;    ///< cache scrub: quarantine + rebuild
     std::string range;      ///< worker: scenario index range "A:B"
     std::string socket;     ///< serve/submit: unix socket path
     unsigned port = 0;      ///< serve/submit: TCP port on 127.0.0.1
+    unsigned maxQueue = 16; ///< serve: pending-connection bound
+    double requestTimeout = 0; ///< serve: per-plan wall deadline
+    double idleTimeout = 0;    ///< serve: silent-client read timeout
 
     /** Non-flag tokens, e.g. the "dump" in `plan dump`. */
     std::vector<std::string> positional;
@@ -105,6 +112,8 @@ const char kCommonSinkHelp[] =
     "                   ./refrint_sweep_cache.csv)\n"
     "  --store DIR      sharded result store directory (crash- and\n"
     "                   multi-process-safe; replaces --cache)\n"
+    "  --sync           fdatasync every store append (power-loss\n"
+    "                   durability per row; needs --store)\n"
     "  --jobs N         worker threads (default $REFRINT_JOBS or 1)\n";
 
 void
@@ -258,6 +267,37 @@ parseArgs(int argc, char **argv, int first)
                 usageError("--workers wants an integer in [1, 256]");
             a.workers = static_cast<unsigned>(n);
         }
+        else if (k == "--retries") {
+            const std::uint64_t n = argU64("--retries", val());
+            if (n > 100)
+                usageError("--retries wants an integer in [0, 100]");
+            a.retries = static_cast<unsigned>(n);
+        }
+        else if (k == "--worker-timeout") {
+            a.workerTimeout = argF64("--worker-timeout", val());
+            if (a.workerTimeout <= 0)
+                usageError("--worker-timeout wants seconds > 0");
+        }
+        else if (k == "--sync")
+            a.sync = true;
+        else if (k == "--repair")
+            a.repair = true;
+        else if (k == "--max-queue") {
+            const std::uint64_t n = argU64("--max-queue", val());
+            if (n == 0 || n > 4096)
+                usageError("--max-queue wants an integer in [1, 4096]");
+            a.maxQueue = static_cast<unsigned>(n);
+        }
+        else if (k == "--request-timeout") {
+            a.requestTimeout = argF64("--request-timeout", val());
+            if (a.requestTimeout <= 0)
+                usageError("--request-timeout wants seconds > 0");
+        }
+        else if (k == "--idle-timeout") {
+            a.idleTimeout = argF64("--idle-timeout", val());
+            if (a.idleTimeout <= 0)
+                usageError("--idle-timeout wants seconds > 0");
+        }
         else if (k == "--range")
             a.range = val();
         else if (k == "--socket")
@@ -330,7 +370,11 @@ sessionFor(const Args &a)
                    "location per run)");
     if (!a.store.empty())
         return std::make_unique<Session>(
-            std::make_unique<ShardedStore>(a.store), a.jobs);
+            std::make_unique<ShardedStore>(a.store, 0, a.sync),
+            a.jobs);
+    if (a.sync)
+        usageError("--sync needs --store DIR (the legacy cache has no "
+                   "durable append mode)");
     return std::make_unique<Session>(
         SessionOptions{cachePathFor(a), a.jobs});
 }
@@ -619,6 +663,8 @@ runSweepCoordinated(const Args &a)
     opts.storeDir = a.store;
     opts.workers = a.workers;
     opts.workerBin = exe;
+    opts.retries = a.retries;
+    opts.workerTimeoutSec = a.workerTimeout;
     SinkSet files; // reuse the sink-file plumbing for the merged stream
     opts.out = openSinkFile(files, a.jsonl);
     int rc = 1;
@@ -801,6 +847,9 @@ cmdServe(const Args &a)
     opts.storeDir = a.store;
     opts.cachePath = a.cache;
     opts.jobs = a.jobs;
+    opts.maxQueue = a.maxQueue;
+    opts.requestTimeoutSec = a.requestTimeout;
+    opts.idleTimeoutSec = a.idleTimeout;
     return runServe(opts);
 }
 
@@ -835,15 +884,40 @@ cmdSubmit(const Args &a)
 int
 cmdCache(const Args &a)
 {
-    if (a.positional.empty() || a.positional[0] != "migrate")
-        usageError("cache wants the 'migrate' action, e.g. "
-                   "'refrint_cli cache migrate --store DIR'");
+    if (a.positional.empty() ||
+        (a.positional[0] != "migrate" && a.positional[0] != "scrub"))
+        usageError("cache wants the 'migrate' or 'scrub' action, e.g. "
+                   "'refrint_cli cache scrub --store DIR --repair'");
     if (a.positional.size() > 1)
         usageError("unexpected argument '%s'",
                    a.positional[1].c_str());
+    const std::string action = a.positional[0];
     if (a.store.empty())
-        usageError("cache migrate needs --store DIR (the sharded "
-                   "store to import into)");
+        usageError("cache %s needs --store DIR (the sharded store to "
+                   "%s)",
+                   action.c_str(),
+                   action == "migrate" ? "import into" : "verify");
+
+    if (action == "scrub") {
+        if (a.repair && !a.cache.empty())
+            usageError("scrub repairs in place; drop --cache");
+        const ScrubReport rep = scrubStore(a.store, a.repair, stdout);
+        std::printf("scrub: %u shard(s), %zu committed row(s), "
+                    "%zu unique key(s); %zu torn tail(s), %zu mid-file "
+                    "corruption(s), %zu duplicate(s)%s\n",
+                    rep.shardsScanned, rep.committed, rep.uniqueKeys,
+                    rep.tornTail, rep.midFile, rep.duplicates,
+                    a.repair ? "" : " (use --repair to quarantine "
+                                    "and rebuild)");
+        if (a.repair && (rep.quarantined > 0 || rep.compacted > 0))
+            std::printf("scrub: quarantined %zu bad line(s) to "
+                        "shard-NNN.bad, compacted %zu superseded "
+                        "row(s)\n",
+                        rep.quarantined, rep.compacted);
+        // Exit 1 on unrepaired damage so scripts can gate on it.
+        return rep.clean() || a.repair ? 0 : 1;
+    }
+
     const std::string cachePath = cachePathFor(a);
     ShardedStore store(a.store);
     const std::size_t n = migrateLegacyCache(cachePath, store);
@@ -955,7 +1029,13 @@ const Command kCommands[] = {
      "  --hybrid         SRAM L1/L2 over the eDRAM LLC\n"
      "  --workers N      shard the plan across N worker subprocesses\n"
      "                   (needs --jsonl; merged rows are byte-identical\n"
-     "                   to a single-process --jobs 1 run)\n",
+     "                   to a single-process --jobs 1 run)\n"
+     "  --retries N      extra attempts per range after a worker\n"
+     "                   crash/hang, with salvage of its flushed rows\n"
+     "                   and capped exponential backoff (default 1)\n"
+     "  --worker-timeout SEC   kill a worker whose row stream stops\n"
+     "                   growing for SEC seconds (progress deadline;\n"
+     "                   default off)\n",
      cmdSweep, /*runsPlans=*/true},
     {"figures", "Figs. 6.1-6.4 + the headline table",
      "usage: refrint_cli figures [options]\n"
@@ -1003,10 +1083,21 @@ const Command kCommands[] = {
      "                   without simulating)\n"
      "  --cache PATH     legacy cache instead of a store\n"
      "  --jobs N         worker threads for cold scenarios\n"
+     "  --max-queue N    pending-connection bound; a full queue sheds\n"
+     "                   new connections with {\"error\":\"overloaded\"}\n"
+     "                   (default 16)\n"
+     "  --request-timeout SEC  per-plan wall deadline; scenarios not\n"
+     "                   started in time are abandoned and the\n"
+     "                   response ends with an error line (default "
+     "off)\n"
+     "  --idle-timeout SEC     close connections whose client sends\n"
+     "                   nothing for SEC seconds (default off)\n"
      "\nRequests are newline-delimited JSON: a plan document runs it\n"
      "(rows + a {\"done\":...} summary with warm/cold counts, queue\n"
      "depth and per-scenario latency); {\"op\":\"stats\"} reports\n"
-     "service counters; {\"op\":\"shutdown\"} stops the server.\n",
+     "service counters; {\"op\":\"shutdown\"} stops the server.\n"
+     "SIGTERM drains gracefully: stop accepting, finish queued\n"
+     "connections, flush the store, exit 0.\n",
      cmdServe},
     {"submit", "send one request to a running 'serve'",
      "usage: refrint_cli submit (--socket PATH | --port N)\n"
@@ -1017,14 +1108,22 @@ const Command kCommands[] = {
      "\nRetries the connect for ~2s, so 'serve &' then 'submit' works\n"
      "without sleeps.  Exits 1 when the server answers an error.\n",
      cmdSubmit, /*runsPlans=*/false, /*usesPlan=*/true},
-    {"cache", "migrate a legacy cache file into a sharded store",
+    {"cache", "migrate into, or scrub & repair, a sharded store",
      "usage: refrint_cli cache migrate --store DIR [--cache PATH]\n"
-     "  --store DIR      destination sharded store (created if needed)\n"
-     "  --cache PATH     source cache file (default $REFRINT_CACHE or\n"
-     "                   ./refrint_sweep_cache.csv); read, never\n"
-     "                   modified\n"
+     "       refrint_cli cache scrub   --store DIR [--repair]\n"
+     "  --store DIR      the sharded store to import into / verify\n"
+     "  --cache PATH     migrate: source cache file (default\n"
+     "                   $REFRINT_CACHE or ./refrint_sweep_cache.csv);\n"
+     "                   read, never modified\n"
+     "  --repair         scrub: quarantine damaged lines to\n"
+     "                   shard-NNN.bad and atomically rebuild each\n"
+     "                   shard from its valid rows (duplicates\n"
+     "                   compacted last-wins)\n"
      "\nMigrated rows are byte-identical to freshly simulated ones, so\n"
-     "a follow-up 'sweep --store DIR' is all-warm.\n",
+     "a follow-up 'sweep --store DIR' is all-warm.  'cache scrub'\n"
+     "verifies every record's framing checksum, tells crash-torn\n"
+     "tails from mid-file corruption, and exits 1 on unrepaired\n"
+     "damage.\n",
      cmdCache},
     {"trace-record", "record a workload's reference stream to a file",
      "usage: refrint_cli trace-record --app NAME --out FILE\n"
