@@ -15,6 +15,11 @@
  *    a miss/install mix) on the paper's L3-bank geometry with set
  *    hashing enabled.
  *
+ * The event kernel is measured along a cores-scaling curve (4..64
+ * clients-population points); the probe benchmark at the default and
+ * the 32-core machine's footprint.  Peak RSS (VmHWM) is snapshotted
+ * after the kernel benches as a memory-regression tripwire.
+ *
  * Usage:
  *   bench_kernel [--json PATH] [--sweep] [--check BASELINE [--tol F]]
  *
@@ -22,8 +27,11 @@
  *   --sweep       also run the headline sweep (honours REFRINT_REFS /
  *                 REFRINT_APPS / REFRINT_CACHE) and record its wall time
  *   --check FILE  compare against a committed baseline JSON; exit 1 if
- *                 events/sec or lookups/sec regress more than --tol
- *                 (default 0.30) below it
+ *                 any throughput metric regresses more than --tol
+ *                 (default 0.30) below it, if peak RSS exceeds the
+ *                 baseline by more than --tol, or if 32-core dispatch
+ *                 throughput falls below 80% of 16-core (the scaling
+ *                 guarantee of the timing-wheel kernel)
  */
 
 #include <chrono>
@@ -120,9 +128,13 @@ benchEvents(std::uint64_t targetEvents, std::uint32_t coreCount = 16)
     return static_cast<double>(dispatched) / dt;
 }
 
-/** Cache probe throughput on the paper's L3-bank shape. */
+/** Cache probe throughput on the paper's L3-bank shape.  @p coreCount
+ *  scales the address footprint driven through the bank the way a
+ *  larger machine does: the per-bank geometry is unchanged (banks
+ *  scale with cores), but the cold tail spans a proportionally larger
+ *  address range, so conflict churn grows with the machine. */
 double
-benchLookups(std::uint64_t targetLookups)
+benchLookups(std::uint64_t targetLookups, std::uint32_t coreCount = 16)
 {
     CacheGeometry geom;
     geom.sizeBytes = 512 * 1024; // one L3 bank (Table 5.1)
@@ -131,6 +143,8 @@ benchLookups(std::uint64_t targetLookups)
     geom.latency = 4;
     geom.hashSets = true;
     CacheArray arr(geom, "bench_l3");
+
+    const std::uint32_t coldSpan = (1u << 20) * (coreCount / 16u);
 
     // Address stream with cache-like locality: mostly re-touches of a
     // hot region, a tail of cold fills.
@@ -142,7 +156,7 @@ benchLookups(std::uint64_t targetLookups)
         const bool hot = (prng.next() & 7) != 0;
         const Addr a = static_cast<Addr>(
                            hot ? prng.below(8 * 1024)
-                               : 8 * 1024 + prng.below(1 << 20)) *
+                               : 8 * 1024 + prng.below(coldSpan)) *
                        64;
         ++now;
         CacheLine *l = arr.lookup(a);
@@ -158,6 +172,19 @@ benchLookups(std::uint64_t targetLookups)
     }
     const double dt = secondsSince(t0);
     return static_cast<double>(done) / dt;
+}
+
+/** Peak resident set (VmHWM) in kB, or -1 where /proc is unavailable. */
+double
+peakRssKb()
+{
+    std::ifstream in("/proc/self/status");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("VmHWM:", 0) == 0)
+            return std::strtod(line.c_str() + 6, nullptr);
+    }
+    return -1.0;
 }
 
 /** Pull "key": number out of a (flat) JSON snapshot. */
@@ -204,18 +231,28 @@ main(int argc, char **argv)
 
     // Warm-up pass, then the measured pass (first-touch page faults and
     // frequency ramp otherwise pollute the smaller CI machines).
-    benchEvents(2'000'000);
-    const double eventsPerSec = benchEvents(20'000'000);
-    // Scaling point: the same mix at a 32-core machine's population
-    // (tracks how dispatch throughput holds up as --cores grows).
-    benchEvents(2'000'000, 32);
-    const double eventsPerSec32 = benchEvents(20'000'000, 32);
+    // Cores-scaling curve: the same event mix at every machine scale
+    // the sweep exercises — the timing-wheel kernel should hold its
+    // throughput roughly flat as the client population grows.
+    const std::uint32_t curveCores[] = {4, 8, 16, 32, 64};
+    double curve[5] = {0, 0, 0, 0, 0};
+    for (std::size_t i = 0; i < 5; ++i) {
+        benchEvents(2'000'000, curveCores[i]);
+        curve[i] = benchEvents(20'000'000, curveCores[i]);
+    }
+    const double eventsPerSec = curve[2];   // 16c: the headline metric
+    const double eventsPerSec32 = curve[3]; // 32c: the scaling gate
     benchLookups(2'000'000);
     const double lookupsPerSec = benchLookups(20'000'000);
+    benchLookups(2'000'000, 32);
+    const double lookupsPerSec32 = benchLookups(20'000'000, 32);
+    const double rssKb = peakRssKb();
 
-    std::printf("events/sec      : %.3e\n", eventsPerSec);
-    std::printf("events/sec (32c): %.3e\n", eventsPerSec32);
-    std::printf("lookups/sec     : %.3e\n", lookupsPerSec);
+    for (std::size_t i = 0; i < 5; ++i)
+        std::printf("events/sec (%2uc): %.3e\n", curveCores[i], curve[i]);
+    std::printf("lookups/sec      : %.3e\n", lookupsPerSec);
+    std::printf("lookups/sec (32c): %.3e\n", lookupsPerSec32);
+    std::printf("peak rss         : %.0f kB\n", rssKb);
 
     double sweepWall = -1.0;
     std::size_t sweepSims = 0;
@@ -237,8 +274,13 @@ main(int argc, char **argv)
         out << "{\n"
             << "  \"bench\": \"kernel\",\n"
             << "  \"events_per_sec\": " << eventsPerSec << ",\n"
+            << "  \"events_per_sec_c4\": " << curve[0] << ",\n"
+            << "  \"events_per_sec_c8\": " << curve[1] << ",\n"
             << "  \"events_per_sec_c32\": " << eventsPerSec32 << ",\n"
+            << "  \"events_per_sec_c64\": " << curve[4] << ",\n"
             << "  \"lookups_per_sec\": " << lookupsPerSec << ",\n"
+            << "  \"lookups_per_sec_c32\": " << lookupsPerSec32 << ",\n"
+            << "  \"peak_rss_kb\": " << rssKb << ",\n"
             << "  \"sweep_wall_s\": " << sweepWall << ",\n"
             << "  \"sweep_simulations\": " << sweepSims << ",\n"
             << "  \"refs_per_core\": " << bench::defaultRefs() << "\n"
@@ -260,17 +302,44 @@ main(int argc, char **argv)
             const char *key;
             double current;
         } checks[] = {{"events_per_sec", eventsPerSec},
+                      {"events_per_sec_c4", curve[0]},
+                      {"events_per_sec_c8", curve[1]},
                       {"events_per_sec_c32", eventsPerSec32},
-                      {"lookups_per_sec", lookupsPerSec}};
+                      {"events_per_sec_c64", curve[4]},
+                      {"lookups_per_sec", lookupsPerSec},
+                      {"lookups_per_sec_c32", lookupsPerSec32}};
         for (const auto &c : checks) {
             const double want = jsonNumber(base, c.key);
             if (want <= 0)
                 continue; // metric absent from the baseline
             const double floor = want * (1.0 - tolerance);
             const bool pass = c.current >= floor;
-            std::printf("check %-16s %.3e vs baseline %.3e (floor "
+            std::printf("check %-19s %.3e vs baseline %.3e (floor "
                         "%.3e): %s\n",
                         c.key, c.current, want, floor,
+                        pass ? "ok" : "REGRESSION");
+            ok = ok && pass;
+        }
+        // Peak RSS regresses upward: gate against a ceiling instead.
+        const double rssWant = jsonNumber(base, "peak_rss_kb");
+        if (rssWant > 0 && rssKb > 0) {
+            const double ceiling = rssWant * (1.0 + tolerance);
+            const bool pass = rssKb <= ceiling;
+            std::printf("check %-19s %.0f kB vs baseline %.0f kB "
+                        "(ceiling %.0f kB): %s\n",
+                        "peak_rss_kb", rssKb, rssWant, ceiling,
+                        pass ? "ok" : "REGRESSION");
+            ok = ok && pass;
+        }
+        // Scaling gate: the wheel kernel's dispatch cost is flat in
+        // the client population, so 32-core throughput must hold at
+        // least 80% of 16-core — the regression this bench exists to
+        // catch (events_per_sec_c32 used to be 0.74x of 16c).
+        {
+            const bool pass = eventsPerSec32 >= 0.8 * eventsPerSec;
+            std::printf("check %-19s c32/c16 ratio %.2f (floor 0.80): "
+                        "%s\n",
+                        "events_scaling", eventsPerSec32 / eventsPerSec,
                         pass ? "ok" : "REGRESSION");
             ok = ok && pass;
         }

@@ -1,10 +1,12 @@
 #include "api/experiment_plan.hh"
 
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "api/json.hh"
+#include "common/hash.hh"
 #include "common/log.hh"
 #include "workload/method.hh"
 
@@ -434,14 +436,11 @@ energyKeyTag(const EnergyParams &energy)
         return "";
     // FNV-1a over the exact serialized field values, so the tag is
     // stable across platforms and identical for identical models.
-    std::uint64_t h = 1469598103934665603ULL;
+    std::uint64_t h = kFnv64Basis;
     char buf[40];
     for (const auto &f : kEnergyFields) {
         std::snprintf(buf, sizeof(buf), "%.17g", energy.*f.field);
-        for (const char *p = buf; *p != '\0'; ++p) {
-            h ^= static_cast<unsigned char>(*p);
-            h *= 1099511628211ULL;
-        }
+        h = fnv64Mix(buf, std::strlen(buf), h);
     }
     std::snprintf(buf, sizeof(buf), "%016llx",
                   static_cast<unsigned long long>(h));

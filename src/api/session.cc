@@ -2,14 +2,60 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <map>
 #include <mutex>
 
 #include "api/run_cache.hh"
+#include "common/arena.hh"
 #include "common/log.hh"
 #include "harness/pool.hh"
 
 namespace refrint
 {
+
+namespace
+{
+
+/**
+ * Private scratch state of one sweep worker, reused across every
+ * scenario the worker claims:
+ *
+ *  - arena: backing store for each run's simulator allocations (cache
+ *    arrays, refresh heaps, event-queue bands).  reset() before each
+ *    simulation recycles the chunks instead of round-tripping them
+ *    through malloc — by the second scenario a worker allocates
+ *    nothing from the OS.
+ *  - machines: memoized MachineConfig per distinct machine identity.
+ *    A plan axis typically crosses many workloads with few machines,
+ *    so most runs reuse a read-only config instead of rebuilding the
+ *    descriptor set.
+ *  - workloads: memoized registry resolution per app spec, skipping
+ *    the registry's parse + lock on repeat specs.
+ *
+ * None of this can affect results: configs and workloads are
+ * value-identical to what Scenario would rebuild, and the arena only
+ * moves allocations (common/arena.hh, determinism note).
+ */
+struct WorkerCtx
+{
+    Arena arena;
+    std::map<std::string, MachineConfig> machines;
+    std::map<std::string, const Workload *> workloads;
+};
+
+/** Memo key capturing everything Scenario::machine() reads (the
+ *  plan-wide energy model is constant across the sweep). */
+std::string
+machineMemoKey(const Scenario &sc)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "|%.17g|%.17g|%u|%d", sc.retentionUs,
+                  sc.ambientC, sc.cores, sc.hybrid ? 1 : 0);
+    return sc.config + buf;
+}
+
+} // namespace
 
 Session::Session(SessionOptions opts)
     : jobs_(opts.jobs),
@@ -91,7 +137,8 @@ Session::run(const ExperimentPlan &plan,
     const std::string energyTag = energyKeyTag(plan.energy);
 
     const unsigned jobs = resolveJobs(jobs_);
-    parallelFor(n, jobs, [&](std::size_t i) {
+    std::vector<WorkerCtx> ctxs(jobs);
+    parallelForWorkers(n, jobs, [&](std::size_t i, unsigned worker) {
         const auto t0 = std::chrono::steady_clock::now();
         if (deadlineSeconds > 0 && t0 >= deadline) {
             // Cooperative overload control: the budget is spent, so
@@ -115,9 +162,26 @@ Session::run(const ExperimentPlan &plan,
         } else {
             LogPrefix scope(sc.logLabel());
             inform("simulating ...");
-            RunResult r = runOnce(sc.machine(plan.energy),
-                                  sc.resolveWorkload(), sc.sim,
-                                  plan.energy);
+            WorkerCtx &ctx = ctxs[worker];
+            // Batch effect of per-worker claiming: scenarios sharing a
+            // machine or an app spec hit the worker's memos, so only
+            // the first run of each pays construction/resolution.
+            auto [mit, minserted] =
+                ctx.machines.try_emplace(machineMemoKey(sc));
+            if (minserted)
+                mit->second = sc.machine(plan.energy);
+            const Workload *wl = sc.workload;
+            if (wl == nullptr) {
+                const Workload *&slot = ctx.workloads[sc.app];
+                if (slot == nullptr)
+                    slot = &sc.resolveWorkload();
+                wl = slot;
+            }
+            // All prior arena-backed state (the previous scenario's
+            // simulator) is dead by now; recycle the chunks.
+            ctx.arena.reset();
+            RunResult r = runOnce(mit->second, *wl, sc.sim, plan.energy,
+                                  &ctx.arena);
             // Stamp the plan's labels (0.0 retention for SRAM
             // baselines; the scenario's own app spelling, which for a
             // spec workload may be terser than the canonical name the

@@ -112,9 +112,11 @@ struct Hierarchy::TargetAdapter : public RefreshTarget
     std::string label;
 };
 
-Hierarchy::Hierarchy(const MachineConfig &cfg, EventQueue &eq)
+Hierarchy::Hierarchy(const MachineConfig &cfg, EventQueue &eq,
+                     Arena *arena)
     : cfg_(cfg),
       eq_(eq),
+      arena_(arena),
       net_(cfg.torusDim, cfg.hopLatency, cfg.dataSerialization, netStats_),
       dram_(cfg.dramLatency, cfg.dramMinGap, dramStats_)
 {
@@ -174,7 +176,7 @@ Hierarchy::buildUnits()
             if (lv.spec->sharing != Sharing::Private)
                 continue;
             lv.units.push_back(std::make_unique<CacheUnit>(
-                lv.spec->name, lv.spec->geom, *lv.stats));
+                lv.spec->name, lv.spec->geom, *lv.stats, arena_));
         }
     }
     for (Level &lv : levels_) {
@@ -182,7 +184,7 @@ Hierarchy::buildUnits()
             continue;
         for (std::uint32_t b = 0; b < cfg_.numBanks; ++b) {
             lv.units.push_back(std::make_unique<CacheUnit>(
-                lv.spec->name, lv.spec->geom, *lv.stats));
+                lv.spec->name, lv.spec->geom, *lv.stats, arena_));
         }
     }
 
@@ -214,7 +216,7 @@ Hierarchy::buildRefreshEngines()
                                              lv.spec->policy,
                                              cfg_.retention,
                                              lv.spec->engine, eq_,
-                                             *lv.refreshStats));
+                                             *lv.refreshStats, arena_));
         u.engine = engines_.back().get();
     };
 

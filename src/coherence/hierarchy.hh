@@ -71,7 +71,11 @@ struct HierarchyCounts
 class Hierarchy
 {
   public:
-    Hierarchy(const MachineConfig &cfg, EventQueue &eq);
+    /** @p arena, when non-null, backs the cache arrays and refresh
+     *  engine heaps (a sweep worker recycles it between scenarios; see
+     *  common/arena.hh).  The hierarchy must not outlive it. */
+    Hierarchy(const MachineConfig &cfg, EventQueue &eq,
+              Arena *arena = nullptr);
     ~Hierarchy();
 
     Hierarchy(const Hierarchy &) = delete;
@@ -211,6 +215,7 @@ class Hierarchy
 
     MachineConfig cfg_;
     EventQueue &eq_;
+    Arena *arena_ = nullptr; ///< optional recycled backing store
 
     /** Precomputed bankOf() slicing; mask 0 = non-power-of-two bank
      *  count, fall back to modulo. */

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * FNV-1a 64-bit hashing, shared by every keyed subsystem.
+ *
+ * One implementation serves the record-framing checksums and shard
+ * selection of the experiment service (service/framing.hh,
+ * service/store.cc) and the energy-model cache-key tag
+ * (api/experiment_plan.cc).  The constants are load-bearing: framed
+ * store files and |en=-tagged sweep-cache rows persist hashes on disk,
+ * so changing them would orphan every existing store.
+ */
+
+#ifndef REFRINT_COMMON_HASH_HH
+#define REFRINT_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace refrint
+{
+
+/** FNV-1a 64-bit basis / prime.  The basis is the value this repo has
+ *  always used (it differs from the canonical FNV offset basis) — it
+ *  is persisted in framed store files, so it must never change. */
+constexpr std::uint64_t kFnv64Basis = 1469598103934665603ULL;
+constexpr std::uint64_t kFnv64Prime = 1099511628211ULL;
+
+/** Mix @p n bytes at @p data into a running FNV-1a state @p h. */
+inline std::uint64_t
+fnv64Mix(const void *data, std::size_t n,
+         std::uint64_t h = kFnv64Basis)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnv64Prime;
+    }
+    return h;
+}
+
+/** FNV-1a 64 of a string's bytes. */
+inline std::uint64_t
+fnv64(const std::string &s)
+{
+    return fnv64Mix(s.data(), s.size());
+}
+
+} // namespace refrint
+
+#endif // REFRINT_COMMON_HASH_HH

@@ -12,17 +12,20 @@ RefreshEngine::RefreshEngine(RefreshTarget &target,
                              const RefreshPolicy &policy,
                              const RetentionParams &retention,
                              const EngineGeometry &geom, EventQueue &eq,
-                             StatGroup &stats)
+                             StatGroup &stats, Arena *arena)
     : target_(target), arr_(target.array()), policy_(policy), geom_(geom),
-      eq_(eq)
+      eq_(eq),
+      lineRetention_(ArenaAllocator<Tick>(arena)),
+      nominalLineRetention_(ArenaAllocator<Tick>(arena))
 {
     const std::uint32_t lines = target.array().numLines();
     cellRetention_ = retention.cellRetention;
     sentryRetention_ = retention.sentryRetention(lines);
     nominalCell_ = cellRetention_;
     margin_ = cellRetention_ - sentryRetention_;
-    lineRetention_ = retention.drawLineRetentions(lines);
-    nominalLineRetention_ = lineRetention_;
+    const std::vector<Tick> draws = retention.drawLineRetentions(lines);
+    lineRetention_.assign(draws.begin(), draws.end());
+    nominalLineRetention_.assign(draws.begin(), draws.end());
 
     refreshes_ = &stats.counter("line_refreshes");
     wbs_ = &stats.counter("refresh_writebacks");
@@ -137,8 +140,10 @@ PeriodicEngine::PeriodicEngine(RefreshTarget &target,
                                const RefreshPolicy &policy,
                                const RetentionParams &retention,
                                const EngineGeometry &geom, EventQueue &eq,
-                               StatGroup &stats)
-    : RefreshEngine(target, policy, retention, geom, eq, stats)
+                               StatGroup &stats, Arena *arena)
+    : RefreshEngine(target, policy, retention, geom, eq, stats, arena),
+      burstNext_(ArenaAllocator<Tick>(arena)),
+      burstEvents_(ArenaAllocator<EventHandle>(arena))
 {
     kind_ = EngineKind::Periodic;
     // A periodic controller has no per-line retention knowledge: under
@@ -265,8 +270,10 @@ RefrintEngine::RefrintEngine(RefreshTarget &target,
                              const RefreshPolicy &policy,
                              const RetentionParams &retention,
                              const EngineGeometry &geom, EventQueue &eq,
-                             StatGroup &stats)
-    : RefreshEngine(target, policy, retention, geom, eq, stats)
+                             StatGroup &stats, Arena *arena)
+    : RefreshEngine(target, policy, retention, geom, eq, stats, arena),
+      heap_(arena), sentryM_(ArenaAllocator<Tick>(arena)),
+      ghosts_(ArenaAllocator<Tick>(arena))
 {
     kind_ = EngineKind::Refrint;
     const std::uint32_t lines = target.array().numLines();
@@ -402,29 +409,85 @@ RefrintEngine::start(Tick now)
     maybeSchedule();
 }
 
+namespace
+{
+
+#if defined(REFRINT_PROBE_AVX2)
+
+/** Lane-wise unsigned min over 64-bit lanes (AVX2 has no unsigned
+ *  64-bit compare: flip the sign bit and compare signed). */
+inline __m256i
+minU64(__m256i a, __m256i b)
+{
+    const __m256i bias = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ull));
+    const __m256i gt = _mm256_cmpgt_epi64(_mm256_xor_si256(a, bias),
+                                          _mm256_xor_si256(b, bias));
+    return _mm256_blendv_epi8(a, b, gt); // a > b ? b : a
+}
+
+inline Tick
+hminU64(__m256i v)
+{
+    alignas(32) Tick lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), v);
+    Tick m = lanes[0];
+    for (int i = 1; i < 4; ++i)
+        m = lanes[i] < m ? lanes[i] : m;
+    return m;
+}
+
+#endif // REFRINT_PROBE_AVX2
+
+/** Min of sm[lo..hi); under Valid gating only probe-valid lanes count.
+ *  Vector body over aligned-count chunks, scalar tail — nothing past
+ *  hi is ever read, so a partial last group can never see its
+ *  neighbour's sentries. */
+inline Tick
+sentryScanMin(const Tick *sm, const Addr *probe, std::uint32_t lo,
+              std::uint32_t hi)
+{
+    Tick dl = kTickNever;
+    std::uint32_t idx = lo;
+#if defined(REFRINT_PROBE_AVX2)
+    __m256i acc = _mm256_set1_epi64x(-1); // kTickNever in every lane
+    for (; idx + 4 <= hi; idx += 4) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(sm + idx));
+        if (probe != nullptr) {
+            // Invalid lanes (probe word 0) must not contribute: the
+            // compare mask is all-ones exactly there, and OR-ing it in
+            // turns the lane into kTickNever.
+            const __m256i pv = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(probe + idx));
+            v = _mm256_or_si256(
+                v, _mm256_cmpeq_epi64(pv, _mm256_setzero_si256()));
+        }
+        acc = minU64(acc, v);
+    }
+    dl = hminU64(acc);
+#endif
+    for (; idx < hi; ++idx) {
+        if ((probe == nullptr || probe[idx] != 0) && sm[idx] < dl)
+            dl = sm[idx];
+    }
+    return dl;
+}
+
+} // namespace
+
 Tick
 RefrintEngine::groupDeadline(std::uint32_t g) const
 {
     // Dense scan: packed sentry expiries gated by the packed validity
-    // probe — no CacheLine structs are touched.
+    // probe — no CacheLine structs are touched, and the scan body is
+    // vectorized (sentryScanMin above).
     const std::uint32_t lo = g * geom_.sentryGroupSize;
     const std::uint32_t hi =
         std::min(arr_.numLines(), lo + geom_.sentryGroupSize);
-    const Tick *sm = sentryM_.data();
-    Tick dl = kTickNever;
-    if (policy_.data == DataPolicy::All) {
-        for (std::uint32_t idx = lo; idx < hi; ++idx) {
-            if (sm[idx] < dl)
-                dl = sm[idx];
-        }
-    } else {
-        const Addr *probe = arr_.probeData();
-        for (std::uint32_t idx = lo; idx < hi; ++idx) {
-            if (probe[idx] != 0 && sm[idx] < dl)
-                dl = sm[idx];
-        }
-    }
-    return dl;
+    const Addr *probe =
+        policy_.data == DataPolicy::All ? nullptr : arr_.probeData();
+    return sentryScanMin(sentryM_.data(), probe, lo, hi);
 }
 
 void
@@ -556,16 +619,18 @@ std::unique_ptr<RefreshEngine>
 makeRefreshEngine(RefreshTarget &target, const RefreshPolicy &policy,
                   const RetentionParams &retention,
                   const EngineGeometry &geom, EventQueue &eq,
-                  StatGroup &stats)
+                  StatGroup &stats, Arena *arena)
 {
     switch (policy.time) {
       case TimePolicy::Periodic:
         return std::make_unique<PeriodicEngine>(target, policy, retention,
-                                                geom, eq, stats);
+                                                geom, eq, stats, arena);
       case TimePolicy::Refrint:
         return std::make_unique<RefrintEngine>(target, policy, retention,
-                                               geom, eq, stats);
+                                               geom, eq, stats, arena);
       case TimePolicy::SmartRefresh:
+        // The comparator engine is rarely on a sweep's hot path; it
+        // keeps plain heap storage (arena not threaded through).
         return makeSmartRefreshEngine(target, policy, retention, geom, eq,
                                       stats);
     }

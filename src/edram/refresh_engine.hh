@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "edram/refresh_policy.hh"
@@ -114,10 +115,13 @@ enum class EngineKind : std::uint8_t
 class RefreshEngine : public EventClient
 {
   public:
+    /** @p arena, when non-null, backs the engine's per-line arrays and
+     *  heaps (sweep workers recycle it across scenarios); the engine
+     *  must not outlive it. */
     RefreshEngine(RefreshTarget &target, const RefreshPolicy &policy,
                   const RetentionParams &retention,
                   const EngineGeometry &geom, EventQueue &eq,
-                  StatGroup &stats);
+                  StatGroup &stats, Arena *arena = nullptr);
     ~RefreshEngine() override = default;
 
     RefreshEngine(const RefreshEngine &) = delete;
@@ -249,8 +253,8 @@ class RefreshEngine : public EventClient
     /** Per-line retention draws; empty when variation is disabled.
      *  lineRetention_ holds the current (scaled) periods, the nominal
      *  draws are kept for exact rescaling. */
-    std::vector<Tick> lineRetention_;
-    std::vector<Tick> nominalLineRetention_;
+    ArenaVector<Tick> lineRetention_;
+    ArenaVector<Tick> nominalLineRetention_;
 
     Counter *refreshes_; ///< individual line refreshes performed
     Counter *wbs_;       ///< refresh-triggered write-backs
@@ -266,7 +270,7 @@ class PeriodicEngine : public RefreshEngine
     PeriodicEngine(RefreshTarget &target, const RefreshPolicy &policy,
                    const RetentionParams &retention,
                    const EngineGeometry &geom, EventQueue &eq,
-                   StatGroup &stats);
+                   StatGroup &stats, Arena *arena = nullptr);
 
     void start(Tick now) override;
 
@@ -304,8 +308,8 @@ class PeriodicEngine : public RefreshEngine
   private:
     std::uint32_t linesPerBurst_;
     std::uint32_t numBursts_;
-    std::vector<Tick> burstNext_;  ///< next firing time per burst
-    std::vector<EventHandle> burstEvents_; ///< live event per burst
+    ArenaVector<Tick> burstNext_;  ///< next firing time per burst
+    ArenaVector<EventHandle> burstEvents_; ///< live event per burst
     bool started_ = false;
 
     Counter *bursts_;
@@ -318,7 +322,7 @@ class RefrintEngine : public RefreshEngine
     RefrintEngine(RefreshTarget &target, const RefreshPolicy &policy,
                   const RetentionParams &retention,
                   const EngineGeometry &geom, EventQueue &eq,
-                  StatGroup &stats);
+                  StatGroup &stats, Arena *arena = nullptr);
 
     void start(Tick now) override;
 
@@ -369,6 +373,13 @@ class RefrintEngine : public RefreshEngine
     class GroupHeap
     {
       public:
+        explicit GroupHeap(Arena *arena = nullptr)
+            : expiry_(ArenaAllocator<Tick>(arena)),
+              group_(ArenaAllocator<std::uint32_t>(arena)),
+              pos_(ArenaAllocator<std::uint32_t>(arena))
+        {
+        }
+
         void
         reset(std::uint32_t numGroups)
         {
@@ -402,9 +413,9 @@ class RefrintEngine : public RefreshEngine
 
         // SoA node storage: the sift comparisons scan the packed key
         // array (16 children = two cache lines); group ids ride along.
-        std::vector<Tick> expiry_;
-        std::vector<std::uint32_t> group_;
-        std::vector<std::uint32_t> pos_; ///< group -> node index
+        ArenaVector<Tick> expiry_;
+        ArenaVector<std::uint32_t> group_;
+        ArenaVector<std::uint32_t> pos_; ///< group -> node index
     };
 
     /** First line of sentry group @p g. */
@@ -434,7 +445,7 @@ class RefrintEngine : public RefreshEngine
 
     std::uint32_t numGroups_;
     GroupHeap heap_;
-    std::vector<Tick> sentryM_; ///< packed sentry expiries (mirror)
+    ArenaVector<Tick> sentryM_; ///< packed sentry expiries (mirror)
     Tick scheduledAt_ = kTickNever;
 
     /**
@@ -446,7 +457,7 @@ class RefrintEngine : public RefreshEngine
      * with them the same-tick interleaving against core events.
      * Empty in isothermal runs.
      */
-    std::vector<Tick> ghosts_;
+    ArenaVector<Tick> ghosts_;
 
     Counter *interrupts_; ///< sentry interrupts serviced (groups)
 };
@@ -457,7 +468,7 @@ std::unique_ptr<RefreshEngine>
 makeRefreshEngine(RefreshTarget &target, const RefreshPolicy &policy,
                   const RetentionParams &retention,
                   const EngineGeometry &geom, EventQueue &eq,
-                  StatGroup &stats);
+                  StatGroup &stats, Arena *arena = nullptr);
 
 /** Implemented in related/smart_refresh.cc; kept behind a factory so
  *  the edram module does not include related/ headers. */

@@ -90,12 +90,20 @@ void
 parallelFor(std::size_t n, unsigned jobs,
             const std::function<void(std::size_t)> &fn)
 {
+    parallelForWorkers(n, jobs,
+                       [&fn](std::size_t i, unsigned) { fn(i); });
+}
+
+void
+parallelForWorkers(std::size_t n, unsigned jobs,
+                   const std::function<void(std::size_t, unsigned)> &fn)
+{
     if (n == 0)
         return;
     jobs = resolveJobs(jobs);
     if (jobs <= 1 || n == 1) {
         for (std::size_t i = 0; i < n; ++i)
-            fn(i);
+            fn(i, 0);
         return;
     }
     if (jobs > n)
@@ -103,19 +111,21 @@ parallelFor(std::size_t n, unsigned jobs,
 
     // One shared index counter: each worker claims the next undone
     // index, so load balances dynamically across uneven run times.
+    // Each submission is one worker; its submission index is the
+    // stable worker id handed to fn.
     std::atomic<std::size_t> next{0};
-    auto drain = [&] {
+    auto drain = [&](unsigned w) {
         for (;;) {
             const std::size_t i = next.fetch_add(1);
             if (i >= n)
                 return;
-            fn(i);
+            fn(i, w);
         }
     };
 
     ThreadPool pool(jobs);
     for (unsigned w = 0; w < jobs; ++w)
-        pool.submit(drain);
+        pool.submit([&drain, w] { drain(w); });
     pool.wait();
 }
 

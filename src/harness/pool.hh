@@ -72,6 +72,16 @@ class ThreadPool
 void parallelFor(std::size_t n, unsigned jobs,
                  const std::function<void(std::size_t)> &fn);
 
+/**
+ * Like parallelFor, but @p fn also receives a stable worker id in
+ * [0, jobs): every invocation on the same thread sees the same id, so
+ * callers can give each worker private scratch state (arenas, memo
+ * caches) without locking.  jobs <= 1 runs inline with worker id 0.
+ */
+void parallelForWorkers(
+    std::size_t n, unsigned jobs,
+    const std::function<void(std::size_t, unsigned)> &fn);
+
 } // namespace refrint
 
 #endif // REFRINT_HARNESS_POOL_HH

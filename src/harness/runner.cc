@@ -50,9 +50,9 @@ collectLatencies(CmpSystem &sys, RunResult &r)
 
 RunResult
 runOnce(const MachineConfig &cfg, const Workload &app,
-        const SimParams &params, const EnergyParams &energy)
+        const SimParams &params, const EnergyParams &energy, Arena *arena)
 {
-    CmpSystem sys(cfg, app, params);
+    CmpSystem sys(cfg, app, params, arena);
     sys.run();
 
     RunResult r;

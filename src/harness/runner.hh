@@ -71,10 +71,13 @@ struct NormalizedResult
     double dynamic = 0, leakage = 0, refresh = 0;
 };
 
-/** Run @p app on @p cfg and collect the result. */
+/** Run @p app on @p cfg and collect the result.  @p arena, when
+ *  non-null, backs the run's simulator allocations (recycled by sweep
+ *  workers; see common/arena.hh). */
 RunResult runOnce(const MachineConfig &cfg, const Workload &app,
                   const SimParams &params,
-                  const EnergyParams &energy = EnergyParams::calibrated());
+                  const EnergyParams &energy = EnergyParams::calibrated(),
+                  Arena *arena = nullptr);
 
 /**
  * Whether @p base can serve as a normalization baseline: nonzero

@@ -19,12 +19,13 @@ mesiName(Mesi s)
     return "?";
 }
 
-CacheArray::CacheArray(const CacheGeometry &geom, const char *name)
+CacheArray::CacheArray(const CacheGeometry &geom, const char *name,
+                       Arena *arena)
     : geom_(geom),
       numLines_(geom.numLines()),
-      lines_(geom.numLines()),
-      probe_(geom.numLines(), 0),
-      lastTouch_(geom.numLines(), 0)
+      lines_(geom.numLines(), ArenaAllocator<CacheLine>(arena)),
+      probe_(geom.numLines() + kProbePad, 0, ArenaAllocator<Addr>(arena)),
+      lastTouch_(geom.numLines(), 0, ArenaAllocator<Tick>(arena))
 {
     geom_.check(name);
     // The probe word carries validity in bit 0 of the line-aligned tag.
@@ -42,11 +43,12 @@ CacheArray::pickVictim(Addr addr)
 {
     const std::uint32_t set = setIndexOf(addr);
     const std::uint32_t base = set * assoc_;
-    // Prefer an invalid way (packed probe scan).
-    const Addr *p = probe_.data() + base;
-    for (std::uint32_t w = 0; w < assoc_; ++w) {
-        if (p[w] == 0)
-            return {&lines_[base + w], base + w};
+    // Prefer an invalid way (vector probe scan for a zero word; the
+    // tail mask keeps the zero padding from matching).
+    const int inv = probeFindWay(probe_.data() + base, assoc_, 0);
+    if (inv >= 0) {
+        const std::uint32_t w = base + static_cast<std::uint32_t>(inv);
+        return {&lines_[w], w};
     }
     // Otherwise evict true-LRU (earliest lastTouch; way order ties).
     // Packed scan: one cache line of Ticks covers an 8-way set.
@@ -87,6 +89,30 @@ CacheArray::checkProbeCoherence() const
                   "want=%llx)",
                   i, static_cast<unsigned long long>(probe_[i]),
                   static_cast<unsigned long long>(want));
+        }
+    }
+    for (std::uint32_t i = numLines_; i < numLines_ + kProbePad; ++i) {
+        if (probe_[i] != 0)
+            panic("probe padding word %u is nonzero", i);
+    }
+    // Differential check of the vector probe against the scalar
+    // reference on live data: every resident word and the invalid-way
+    // scan must agree, set by set.
+    const std::uint32_t sets = numLines_ / assoc_;
+    for (std::uint32_t s = 0; s < sets; ++s) {
+        const Addr *p = probe_.data() +
+                        static_cast<std::size_t>(s) * assoc_;
+        if (probeFindWay(p, assoc_, 0) !=
+            probeFindWayScalar(p, assoc_, 0))
+            panic("vector/scalar probe divergence (invalid scan, "
+                  "set %u)", s);
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (p[w] == 0)
+                continue;
+            if (probeFindWay(p, assoc_, p[w]) !=
+                probeFindWayScalar(p, assoc_, p[w]))
+                panic("vector/scalar probe divergence (set %u way %u)",
+                      s, w);
         }
     }
 }

@@ -14,6 +14,16 @@
  * of the authoritative CacheLine state, kept coherent at the two
  * choke points every Invalid<->valid transition passes through:
  * install() and invalidate().
+ *
+ * The set scan itself is vectorized (probeFindWay below): one 256-bit
+ * AVX2 or 128-bit SSE2 compare covers 4 or 2 ways per step, selected
+ * at compile time with a scalar fallback.  The probe array carries a
+ * few zero pad words past the last line so a vector may over-read the
+ * final set; tail lanes are masked out of every match so the padding
+ * (and a neighbouring set, were the layout ever to change) can never
+ * produce a hit.  A probe word is the full line-aligned address | 1,
+ * so equal words imply equal set index — a cross-set false match is
+ * structurally impossible even without the mask.
  */
 
 #ifndef REFRINT_MEM_CACHE_ARRAY_HH
@@ -22,11 +32,94 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.hh"
 #include "mem/cache_geometry.hh"
 #include "mem/line_state.hh"
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define REFRINT_PROBE_AVX2 1
+#elif defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#if defined(__SSE4_1__)
+#include <smmintrin.h>
+#endif
+#define REFRINT_PROBE_SSE2 1
+#endif
+
 namespace refrint
 {
+
+/** Zero words appended to the probe array so the widest vector step
+ *  may read past the last way of the last set. */
+constexpr std::uint32_t kProbePad = 4;
+
+/** Reference scan: index of the first word equal to @p want among
+ *  p[0..n), or -1.  The vector path below must agree with this exactly
+ *  (checkProbeCoherence verifies it on live data). */
+inline int
+probeFindWayScalar(const Addr *p, std::uint32_t n, Addr want)
+{
+    for (std::uint32_t w = 0; w < n; ++w) {
+        if (p[w] == want)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+/**
+ * Index of the first word equal to @p want among p[0..n), or -1.
+ * @p p must have kProbePad readable words past p[n-1] (the probe
+ * array's padding); lanes >= n are masked out of the match, so the
+ * over-read can never affect the result — including want == 0 scans,
+ * which the zero padding would otherwise satisfy.
+ */
+inline int
+probeFindWay(const Addr *p, std::uint32_t n, Addr want)
+{
+#if defined(REFRINT_PROBE_AVX2)
+    const __m256i w = _mm256_set1_epi64x(static_cast<long long>(want));
+    for (std::uint32_t base = 0; base < n; base += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p + base));
+        unsigned m = static_cast<unsigned>(_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, w))));
+        if (n - base < 4)
+            m &= (1u << (n - base)) - 1u; // tail: mask pad lanes
+        if (m != 0)
+            return static_cast<int>(base) +
+                   __builtin_ctz(m); // lowest lane = first way
+    }
+    return -1;
+#elif defined(REFRINT_PROBE_SSE2)
+    const __m128i w = _mm_set1_epi64x(static_cast<long long>(want));
+    for (std::uint32_t base = 0; base < n; base += 2) {
+#if defined(__SSE4_1__)
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(p + base));
+        unsigned m = static_cast<unsigned>(
+            _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(v, w))));
+#else
+        // Plain SSE2 has no 64-bit compare: compare 32-bit halves and
+        // require both halves of a lane to match.
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(p + base));
+        const unsigned m8 = static_cast<unsigned>(
+            _mm_movemask_epi8(_mm_cmpeq_epi32(v, w)));
+        const unsigned m = ((m8 & 0xffu) == 0xffu ? 1u : 0u) |
+                           ((m8 >> 8) == 0xffu ? 2u : 0u);
+#endif
+        unsigned mm = m;
+        if (n - base < 2)
+            mm &= 1u; // tail: mask the pad lane
+        if (mm != 0)
+            return static_cast<int>(base) + static_cast<int>(mm & 1u ? 0 : 1);
+    }
+    return -1;
+#else
+    return probeFindWayScalar(p, n, want);
+#endif
+}
 
 /** Result of a victim search. */
 struct VictimRef
@@ -38,7 +131,11 @@ struct VictimRef
 class CacheArray
 {
   public:
-    CacheArray(const CacheGeometry &geom, const char *name);
+    /** @p arena, when non-null, backs the line/probe/LRU arrays so a
+     *  sweep worker can recycle them across scenarios (see arena.hh);
+     *  null keeps plain heap allocation. */
+    CacheArray(const CacheGeometry &geom, const char *name,
+               Arena *arena = nullptr);
 
     CacheArray(const CacheArray &) = delete;
     CacheArray &operator=(const CacheArray &) = delete;
@@ -68,19 +165,17 @@ class CacheArray
     /** Line-aligned tag of @p addr (== geometry().tagOf). */
     Addr tagOf(Addr addr) const { return addr & ~lineMask_; }
 
-    /** Find the line holding @p addr, or nullptr on miss. */
+    /** Find the line holding @p addr, or nullptr on miss.  One or two
+     *  vector compares cover the whole set (probeFindWay above). */
     CacheLine *
     lookup(Addr addr)
     {
         const std::uint32_t set = setIndexOf(addr);
         const Addr want = tagOf(addr) | 1;
         const std::size_t base = static_cast<std::size_t>(set) * assoc_;
-        const Addr *p = probe_.data() + base;
-        for (std::uint32_t w = 0; w < assoc_; ++w) {
-            if (p[w] == want)
-                return &lines_[base + w];
-        }
-        return nullptr;
+        const int w = probeFindWay(probe_.data() + base, assoc_, want);
+        return w >= 0 ? &lines_[base + static_cast<std::uint32_t>(w)]
+                      : nullptr;
     }
 
     const CacheLine *
@@ -178,14 +273,16 @@ class CacheArray
     std::uint32_t assoc_ = 1;
     bool hashSets_ = false;
 
-    std::vector<CacheLine> lines_;
+    ArenaVector<CacheLine> lines_;
 
     /** Packed probe word per line: (tag | 1) when valid, 0 otherwise.
-     *  Tags are line-aligned so bit 0 is free to carry validity. */
-    std::vector<Addr> probe_;
+     *  Tags are line-aligned so bit 0 is free to carry validity.
+     *  Sized numLines_ + kProbePad: the pad words stay 0 forever and
+     *  exist only so a vector probe may over-read the last set. */
+    ArenaVector<Addr> probe_;
 
     /** Packed LRU timestamps, one per flat line index. */
-    std::vector<Tick> lastTouch_;
+    ArenaVector<Tick> lastTouch_;
 };
 
 } // namespace refrint

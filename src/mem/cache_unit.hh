@@ -29,10 +29,12 @@ class CacheUnit
      * @param stats  Shared per-level stat group: all units of a level
      *               aggregate into the same counters (the paper reports
      *               per-level energy, never per-unit).
+     * @param arena  Optional recycled backing store for the tag/probe
+     *               arrays (sweep workers; see common/arena.hh).
      */
     CacheUnit(const char *name, const CacheGeometry &geom,
-              StatGroup &stats)
-        : array(geom, name), latency(geom.latency)
+              StatGroup &stats, Arena *arena = nullptr)
+        : array(geom, name, arena), latency(geom.latency)
     {
         reads = &stats.counter("reads");
         writes = &stats.counter("writes");

@@ -7,17 +7,6 @@
 namespace refrint
 {
 
-std::uint64_t
-fnv64(const std::string &s)
-{
-    std::uint64_t h = 1469598103934665603ULL;
-    for (const char c : s) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 1099511628211ULL;
-    }
-    return h;
-}
-
 std::string
 frameRecord(const std::string &payload)
 {

@@ -29,12 +29,12 @@
 #include <functional>
 #include <string>
 
+// The framing checksum (and the shard function of service/store.cc) is
+// the shared fnv64() — re-exported here so framing users keep compiling.
+#include "common/hash.hh"
+
 namespace refrint
 {
-
-/** FNV-1a 64-bit over @p s — the framing checksum (also the shard
- *  function's hash; see service/store.hh). */
-std::uint64_t fnv64(const std::string &s);
 
 /** Frame @p payload as one appendable record, including the leading
  *  (self-healing) and trailing newline.  @p payload must not contain

@@ -21,7 +21,9 @@ EventQueue::promoteFar()
     // Pull everything inside the next horizon window into the heap and
     // compact the remainder in place; each entry is promoted at most
     // once, so the rescans amortize to O(1) per event.  Cancelled far
-    // entries evaporate here without ever touching the heap.
+    // entries evaporate here without ever touching the heap.  Promotion
+    // targets the heap only — the window slide migrates heap entries
+    // into wheel buckets in pop order, which keeps buckets seq-sorted.
     const Tick limit = farMin_ > kTickNever - kFarHorizon
                            ? kTickNever
                            : farMin_ + kFarHorizon;
@@ -42,21 +44,102 @@ EventQueue::promoteFar()
     farMin_ = newMin;
 }
 
+void
+EventQueue::flushWheelToHeap()
+{
+    for (auto &b : wheel_) {
+        for (const Entry &e : b) {
+            if (!dead(e.key))
+                push(e.key, e.val);
+        }
+        b.clear();
+    }
+    occ_ = 0;
+    pos_ = 0;
+}
+
+bool
+EventQueue::prepareNext(Tick limit)
+{
+    for (;;) {
+        // Retire the exhausted current bucket (every entry consumed).
+        bucketOf(base_).clear();
+        occ_ &= ~(1ull << (base_ & kWheelMask));
+        pos_ = 0;
+
+        // Melt cancelled heap tops so hNext names a live entry.
+        while (!keys_.empty() && dead(keys_.front()))
+            popTop();
+
+        const Tick wNext = nextWheelTick();
+        const Tick hNext = keys_.empty() ? kTickNever : keys_.front().when;
+        const Tick cand = wNext < hNext ? wNext : hNext;
+
+        // <= so an equal-tick far entry (which can carry a smaller seq
+        // than the heap/wheel candidate) is promoted before committing.
+        if (!far_.empty() && farMin_ <= cand) {
+            promoteFar();
+            continue; // recompute against the promoted entries
+        }
+        if (cand == kTickNever || cand > limit)
+            return false; // base_ stays: the window has not moved
+
+        if (cand < base_) {
+            // A bounded run() slid the window past now_, and a caller
+            // then scheduled earlier (heap-routed) work.  Rewind
+            // through the heap so buckets never mix ticks.
+            flushWheelToHeap();
+        }
+        base_ = cand;
+        pos_ = 0;
+
+        // Slide the window over the heap: entries now inside it become
+        // bucket entries, in (when, seq) pop order.
+        while (!keys_.empty() && keys_.front().when <= base_ + kWheelMask) {
+            const Key k = keys_.front();
+            const Val v = vals_.front();
+            popTop();
+            if (!dead(k))
+                bucketInsert(k, v);
+        }
+        return true;
+    }
+}
+
 Tick
 EventQueue::run(Tick limit)
 {
-    while (prepareTop() && keys_.front().when <= limit) {
-        const Key k = keys_.front();
-        const Val v = vals_.front();
-        popTop();
-        dispatch(k, v);
+    for (;;) {
+        const ArenaVector<Entry> &b = bucketOf(base_);
+        bool dispatched = false;
+        while (pos_ < b.size()) {
+            const Entry e = b[pos_]; // copy: fire() may grow b
+            if (dead(e.key)) {
+                ++pos_;
+                continue; // cancelled: melts, time does not advance
+            }
+            if (e.key.when > limit)
+                return now_; // left pending for the next run()
+            ++pos_;
+            dispatch(e.key, e.val);
+            dispatched = true;
+            break;
+        }
+        if (dispatched)
+            continue; // re-read the bucket: fire() may have grown it
+        if (!prepareNext(limit))
+            return now_;
     }
-    return now_;
 }
 
 void
 EventQueue::clear()
 {
+    for (auto &b : wheel_)
+        b.clear();
+    occ_ = 0;
+    base_ = 0;
+    pos_ = 0;
     keys_.clear();
     vals_.clear();
     far_.clear();

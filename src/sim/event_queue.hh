@@ -7,28 +7,60 @@
  * one-shot lambdas.  Sequence numbers break ties so simultaneous events
  * fire in scheduling order, which makes runs fully deterministic.
  *
- * Hot-path layout: entries live in a flat 4-ary implicit heap, split
- * SoA-style into 16-byte ordering keys (tick, seq, cancellation slot)
- * and 16-byte payloads (client*, tag) so sift comparisons scan packed
- * keys only.  The 99% case (an EventClient callback) never touches a
+ * Hot-path layout, three bands by time-to-fire:
+ *
+ *  - Wheel (due within kWheelSpan ticks): a 64-slot timing wheel —
+ *    one bucket per tick of the sliding window [base_, base_+63], a
+ *    64-bit occupancy mask, O(1) admission and dispatch.  Core-like
+ *    clients reschedule a handful of ticks out, so the dominant event
+ *    population never touches a comparison sort at all; per-event cost
+ *    is flat in the client count (the 4-ary heap's sift depth grew
+ *    with the core count, which is why a 32-core machine used to
+ *    dispatch slower than a 16-core one).
+ *
+ *  - Heap (due within kFarHorizon): a flat 4-ary implicit heap, split
+ *    SoA-style into 16-byte ordering keys (tick, seq, cancellation
+ *    slot) and 16-byte payloads so sift comparisons scan packed keys
+ *    only.  Entries migrate heap -> wheel in pop order when the window
+ *    slides over them, which preserves the (when, seq) total order.
+ *
+ *  - Far band (beyond kFarHorizon): unsorted, O(1) admission, batch
+ *    promotion into the heap, keeping the heap at core-count scale
+ *    instead of holding every retention deadline.
+ *
+ * The 99% case (an EventClient callback) never touches a
  * std::function; one-shot lambdas are parked in a side slab and
- * referenced by index.  Entries due beyond a horizon wait in an
- * unsorted far band (O(1) admission, batch promotion), keeping the
- * heap at core-count scale instead of holding every retention deadline.
+ * referenced by index.
  *
  * Cancellation is lazy and O(1): a handle names a slot stamped with its
  * event's sequence number; cancel() retires the stamp and the dead
  * entry is skipped (without advancing time) when it surfaces.
+ *
+ * Ordering invariants the wheel maintains (see DESIGN.md "Kernel
+ * round 2"):
+ *  - every bucket holds entries of exactly one absolute tick, kept
+ *    seq-sorted: fresh admissions always carry the largest seq so far
+ *    (append), and heap migrations arrive in heap pop order (a rare
+ *    backward insert positions an old-seq migrant before same-tick
+ *    fresh entries);
+ *  - user code only runs during dispatch, when now_ == base_, so a
+ *    schedule() can never target a bucket behind the window;
+ *  - a bounded run() that leaves base_ ahead of now_ may later see an
+ *    admission behind the window; it lands in the heap and a backward
+ *    window move flushes the wheel through the heap first, so buckets
+ *    never mix ticks.
  */
 
 #ifndef REFRINT_SIM_EVENT_QUEUE_HH
 #define REFRINT_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 
@@ -73,7 +105,19 @@ struct EventHandle
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /** @p arena, when non-null, backs the kernel's bands and slabs so
+     *  a worker can recycle them across runs (common/arena.hh). */
+    explicit EventQueue(Arena *arena = nullptr)
+        : keys_(ArenaAllocator<Key>(arena)),
+          vals_(ArenaAllocator<Val>(arena)),
+          far_(ArenaAllocator<Entry>(arena)),
+          freeFns_(ArenaAllocator<std::uint32_t>(arena)),
+          slotLive_(ArenaAllocator<std::uint32_t>(arena)),
+          freeSlots_(ArenaAllocator<std::uint32_t>(arena))
+    {
+        for (auto &b : wheel_)
+            b = ArenaVector<Entry>(ArenaAllocator<Entry>(arena));
+    }
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -108,9 +152,9 @@ class EventQueue
     }
 
     /**
-     * Revoke the event named by @p h.  O(1): the heap entry is marked
-     * dead by retiring the slot's live sequence number and melts away
-     * when popped.
+     * Revoke the event named by @p h.  O(1): the entry is marked dead
+     * by retiring the slot's live sequence number and melts away when
+     * it surfaces.
      * @return true if the event was still pending (and is now dead).
      */
     bool
@@ -149,13 +193,18 @@ class EventQueue
     bool
     step()
     {
-        if (!prepareTop())
-            return false;
-        const Key k = keys_.front();
-        const Val v = vals_.front();
-        popTop();
-        dispatch(k, v);
-        return true;
+        for (;;) {
+            const ArenaVector<Entry> &b = bucketOf(base_);
+            while (pos_ < b.size()) {
+                const Entry e = b[pos_++]; // copy: fire() may grow b
+                if (dead(e.key))
+                    continue; // cancelled: melts, time does not advance
+                dispatch(e.key, e.val);
+                return true;
+            }
+            if (!prepareNext(kTickNever))
+                return false;
+        }
     }
 
     /**
@@ -192,7 +241,7 @@ class EventQueue
         std::uint64_t tag;
     };
 
-    /** Far-band entry (unsorted storage; never sifted). */
+    /** Wheel-bucket / far-band entry (unsorted storage; never sifted). */
     struct Entry
     {
         Key key;
@@ -201,14 +250,21 @@ class EventQueue
 
     static constexpr std::uint32_t kSeqLimit = 0xfffffff0u;
 
+    /** Timing-wheel geometry: one bucket per tick of the sliding
+     *  window [base_, base_ + kWheelMask].  64 slots so the occupancy
+     *  mask is a single word and the window comfortably covers the
+     *  few-tick self-reschedule deltas core-like clients use. */
+    static constexpr unsigned kWheelSize = 64;
+    static constexpr Tick kWheelMask = kWheelSize - 1;
+
     /**
-     * Horizon splitting the two kernel bands.  Entries due within the
-     * horizon go straight to the near heap; later ones sit in an
-     * unsorted far band (O(1) admission) and are promoted in batches
-     * when the heap would otherwise run past them.  Keeping the heap
-     * small — cores and imminent refresh wakes, not every retention
-     * deadline tens of thousands of ticks out — makes every sift touch
-     * two or three rungs instead of five.
+     * Horizon splitting the heap from the far band.  Entries due within
+     * the horizon (but beyond the wheel) go to the near heap; later
+     * ones sit in an unsorted far band (O(1) admission) and are
+     * promoted in batches when the heap would otherwise run past them.
+     * Keeping the heap small — imminent refresh wakes, not every
+     * retention deadline tens of thousands of ticks out — makes every
+     * sift touch two or three rungs instead of five.
      */
     static constexpr Tick kFarHorizon = 4096;
 
@@ -219,7 +275,14 @@ class EventQueue
         return seq_++;
     }
 
-    /** Route a new entry to the near heap or the far band. */
+    ArenaVector<Entry> &bucketOf(Tick t) { return wheel_[t & kWheelMask]; }
+
+    /** Route a new entry to the wheel, the near heap or the far band.
+     *  Callers run either before the first dispatch or inside one, so
+     *  now_ == base_ and `when - base_` cannot underflow for any
+     *  admissible when — except after a bounded run() left base_ ahead
+     *  of now_, where the underflow wraps huge and correctly routes
+     *  the entry to the heap (see prepareNext's backward-move flush). */
     void
     admit(const Key &k, const Val &v)
     {
@@ -227,9 +290,34 @@ class EventQueue
             far_.push_back(Entry{k, v});
             if (k.when < farMin_)
                 farMin_ = k.when;
+        } else if (k.when - base_ < kWheelSize) {
+            bucketInsert(k, v);
         } else {
             push(k, v);
         }
+    }
+
+    /**
+     * Insert into the bucket of k.when, keeping the bucket seq-sorted.
+     * Fresh admissions always carry the largest seq yet, so the append
+     * fast path covers them; only heap->wheel migrants (admitted long
+     * ago, hence smaller seq than same-tick fresh entries) take the
+     * backward walk, and never into the consumed prefix of the current
+     * bucket (migration only happens at a window move, pos_ == 0).
+     */
+    void
+    bucketInsert(const Key &k, const Val &v)
+    {
+        ArenaVector<Entry> &b = bucketOf(k.when);
+        occ_ |= 1ull << (k.when & kWheelMask);
+        if (b.empty() || b.back().key.seq < k.seq) {
+            b.push_back(Entry{k, v});
+            return;
+        }
+        auto it = b.end();
+        while (it != b.begin() && (it - 1)->key.seq > k.seq)
+            --it;
+        b.insert(it, Entry{k, v});
     }
 
     /** 4-ary implicit heap: children of i are 4i+1 .. 4i+4.  Sifts use
@@ -285,7 +373,7 @@ class EventQueue
         vals_[i] = movedV;
     }
 
-    /** Whether a popped entry was cancelled after being armed. */
+    /** Whether an entry was cancelled after being armed. */
     bool
     dead(const Key &k) const
     {
@@ -294,25 +382,33 @@ class EventQueue
     }
 
     /**
-     * Make the globally earliest live entry the heap top: discard
-     * cancelled tops and pull the far band in whenever its earliest
-     * entry could order before (or tie-break against) the heap top.
-     * @return false when no live entry remains anywhere.
+     * The current bucket is exhausted: retire it and slide the window
+     * to the earliest pending tick anywhere in the kernel (wheel,
+     * heap, or far band), migrating heap entries that fall inside the
+     * new window into their buckets.  Commits nothing past @p limit.
+     * @return false when there is nothing to dispatch at or before
+     * @p limit (base_ is then left unmoved).
      */
-    bool
-    prepareTop()
+    bool prepareNext(Tick limit);
+
+    /** Earliest occupied wheel tick strictly after base_, or never. */
+    Tick
+    nextWheelTick() const
     {
-        for (;;) {
-            while (!keys_.empty() && dead(keys_.front()))
-                popTop();
-            if (far_.empty())
-                return !keys_.empty();
-            if (!keys_.empty() && keys_.front().when < farMin_)
-                return true; // strict <: an equal-tick far entry could
-                             // carry a smaller seq
-            promoteFar();
-        }
+        if (occ_ == 0)
+            return kTickNever;
+        const unsigned from = static_cast<unsigned>((base_ + 1) & kWheelMask);
+        const std::uint64_t r =
+            (occ_ >> from) | (from == 0 ? 0 : occ_ << (kWheelSize - from));
+        return base_ + 1 +
+               static_cast<Tick>(__builtin_ctzll(r));
     }
+
+    /** Rare slow path: a bounded run() slid the window past now_ and a
+     *  caller then scheduled behind it — push every bucketed entry back
+     *  through the heap so the window can move backward without ever
+     *  mixing ticks in a bucket. */
+    void flushWheelToHeap();
 
     /** Move the far band's next horizon window into the near heap. */
     void promoteFar();
@@ -333,7 +429,7 @@ class EventQueue
 
     /** Retire the slot's live event (fired or cancelled) and make the
      *  slot reusable.  Sequence numbers are unique, so a stale handle
-     *  or heap entry can never match a later occupant. */
+     *  or queue entry can never match a later occupant. */
     void
     freeSlot(std::uint32_t slot)
     {
@@ -354,7 +450,7 @@ class EventQueue
         return static_cast<std::uint32_t>(fns_.size() - 1);
     }
 
-    /** Dispatch a live popped entry (already removed from the heap). */
+    /** Dispatch a live entry (already consumed from its bucket). */
     void
     dispatch(const Key &k, const Val &v)
     {
@@ -371,14 +467,21 @@ class EventQueue
     /** One-shot slab path, out of line (the rare case). */
     void dispatchFn(const Val &v);
 
-    std::vector<Key> keys_; ///< near band (implicit 4-ary heap), keys
-    std::vector<Val> vals_; ///< near band payloads, parallel to keys_
-    std::vector<Entry> far_; ///< far band (unsorted; batch-promoted)
+    /** Timing wheel: bucket (t & 63) holds the entries of absolute
+     *  tick t for t in [base_, base_+63], each bucket seq-sorted. */
+    std::array<ArenaVector<Entry>, kWheelSize> wheel_;
+    std::uint64_t occ_ = 0; ///< bucket-occupied bits, indexed (t & 63)
+    Tick base_ = 0;         ///< window start == tick being dispatched
+    std::size_t pos_ = 0;   ///< consumed prefix of the current bucket
+
+    ArenaVector<Key> keys_; ///< mid band (implicit 4-ary heap), keys
+    ArenaVector<Val> vals_; ///< mid band payloads, parallel to keys_
+    ArenaVector<Entry> far_; ///< far band (unsorted; batch-promoted)
     Tick farMin_ = kTickNever; ///< earliest `when` in the far band
     std::vector<std::function<void(Tick)>> fns_; ///< one-shot slab
-    std::vector<std::uint32_t> freeFns_;
-    std::vector<std::uint32_t> slotLive_; ///< live event seq per slot
-    std::vector<std::uint32_t> freeSlots_;
+    ArenaVector<std::uint32_t> freeFns_;
+    ArenaVector<std::uint32_t> slotLive_; ///< live event seq per slot
+    ArenaVector<std::uint32_t> freeSlots_;
     std::size_t live_ = 0;
     Tick now_ = 0;
 

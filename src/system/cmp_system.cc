@@ -6,10 +6,10 @@ namespace refrint
 {
 
 CmpSystem::CmpSystem(const MachineConfig &cfg, const Workload &app,
-                     const SimParams &params)
-    : params_(params)
+                     const SimParams &params, Arena *arena)
+    : eq_(arena), params_(params)
 {
-    hier_ = std::make_unique<Hierarchy>(cfg, eq_);
+    hier_ = std::make_unique<Hierarchy>(cfg, eq_, arena);
     for (CoreId c = 0; c < cfg.numCores; ++c) {
         cores_.push_back(std::make_unique<Core>(
             c, *hier_, eq_, app.makeStream(c, cfg.numCores, params.seed),

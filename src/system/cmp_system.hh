@@ -35,8 +35,12 @@ struct SimParams
 class CmpSystem
 {
   public:
+    /** @p arena, when non-null, backs the event queue's bands, the
+     *  cache arrays and the refresh-engine heaps so a sweep worker can
+     *  recycle one allocation across scenarios (see common/arena.hh).
+     *  The system must be destroyed before the arena is reset. */
     CmpSystem(const MachineConfig &cfg, const Workload &app,
-              const SimParams &params);
+              const SimParams &params, Arena *arena = nullptr);
     ~CmpSystem();
 
     CmpSystem(const CmpSystem &) = delete;
