@@ -147,6 +147,7 @@ ExperimentPlan::toJson() const
     JsonValue en = JsonValue::object();
     for (const auto &f : kEnergyFields)
         en.set(f.name, JsonValue::number(energy.*f.field));
+    en.set("altModel", JsonValue::number(energy.altModel));
     doc.set("energy", std::move(en));
 
     JsonValue list = JsonValue::array();
@@ -200,6 +201,12 @@ ExperimentPlan::tryFromJson(const std::string &text, ExperimentPlan &out,
             for (const auto &f : kEnergyFields)
                 plan.energy.*f.field =
                     requireNumber(*en, f.name, "energy");
+            // Backend selector, not a coefficient: optional so plans
+            // dumped before it existed still load (as 0 = primary
+            // backend only).
+            if (en->get("altModel") != nullptr)
+                plan.energy.altModel =
+                    requireNumber(*en, "altModel", "energy");
         }
 
         const JsonValue *list = doc.get("scenarios");
@@ -213,6 +220,21 @@ ExperimentPlan::tryFromJson(const std::string &text, ExperimentPlan &out,
             s.config = requireString(o, "config", "scenario");
             s.retentionUs = requireNumber(o, "retentionUs", "scenario");
             s.ambientC = requireNumber(o, "ambientC", "scenario");
+            // Outside the thermal response's resolvable band the
+            // retention scale factor sits on a clamp, so two different
+            // ambients silently produce identical runs.  Reject up
+            // front (0 = thermal subsystem off is always valid).
+            if (s.ambientC != 0) {
+                const ThermalResponse resp{};
+                if (s.ambientC < resp.minAmbientC() ||
+                    s.ambientC > resp.maxAmbientC())
+                    planError(
+                        "scenario \"ambientC\" %g is outside the "
+                        "thermal response's resolvable range [%g, %g] "
+                        "deg C (0 disables the thermal subsystem)",
+                        s.ambientC, resp.minAmbientC(),
+                        resp.maxAmbientC());
+            }
             const double cores = requireNumber(o, "cores", "scenario");
             // The paper machine's own range: reject here so a bad plan
             // fails with a clean fatal before any simulation starts,
@@ -429,7 +451,7 @@ std::string
 energyKeyTag(const EnergyParams &energy)
 {
     const EnergyParams calibrated = EnergyParams::calibrated();
-    bool isDefault = true;
+    bool isDefault = energy.altModel == calibrated.altModel;
     for (const auto &f : kEnergyFields)
         isDefault = isDefault && energy.*f.field == calibrated.*f.field;
     if (isDefault)
@@ -440,6 +462,13 @@ energyKeyTag(const EnergyParams &energy)
     char buf[40];
     for (const auto &f : kEnergyFields) {
         std::snprintf(buf, sizeof(buf), "%.17g", energy.*f.field);
+        h = fnv64Mix(buf, std::strlen(buf), h);
+    }
+    // The alt-backend selector joins the hash only when set, so every
+    // tag minted before it existed — and every cached |en= row keyed
+    // by one — is preserved byte for byte.
+    if (energy.altModel != 0) {
+        std::snprintf(buf, sizeof(buf), "alt=%.17g", energy.altModel);
         h = fnv64Mix(buf, std::strlen(buf), h);
     }
     std::snprintf(buf, sizeof(buf), "%016llx",
@@ -459,7 +488,7 @@ ExperimentPlan::operator==(const ExperimentPlan &o) const
     for (const auto &f : kEnergyFields)
         if (energy.*f.field != o.energy.*f.field)
             return false;
-    return true;
+    return energy.altModel == o.energy.altModel;
 }
 
 } // namespace refrint

@@ -43,7 +43,8 @@ CsvSink::begin(const ExperimentPlan &plan)
                  "eNet,dramAccesses,l3Misses,l3Refreshes,"
                  "refreshWritebacks,refreshInvalidations,decayedHits,"
                  "requests,reqP50Us,reqP95Us,reqP99Us,"
-                 "simulated,normTime,normMemEnergy,normSysEnergy\n");
+                 "simulated,normTime,normMemEnergy,normSysEnergy,"
+                 "altMemEnergy,altSysEnergy,altDisagreement\n");
 }
 
 void
@@ -77,8 +78,15 @@ CsvSink::consume(const ExperimentPlan &plan, std::size_t index,
                  r.requests, r.reqP50Us, r.reqP95Us, r.reqP99Us,
                  simulated ? 1 : 0);
     if (norm != nullptr)
-        std::fprintf(out_, ",%.17g,%.17g,%.17g\n", norm->time,
+        std::fprintf(out_, ",%.17g,%.17g,%.17g", norm->time,
                      norm->memEnergy, norm->sysEnergy);
+    else
+        std::fprintf(out_, ",,,");
+    // Alternate-backend columns stay empty unless the plan selected a
+    // second energy model (energy.altModel != 0).
+    if (r.hasAlt)
+        std::fprintf(out_, ",%.17g,%.17g,%.17g\n", r.alt.memTotal(),
+                     r.alt.systemTotal(), energyDisagreement(r));
     else
         std::fprintf(out_, ",,,\n");
 }
@@ -133,6 +141,40 @@ JsonLinesSink::consume(const ExperimentPlan &plan, std::size_t index,
     en.set("core", JsonValue::number(r.energy.core));
     en.set("net", JsonValue::number(r.energy.net));
     o.set("energy", std::move(en));
+
+    // Per-level component matrix (dyn/leak/ref per cache level).
+    // Always present: exact for fresh runs, reconstructed by the
+    // documented closure for cache reloads (energy_model.hh).
+    JsonValue bd = JsonValue::object();
+    bd.set("l1Dyn", JsonValue::number(r.energy.l1Dyn));
+    bd.set("l1Leak", JsonValue::number(r.energy.l1Leak));
+    bd.set("l1Ref", JsonValue::number(r.energy.l1Ref));
+    bd.set("l2Dyn", JsonValue::number(r.energy.l2Dyn));
+    bd.set("l2Leak", JsonValue::number(r.energy.l2Leak));
+    bd.set("l2Ref", JsonValue::number(r.energy.l2Ref));
+    bd.set("l3Dyn", JsonValue::number(r.energy.l3Dyn));
+    bd.set("l3Leak", JsonValue::number(r.energy.l3Leak));
+    bd.set("l3Ref", JsonValue::number(r.energy.l3Ref));
+    o.set("breakdown", std::move(bd));
+
+    // Second-opinion backend, only when the plan selected one — rows
+    // of the default model keep their exact legacy shape plus the
+    // breakdown above.
+    if (r.hasAlt) {
+        JsonValue av = JsonValue::object();
+        av.set("l1", JsonValue::number(r.alt.l1));
+        av.set("l2", JsonValue::number(r.alt.l2));
+        av.set("l3", JsonValue::number(r.alt.l3));
+        av.set("dram", JsonValue::number(r.alt.dram));
+        av.set("dynamic", JsonValue::number(r.alt.dynamic));
+        av.set("leakage", JsonValue::number(r.alt.leakage));
+        av.set("refresh", JsonValue::number(r.alt.refresh));
+        av.set("core", JsonValue::number(r.alt.core));
+        av.set("net", JsonValue::number(r.alt.net));
+        o.set("energyAlt", std::move(av));
+        o.set("disagreement",
+              JsonValue::number(energyDisagreement(r)));
+    }
 
     JsonValue ct = JsonValue::object();
     ct.set("dramAccesses",

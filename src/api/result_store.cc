@@ -23,15 +23,28 @@ constexpr double CacheRow::*kCacheFields[] = {
     &CacheRow::l3Misses,     &CacheRow::refreshes3,   &CacheRow::refWbs,
     &CacheRow::refInvals,    &CacheRow::decayed,      &CacheRow::ambientC,
     &CacheRow::maxTempC,     &CacheRow::requests,     &CacheRow::reqP50Us,
-    &CacheRow::reqP95Us,     &CacheRow::reqP99Us,
+    &CacheRow::reqP95Us,     &CacheRow::reqP99Us,  &CacheRow::altPresent,
+    &CacheRow::altL1,        &CacheRow::altL2,     &CacheRow::altL3,
+    &CacheRow::altDram,      &CacheRow::altDynamic,
+    &CacheRow::altLeakage,   &CacheRow::altRefresh,
+    &CacheRow::altCore,      &CacheRow::altNet,
 };
 constexpr std::size_t kNumCacheFields =
     sizeof(kCacheFields) / sizeof(kCacheFields[0]);
 static_assert(kNumCacheFields == sizeof(CacheRow) / sizeof(double),
               "every CacheRow field must be serialized");
 
+/** Field count of the v8 alternate-backend tail (altPresent..altNet). */
+constexpr std::size_t kNumAltCacheFields = 10;
+
+/** Field count of a v7 row: everything up to reqP99Us.  Rows without a
+ *  second-opinion estimate are still written at this length, so the
+ *  default corpus stays byte-identical across the v8 schema bump. */
+constexpr std::size_t kNumBaseCacheFields =
+    kNumCacheFields - kNumAltCacheFields;
+
 /** Field count of a pre-v7 (v5/v6) row: everything up to maxTempC. */
-constexpr std::size_t kNumLegacyCacheFields = kNumCacheFields - 4;
+constexpr std::size_t kNumLegacyCacheFields = kNumBaseCacheFields - 4;
 
 } // namespace
 
@@ -41,7 +54,9 @@ encodeCacheRow(const CacheRow &c)
     std::string out;
     out.reserve(kNumCacheFields * 8);
     char buf[32];
-    for (std::size_t i = 0; i < kNumCacheFields; ++i) {
+    const std::size_t fields =
+        c.altPresent != 0 ? kNumCacheFields : kNumBaseCacheFields;
+    for (std::size_t i = 0; i < fields; ++i) {
         // %.17g: max_digits10 for double, exact round-trip.
         std::snprintf(buf, sizeof(buf), "%.17g", c.*kCacheFields[i]);
         if (i)
@@ -64,7 +79,8 @@ decodeCacheRow(const std::string &payload, CacheRow &c)
             return false;
         c.*kCacheFields[i++] = v;
     }
-    return i == kNumCacheFields || i == kNumLegacyCacheFields;
+    return i == kNumCacheFields || i == kNumBaseCacheFields ||
+           i == kNumLegacyCacheFields;
 }
 
 CacheRow
@@ -94,6 +110,18 @@ cacheRowOf(const RunResult &r)
     c.reqP50Us = r.reqP50Us;
     c.reqP95Us = r.reqP95Us;
     c.reqP99Us = r.reqP99Us;
+    if (r.hasAlt) {
+        c.altPresent = 1;
+        c.altL1 = r.alt.l1;
+        c.altL2 = r.alt.l2;
+        c.altL3 = r.alt.l3;
+        c.altDram = r.alt.dram;
+        c.altDynamic = r.alt.dynamic;
+        c.altLeakage = r.alt.leakage;
+        c.altRefresh = r.alt.refresh;
+        c.altCore = r.alt.core;
+        c.altNet = r.alt.net;
+    }
     return c;
 }
 
@@ -131,6 +159,21 @@ runFromCacheRow(const std::string &app, const std::string &config,
     r.reqP50Us = c.reqP50Us;
     r.reqP95Us = c.reqP95Us;
     r.reqP99Us = c.reqP99Us;
+    if (c.altPresent != 0) {
+        // Only the aggregates survive a round-trip; the alternate
+        // backend's per-level matrix is recomputable solely from fresh
+        // counts and stays zero on reload.
+        r.hasAlt = true;
+        r.alt.l1 = c.altL1;
+        r.alt.l2 = c.altL2;
+        r.alt.l3 = c.altL3;
+        r.alt.dram = c.altDram;
+        r.alt.dynamic = c.altDynamic;
+        r.alt.leakage = c.altLeakage;
+        r.alt.refresh = c.altRefresh;
+        r.alt.core = c.altCore;
+        r.alt.net = c.altNet;
+    }
     return r;
 }
 

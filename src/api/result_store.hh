@@ -41,6 +41,15 @@ struct CacheRow
     double decayed;
     double ambientC, maxTempC;
     double requests, reqP50Us, reqP95Us, reqP99Us;
+
+    // v8 tail: the second-opinion estimate from the alternate energy
+    // backend (src/validate/energy_alt.hh).  altPresent is the
+    // discriminator; the writer suppresses the whole tail when it is
+    // zero so default-backend rows stay byte-identical to v7.
+    double altPresent = 0;
+    double altL1 = 0, altL2 = 0, altL3 = 0, altDram = 0;
+    double altDynamic = 0, altLeakage = 0, altRefresh = 0;
+    double altCore = 0, altNet = 0;
 };
 
 /** Flatten a run result into its cache payload. */
@@ -57,9 +66,11 @@ std::string encodeCacheRow(const CacheRow &c);
 
 /**
  * Parse a "f0,f1,..." payload into @p c.  Accepts a full current-
- * version row or a legacy-length (pre-v7) prefix; the trailing
- * request-latency fields then read as zero, which is their true value
- * for legacy workloads.  @p c must be zero-initialized by the caller.
+ * version row (with the alternate-backend tail), a base-length row
+ * (v7, or any v8 row written without a second-opinion estimate), or a
+ * legacy-length (pre-v7) prefix; fields past the end of a shorter row
+ * then read as zero, which is their true value for such rows.  @p c
+ * must be zero-initialized by the caller.
  */
 bool decodeCacheRow(const std::string &payload, CacheRow &c);
 

@@ -11,7 +11,7 @@ namespace refrint
 namespace
 {
 
-constexpr int kCacheVersion = 7;
+constexpr int kCacheVersion = 8;
 constexpr int kOldestReadableVersion = 5;
 
 } // namespace

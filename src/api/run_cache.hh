@@ -13,7 +13,11 @@
  * rewritten as v6 only if the sweep simulates something new.  v7
  * appends the request-latency fields (requests, p50/p95/p99 us); v5/v6
  * rows are read in place with those fields zero — which is their true
- * value, since legacy workloads have no request structure.
+ * value, since legacy workloads have no request structure.  v8 appends
+ * the alternate-energy-backend tail (altPresent + nine aggregates);
+ * rows without a second-opinion estimate are written at the v7 length,
+ * so a default-backend corpus round-trips byte-identically and a v7
+ * cache replays warm with zero simulations.
  *
  * This is one of two ResultStore implementations (see
  * api/result_store.hh); the experiment service's sharded store

@@ -1,6 +1,9 @@
 #include "api/scenario.hh"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "common/log.hh"
 #include "workload/method.hh"
@@ -31,6 +34,67 @@ ScenarioKey::str() const
     if (!energy.empty())
         key += "|en=" + energy;
     return key;
+}
+
+bool
+ScenarioKey::parse(const std::string &key, ScenarioKey &out)
+{
+    // Split on '|'.  No produced segment can contain the separator:
+    // app specs, config names and the canonical workload parameter
+    // list are all drawn from grammars without it.
+    std::vector<std::string> seg;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t bar = key.find('|', start);
+        if (bar == std::string::npos) {
+            seg.push_back(key.substr(start));
+            break;
+        }
+        seg.push_back(key.substr(start, bar - start));
+        start = bar + 1;
+    }
+    if (seg.size() < 5)
+        return false;
+
+    auto number = [](const std::string &s, double &v) {
+        char *end = nullptr;
+        v = std::strtod(s.c_str(), &end);
+        return !s.empty() && end == s.c_str() + s.size();
+    };
+
+    ScenarioKey k;
+    k.app = seg[0];
+    k.config = seg[1];
+    double refs = 0, seed = 0;
+    if (k.app.empty() || k.config.empty() ||
+        !number(seg[2], k.retentionUs) || !number(seg[3], refs) ||
+        !number(seg[4], seed) || refs < 0 || seed < 0)
+        return false;
+    k.refs = static_cast<std::uint64_t>(refs);
+    k.seed = static_cast<std::uint64_t>(seed);
+
+    // Optional tagged segments, in the fixed order str() emits them.
+    std::size_t i = 5;
+    auto tagged = [&](const char *tag, std::string &v) {
+        const std::size_t len = std::strlen(tag);
+        if (i < seg.size() && seg[i].compare(0, len, tag) == 0) {
+            v = seg[i].substr(len);
+            ++i;
+            return true;
+        }
+        return false;
+    };
+    std::string amb;
+    tagged("wl=", k.workload);
+    if (tagged("amb=", amb) &&
+        (!number(amb, k.ambientC) || k.ambientC == 0.0))
+        return false;
+    tagged("mach=", k.machine);
+    tagged("en=", k.energy);
+    if (i != seg.size())
+        return false;
+    out = k;
+    return true;
 }
 
 bool

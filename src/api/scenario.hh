@@ -66,6 +66,17 @@ struct ScenarioKey
      *  segment, so no axis can ever truncate the key. */
     std::string str() const;
 
+    /**
+     * Inverse of str(): rebuild the structured key from a cache-key
+     * string (the validate subcommand walks a corpus it did not
+     * produce).  Returns false on anything str() could not have
+     * emitted — wrong segment count, malformed numbers, an unknown
+     * tagged segment, or tagged segments out of canonical order.
+     * parse(k.str(), k2) implies k == k2 up to the %.1f/%.2f rounding
+     * str() applies to retention and ambient.
+     */
+    static bool parse(const std::string &key, ScenarioKey &out);
+
     bool operator==(const ScenarioKey &o) const;
     bool operator!=(const ScenarioKey &o) const { return !(*this == o); }
 };

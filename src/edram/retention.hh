@@ -92,6 +92,23 @@ struct ThermalResponse
         const double f = std::exp2((refTempC - tempC) / halvingCelsius);
         return std::min(std::max(f, minFactor), maxFactor);
     }
+
+    // The ambient band the curve actually resolves: outside it the
+    // scale factor sits on a clamp and two different temperatures
+    // become indistinguishable.  Plan/CLI ambient validation rejects
+    // temperatures outside [minAmbientC, maxAmbientC] up front instead
+    // of letting them clamp silently deep inside the thermal path.
+    double
+    minAmbientC() const
+    {
+        return refTempC - halvingCelsius * std::log2(maxFactor);
+    }
+
+    double
+    maxAmbientC() const
+    {
+        return refTempC - halvingCelsius * std::log2(minFactor);
+    }
 };
 
 /** Retention timing for one eDRAM cache. */

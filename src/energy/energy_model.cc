@@ -1,5 +1,7 @@
 #include "energy/energy_model.hh"
 
+#include <algorithm>
+
 namespace refrint
 {
 
@@ -76,11 +78,76 @@ computeEnergy(const EnergyParams &p, const HierarchyCounts &n,
     e.leakage = l1Leak + l2Leak + l3Leak;
     e.refresh = l1Ref + l2Ref + l3Ref;
 
+    e.l1Dyn = l1Dyn, e.l1Leak = l1Leak, e.l1Ref = l1Ref;
+    e.l2Dyn = l2Dyn, e.l2Leak = l2Leak, e.l2Ref = l2Ref;
+    e.l3Dyn = l3Dyn, e.l3Leak = l3Leak, e.l3Ref = l3Ref;
+
     e.core = p.eCorePerInstr * static_cast<double>(totalInstrs) +
              p.leakCore * cfg.numCores * sec;
     e.net = p.eNetPerHop * static_cast<double>(n.netHops) +
             p.eNetPerDataMsg * static_cast<double>(n.netDataMsgs);
     return e;
+}
+
+void
+reconstructEnergyMatrix(EnergyBreakdown &e, const EnergyParams &p,
+                        const MachineConfig &cfg, Tick execTicks,
+                        double l3Refreshes)
+{
+    const double sec = ticksToSeconds(execTicks);
+    auto ratio = [&](CellTech t) {
+        return t == CellTech::Edram ? p.edramLeakRatio : 1.0;
+    };
+
+    double l1UnitsPerCore = 0.0;
+    for (const CacheLevelSpec &l : cfg.levels) {
+        if (l.role == LevelRole::IL1 || l.role == LevelRole::DL1)
+            l1UnitsPerCore += 1.0;
+    }
+    const CacheLevelSpec &l1Spec = cfg.il1();
+    const CacheLevelSpec &l2Spec = cfg.l2();
+    const CacheLevelSpec &llcSpec = cfg.llc();
+
+    // Cache rows cannot describe decay machines (Scenario has no decay
+    // axis), so the off-line leakage discount is zero and these match
+    // computeEnergy bit-for-bit on any reloadable row.
+    e.l1Leak = p.leakL1 * l1UnitsPerCore * cfg.numCores *
+               ratio(l1Spec.tech) * sec;
+    e.l2Leak = p.leakL2 * cfg.numCores * ratio(l2Spec.tech) * sec;
+    e.l3Leak = p.leakL3Bank * cfg.numBanks * ratio(llcSpec.tech) * sec;
+
+    // LLC refresh is exact: the row carries the refresh count and
+    // Table 5.2 charges each refresh one line access.
+    e.l3Ref = llcSpec.tech == CellTech::Edram
+                  ? l3Refreshes * p.eL3Access
+                  : 0.0;
+    e.l3Dyn = std::max(0.0, e.l3 - e.l3Leak - e.l3Ref);
+
+    // Upper levels: the row only keeps the level total, so split the
+    // non-leakage remainder by scaling the LLC's per-line refresh rate
+    // to each level's line count (closure; the levels run the pinned
+    // Valid data policy, so this over-estimates their refresh slightly
+    // and the clamp keeps the split inside the remainder).
+    const double l3Lines =
+        static_cast<double>(llcSpec.geom.numLines()) * cfg.numBanks;
+    const double refPerLine = l3Lines > 0 ? l3Refreshes / l3Lines : 0.0;
+    auto split = [&](double total, double leak, CellTech tech,
+                     double lines, double eAccess, double &dyn,
+                     double &ref) {
+        const double rem = std::max(0.0, total - leak);
+        ref = tech == CellTech::Edram
+                  ? std::min(rem, refPerLine * lines * eAccess)
+                  : 0.0;
+        dyn = rem - ref;
+    };
+    const double l1Lines = static_cast<double>(l1Spec.geom.numLines()) *
+                           l1UnitsPerCore * cfg.numCores;
+    const double l2Lines =
+        static_cast<double>(l2Spec.geom.numLines()) * cfg.numCores;
+    split(e.l1, e.l1Leak, l1Spec.tech, l1Lines, p.eL1Access, e.l1Dyn,
+          e.l1Ref);
+    split(e.l2, e.l2Leak, l2Spec.tech, l2Lines, p.eL2Access, e.l2Dyn,
+          e.l2Ref);
 }
 
 double

@@ -30,6 +30,15 @@ struct EnergyBreakdown
     // non-memory system energy (Fig. 6.3)
     double core = 0, net = 0;
 
+    // Full level x component matrix (lN == lNDyn + lNLeak + lNRef).
+    // computeEnergy fills these exactly; rows reloaded from a cache
+    // carry only the aggregates, so Session reconstructs the matrix
+    // with reconstructEnergyMatrix (leakage closed-form, refresh split
+    // by line-count closure — see DESIGN.md "Cross-model validation").
+    double l1Dyn = 0, l1Leak = 0, l1Ref = 0;
+    double l2Dyn = 0, l2Leak = 0, l2Ref = 0;
+    double l3Dyn = 0, l3Leak = 0, l3Ref = 0;
+
     /** Memory hierarchy energy as the paper defines it (§6.1). */
     double
     memTotal() const
@@ -55,6 +64,23 @@ EnergyBreakdown computeEnergy(const EnergyParams &p,
                               const HierarchyCounts &n,
                               const MachineConfig &cfg, Tick execTicks,
                               std::uint64_t totalInstrs);
+
+/**
+ * Rebuild the per-level dyn/leak/ref matrix of a breakdown whose
+ * aggregates (l1/l2/l3 and the component sums) were reloaded from a
+ * cache row.  Leakage is recomputed from the closed form (cached
+ * scenarios cannot express cache decay, so the off-line discount is
+ * zero and the term is exact).  The LLC refresh term is exact from the
+ * cached refresh count; the L1/L2 dyn-vs-ref split is a documented
+ * closure that scales the per-line refresh rate of the LLC by each
+ * level's line count, clamped to the level's non-leakage energy.
+ * SRAM levels get a zero refresh column exactly.
+ *
+ * @param l3Refreshes The cached LLC refresh count (CacheRow field).
+ */
+void reconstructEnergyMatrix(EnergyBreakdown &e, const EnergyParams &p,
+                             const MachineConfig &cfg, Tick execTicks,
+                             double l3Refreshes);
 
 /**
  * Average power (watts) one cache unit dissipated over an epoch of

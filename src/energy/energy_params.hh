@@ -52,6 +52,18 @@ struct EnergyParams
     double eNetPerHop = 0.050e-9;
     double eNetPerDataMsg = 0.100e-9;
 
+    /**
+     * Selects the independently parameterized validation backend
+     * (src/validate/energy_alt.hh): nonzero means every fresh run also
+     * computes a second, mcpat-style component estimate and carries the
+     * relative disagreement alongside the primary numbers.  This is a
+     * backend *selector*, not a coefficient — 0 (the default) leaves
+     * every output byte-identical to a build without the validation
+     * subsystem.  Like any non-calibrated energy field it routes cache
+     * rows to their own |en= key space.
+     */
+    double altModel = 0;
+
     /** The calibrated defaults used throughout the evaluation. */
     static EnergyParams
     calibrated()

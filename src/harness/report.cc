@@ -296,4 +296,25 @@ printLatencyTable(const SweepResult &s, std::FILE *out)
     }
 }
 
+void
+printDisagreement(const SweepResult &s, std::FILE *out)
+{
+    bool any = false;
+    for (const RunResult &r : s.raw)
+        any = any || r.hasAlt;
+    if (!any)
+        return;
+    std::fprintf(out, "# Cross-backend energy disagreement\n");
+    std::fprintf(out, "%-28s %-12s %8s %12s %12s %8s\n", "app",
+                 "config", "ret(us)", "sysJ", "altSysJ", "disagr");
+    for (const RunResult &r : s.raw) {
+        if (!r.hasAlt)
+            continue;
+        std::fprintf(out, "%-28s %-12s %8.1f %12.5g %12.5g %7.2f%%\n",
+                     r.app.c_str(), r.config.c_str(), r.retentionUs,
+                     r.energy.systemTotal(), r.alt.systemTotal(),
+                     energyDisagreement(r) * 100.0);
+    }
+}
+
 } // namespace refrint

@@ -53,6 +53,12 @@ void printThermalStudy(const SweepResult &s, const char *appName,
  *  has requests, so attaching it to a legacy sweep is output-neutral. */
 void printLatencyTable(const SweepResult &s, std::FILE *out = stdout);
 
+/** Cross-backend disagreement table: one row per run carrying the
+ *  alternate energy estimate (hasAlt), with both system totals and the
+ *  relative disagreement.  Prints nothing when no run has the alternate
+ *  backend, so attaching it to a default sweep is output-neutral. */
+void printDisagreement(const SweepResult &s, std::FILE *out = stdout);
+
 // ---------------------------------------------------------------------
 // The renderers as ResultSink implementations: attach them to
 // Session::run() to turn a plan execution into the paper's tables.
@@ -117,6 +123,22 @@ class LatencySink : public ResultSink
     end(const ExperimentPlan &, const SweepResult &s) override
     {
         printLatencyTable(s, out_);
+    }
+
+  private:
+    std::FILE *out_;
+};
+
+/** The cross-backend disagreement table (printDisagreement); silent
+ *  when the plan ran the default energy model only. */
+class DisagreementSink : public ResultSink
+{
+  public:
+    explicit DisagreementSink(std::FILE *out = stdout) : out_(out) {}
+    void
+    end(const ExperimentPlan &, const SweepResult &s) override
+    {
+        printDisagreement(s, out_);
     }
 
   private:

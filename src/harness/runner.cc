@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "validate/energy_alt.hh"
 
 namespace refrint
 {
@@ -70,7 +71,24 @@ runOnce(const MachineConfig &cfg, const Workload &app,
     }
     r.energy = computeEnergy(energy, r.counts, cfg, r.execTicks,
                              r.instructions);
+    if (energy.altModel != 0) {
+        r.alt = computeEnergyAlt(AltEnergyParams::calibrated(),
+                                 r.counts, cfg, r.execTicks,
+                                 r.instructions);
+        r.hasAlt = true;
+    }
     return r;
+}
+
+double
+energyDisagreement(const RunResult &r)
+{
+    if (!r.hasAlt)
+        return 0.0;
+    const double a = r.energy.systemTotal();
+    const double b = r.alt.systemTotal();
+    const double hi = std::max(a, b);
+    return hi > 0.0 ? std::abs(a - b) / hi : 0.0;
 }
 
 bool

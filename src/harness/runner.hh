@@ -50,7 +50,18 @@ struct RunResult
 
     EnergyBreakdown energy;
     HierarchyCounts counts;
+
+    /** Second opinion from the alternate energy backend
+     *  (src/validate/energy_alt.hh), present when the run's
+     *  EnergyParams selected it (altModel != 0).  Fresh runs carry the
+     *  full matrix; cache reloads carry aggregates only. */
+    EnergyBreakdown alt;
+    bool hasAlt = false;
 };
+
+/** Symmetric relative disagreement between the two backends' system
+ *  totals: |a - b| / max(a, b), in [0, 1]; 0 when either is zero. */
+double energyDisagreement(const RunResult &r);
 
 /** Normalized (to the full-SRAM run of the same app) view of a run. */
 struct NormalizedResult

@@ -290,6 +290,13 @@ ShardedStore::rowCount() const
     return rows_.size();
 }
 
+std::map<std::string, CacheRow>
+ShardedStore::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return rows_;
+}
+
 // ---------------------------------------------------------------------
 // Scrub & repair
 // ---------------------------------------------------------------------

@@ -94,6 +94,10 @@ class ShardedStore : public ResultStore
     /** Shard file path (for tests and tooling). */
     std::string shardPath(unsigned shard) const;
 
+    /** Copy of every known row (last occurrence per key), for corpus
+     *  walkers like `refrint validate`. */
+    std::map<std::string, CacheRow> snapshot() const;
+
   private:
     void loadShard(unsigned shard);
 

@@ -1,0 +1,178 @@
+#include "validate/analytic_model.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace refrint
+{
+
+namespace
+{
+
+// Fitted throughput constants of the predictor (the only parts not
+// derived from the machine description).  alpha is the L1 line events
+// per instruction implied by the core model (one probe per 4-wide
+// fetch block plus the data-reference rate of the gap distribution);
+// kL23 prices the L2+L3 traffic behind each LLC-level miss; kNet the
+// message multiplier per miss (request + data + coherence).  They are
+// global — never tuned per app or per policy — and documented in
+// DESIGN.md "Cross-model validation".
+constexpr double kAlphaL1 = 0.47;
+constexpr double kL23PerMiss = 3.0;
+constexpr double kNetPerMiss = 3.0;
+
+/** Occupancy-style footprint fraction of one level's capacity. */
+double
+occupancyOf(double footprintBytes, double capacityBytes)
+{
+    if (capacityBytes <= 0)
+        return 1.0;
+    return std::min(1.0, footprintBytes / capacityBytes);
+}
+
+/** Fraction of a level's lines the data policy keeps under refresh. */
+double
+policyFraction(const RefreshPolicy &pol, double occ, double dirtyFrac,
+               bool &coarse)
+{
+    switch (pol.data) {
+      case DataPolicy::All:
+        return 1.0;
+      case DataPolicy::Valid:
+        coarse = true;
+        return occ;
+      case DataPolicy::Dirty:
+        coarse = true;
+        return occ * dirtyFrac;
+      case DataPolicy::WB:
+        coarse = true;
+        return occ;
+    }
+    return 1.0;
+}
+
+} // namespace
+
+AnalyticPrediction
+analyticPredict(const AnalyticInput &in, const MachineConfig &cfg,
+                const EnergyParams &p)
+{
+    AnalyticPrediction out;
+    const double sec = in.execTicks * 1e-9; // 1 tick = 1 ns
+
+    auto ratio = [&](CellTech t) {
+        return t == CellTech::Edram ? p.edramLeakRatio : 1.0;
+    };
+
+    double l1UnitsPerCore = 0.0;
+    for (const CacheLevelSpec &l : cfg.levels) {
+        if (l.role == LevelRole::IL1 || l.role == LevelRole::DL1)
+            l1UnitsPerCore += 1.0;
+    }
+    const CacheLevelSpec &l1Spec = cfg.il1();
+    const CacheLevelSpec &l2Spec = cfg.l2();
+    const CacheLevelSpec &llcSpec = cfg.llc();
+
+    // ---- leakage: the closed form both models share ----------------
+    out.leakage = (p.leakL1 * l1UnitsPerCore * cfg.numCores *
+                   ratio(l1Spec.tech) +
+                   p.leakL2 * cfg.numCores * ratio(l2Spec.tech) +
+                   p.leakL3Bank * cfg.numBanks * ratio(llcSpec.tech)) *
+                  sec;
+
+    // ---- refresh: occupancy x refresh rate per eDRAM level ---------
+    // Effective retention: the sentry period for Refrint (the canary
+    // leads the data cells by the margin), the full cell period for
+    // Periodic; thermally scaled by the curve evaluated midway between
+    // ambient and the observed peak when the thermal subsystem ran.
+    double thermalScale = 1.0;
+    if (in.maxTempC > 0) {
+        thermalScale = cfg.retention.thermal.factorAt(
+            0.5 * (in.ambientC + in.maxTempC));
+    }
+    const double perCoreBytes =
+        in.fp.privateBytes +
+        in.fp.sharedBytes / std::max(1u, cfg.numCores);
+    const double totalBytes =
+        in.fp.privateBytes * cfg.numCores + in.fp.sharedBytes;
+    const double dirtyFrac = std::max(0.05, in.fp.writeFraction);
+
+    auto levelRefresh = [&](const CacheLevelSpec &spec, double units,
+                            double occ, double eAccess) {
+        if (spec.tech != CellTech::Edram || in.execTicks <= 0)
+            return 0.0;
+        const std::uint32_t unitLines = spec.geom.numLines();
+        double periodTicks;
+        if (spec.policy.time == TimePolicy::Periodic) {
+            periodTicks =
+                static_cast<double>(cfg.retention.cellRetention);
+        } else {
+            periodTicks = static_cast<double>(
+                cfg.retention.sentryRetention(unitLines));
+        }
+        periodTicks *= thermalScale;
+        if (periodTicks <= 0)
+            return 0.0;
+        const double periods = in.execTicks / periodTicks;
+        bool coarse = false;
+        const double frac =
+            policyFraction(spec.policy, occ, dirtyFrac, coarse);
+        if (coarse)
+            out.refreshIsCoarse = true;
+        return frac * static_cast<double>(unitLines) * units * periods *
+               eAccess;
+    };
+
+    // The tiny L1s stay resident (the hot set alone fills them).
+    out.refresh =
+        levelRefresh(l1Spec, l1UnitsPerCore * cfg.numCores, 1.0,
+                     p.eL1Access) +
+        levelRefresh(l2Spec, cfg.numCores,
+                     occupancyOf(perCoreBytes,
+                                 static_cast<double>(
+                                     l2Spec.geom.sizeBytes)),
+                     p.eL2Access) +
+        levelRefresh(llcSpec, cfg.numBanks,
+                     occupancyOf(totalBytes,
+                                 static_cast<double>(
+                                     llcSpec.geom.sizeBytes) *
+                                     cfg.numBanks),
+                     p.eL3Access);
+
+    // ---- dynamic, DRAM, core, net ----------------------------------
+    const double misses = in.l3Misses + in.dramAccesses;
+    out.dynamic = kAlphaL1 * in.instructions * p.eL1Access +
+                  kL23PerMiss * misses * (p.eL2Access + p.eL3Access);
+    out.dram = in.dramAccesses * p.eDramAccess;
+    out.core = p.eCorePerInstr * in.instructions +
+               p.leakCore * cfg.numCores * sec;
+    out.net = kNetPerMiss * misses *
+              (cfg.torusDim * p.eNetPerHop + p.eNetPerDataMsg);
+    return out;
+}
+
+double
+analyticEnvelope(const std::string &config, int paperClass)
+{
+    // SRAM rows have no refresh term and an exact leakage/DRAM/core
+    // backbone; only the fitted dynamic/net terms can miss.
+    if (config == "SRAM")
+        return 0.10;
+
+    // Policy families: the data policy decides how coarse the
+    // occupancy model is.  Class 1 (footprint >> LLC) keeps decaying
+    // lines resident and is the best-behaved; class 3 (small, shared,
+    // read-mostly) leaves the most slack between declared footprint
+    // and resident set.  Values are the maximum observed error on the
+    // full default corpus (and the refs=2000 CI corpus) times ~1.5-2x
+    // slack: SRAM 5.1%, ".all" 8.3%, selective 17.3% (DESIGN.md).
+    const bool all = config.find(".all") != std::string::npos;
+    double env = all ? 0.15 : 0.30;
+    if (paperClass == 3)
+        env += 0.10;
+    if (paperClass == 0) // micros/unknown: no calibration basis
+        env += 0.20;
+    return env;
+}
+
+} // namespace refrint

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Second-opinion energy backend for cross-model validation.
+ *
+ * Same event counts, independently parameterized model: where the
+ * primary backend (energy/energy_model.hh) charges one symmetric
+ * access energy per line event and one leakage power per cache
+ * *instance*, this backend follows the mcpat/DRAMPower decomposition
+ * (SNIPPETS.md Snippet 2): per-structure read and write energies split
+ * (a write restores the line and costs more than a read), refresh
+ * charged at the write energy (a refresh is a read + restore), leakage
+ * stated per KB of array so it scales with geometry instead of being
+ * pinned per instance, and off-chip DRAM carrying an always-on
+ * background power term (activate-standby + DRAM self-refresh) on top
+ * of the per-access energy.
+ *
+ * None of the coefficients are copied from EnergyParams; they are
+ * re-derived from the same 32 nm LOP regime on a different parameter
+ * basis.  The two models therefore agree only to the extent that both
+ * decompositions describe the same machine — which is exactly what the
+ * validate subsystem measures (the relative disagreement per row, and
+ * the per-class envelope it must stay inside; see DESIGN.md
+ * "Cross-model validation").
+ */
+
+#ifndef REFRINT_VALIDATE_ENERGY_ALT_HH
+#define REFRINT_VALIDATE_ENERGY_ALT_HH
+
+#include <cstdint>
+
+#include "coherence/hierarchy.hh"
+#include "common/types.hh"
+#include "energy/energy_model.hh"
+
+namespace refrint
+{
+
+/** Coefficients of the alternate backend (joules, watts, W/KB). */
+struct AltEnergyParams
+{
+    // Per-line-access dynamic energy, read side; a write is
+    // writeFactor x the read (array restore + stronger drivers).
+    double eL1Read = 0.037e-9;
+    double eL2Read = 0.046e-9;
+    double eL3Read = 0.074e-9;
+    double writeFactor = 1.18;
+
+    // Array leakage per KB of capacity (density-optimized structures
+    // leak more per KB than latency-optimized ones).
+    double leakL1PerKb = 0.033e-3;
+    double leakL2PerKb = 0.170e-3;
+    double leakL3PerKb = 0.250e-3;
+
+    /** Table 5.2's published identity (eDRAM leaks a quarter of SRAM);
+     *  a paper constant, not a calibration, so both backends share it. */
+    double edramLeakRatio = 0.25;
+
+    // Off-chip DRAM: per-access array+I/O energy plus an always-on
+    // background power (activate-standby + self-refresh, the static
+    // terms of Snippet 2's DRAM_POWER_STATIC).
+    double eDramAccess = 3.7e-9;
+    double dramBackgroundW = 0.12;
+
+    // Cores: per-instruction dynamic plus static power per core.
+    double eCorePerInstr = 0.094e-9;
+    double coreStaticW = 0.188;
+
+    // Network: wire/router energy per flit-hop plus serialization cost
+    // per message (data messages carry a 64B payload = 4 flits + head;
+    // control messages are a single flit).
+    double eNetPerFlitHop = 0.011e-9;
+    double flitsPerDataMsg = 5.0;
+    double flitsPerCtrlMsg = 1.0;
+
+    /** The fixed coefficients of the validation backend. */
+    static AltEnergyParams
+    calibrated()
+    {
+        return AltEnergyParams{};
+    }
+};
+
+/**
+ * Compute the alternate decomposition for a finished run.  Fills the
+ * same EnergyBreakdown shape as the primary model, including the
+ * per-level dyn/leak/ref matrix, so the two can be compared
+ * term-by-term.
+ */
+EnergyBreakdown computeEnergyAlt(const AltEnergyParams &p,
+                                 const HierarchyCounts &n,
+                                 const MachineConfig &cfg,
+                                 Tick execTicks,
+                                 std::uint64_t totalInstrs);
+
+} // namespace refrint
+
+#endif // REFRINT_VALIDATE_ENERGY_ALT_HH

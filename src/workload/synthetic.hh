@@ -114,6 +114,17 @@ class SyntheticWorkload : public Workload
     int paperClass() const override { return prof_.paperClass; }
     std::uint32_t codeLines() const override { return prof_.codeLines; }
 
+    bool
+    footprint(WorkloadFootprint &fp) const override
+    {
+        fp.privateBytes = static_cast<double>(prof_.privateBytes);
+        fp.sharedBytes = static_cast<double>(prof_.sharedBytes);
+        fp.hotFraction = prof_.hotFraction;
+        fp.writeFraction = prof_.writeFraction;
+        fp.sharedFraction = prof_.sharedFraction;
+        return true;
+    }
+
     std::unique_ptr<CoreStream>
     makeStream(CoreId core, std::uint32_t numCores,
                std::uint64_t seed) const override

@@ -24,6 +24,21 @@
 namespace refrint
 {
 
+/**
+ * Coarse data-footprint summary of a workload, the inputs of the
+ * analytic energy predictor (validate/analytic_model.hh): how much
+ * data the run touches and how it behaves, independent of any
+ * simulated counter.
+ */
+struct WorkloadFootprint
+{
+    double privateBytes = 0; ///< per core
+    double sharedBytes = 0;  ///< whole machine
+    double hotFraction = 0;  ///< references hitting the tiny hot set
+    double writeFraction = 0;
+    double sharedFraction = 0;
+};
+
 class Workload
 {
   public:
@@ -44,6 +59,19 @@ class Workload
      * "method:key=value,..." form.  Scenario keys are derived from it.
      */
     virtual std::string spec() const { return name(); }
+
+    /**
+     * Describe the workload's data footprint for the analytic
+     * predictor.  Returns false when the workload cannot state one
+     * (trace replays, aggregate serving mixes) — the predictor then
+     * skips the scenario, a documented model limit rather than an
+     * error.
+     */
+    virtual bool
+    footprint(WorkloadFootprint &) const
+    {
+        return false;
+    }
 
     /** Build the reference stream for one core. */
     virtual std::unique_ptr<CoreStream>

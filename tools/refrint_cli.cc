@@ -28,6 +28,7 @@
 #include "api/result_sink.hh"
 #include "api/session.hh"
 #include "common/env.hh"
+#include "edram/retention.hh"
 #include "harness/binning.hh"
 #include "harness/report.hh"
 #include "harness/sweep.hh"
@@ -36,6 +37,7 @@
 #include "service/store.hh"
 #include "service/worker.hh"
 #include "trace/trace.hh"
+#include "validate/validate.hh"
 #include "workload/method.hh"
 #include "workload/workload.hh"
 
@@ -59,6 +61,8 @@ struct Args
     bool hybrid = false;      ///< SRAM L1/L2 over the eDRAM LLC
     unsigned jobs = 0; ///< sweep workers; 0 = $REFRINT_JOBS or serial
     bool sram = false;
+    bool alt = false;  ///< run the alternate energy backend alongside
+    bool verbose = false; ///< validate: list every finding
     bool progress = false; ///< per-run progress ticker on stderr
     double decayUs = 0.0;
     double ambientC = 0.0; ///< 0 = thermal subsystem off
@@ -245,6 +249,10 @@ parseArgs(int argc, char **argv, int first)
             a.hybrid = true;
         else if (k == "--sram")
             a.sram = true;
+        else if (k == "--alt")
+            a.alt = true;
+        else if (k == "--verbose")
+            a.verbose = true;
         else if (k == "--progress")
             a.progress = true;
         else if (k == "--decay")
@@ -254,6 +262,13 @@ parseArgs(int argc, char **argv, int first)
             if (a.ambientC <= 0)
                 usageError("--ambient wants a temperature in deg C "
                            "(> 0)");
+            const ThermalResponse resp{};
+            if (a.ambientC < resp.minAmbientC() ||
+                a.ambientC > resp.maxAmbientC())
+                usageError("--ambient %g is outside the thermal "
+                           "response's resolvable range [%g, %g] deg C",
+                           a.ambientC, resp.minAmbientC(),
+                           resp.maxAmbientC());
         }
         else if (k == "--ambients")
             a.ambients = val();
@@ -340,12 +355,17 @@ parseAmbients(const std::string &list)
     std::vector<double> out;
     std::string tok;
     std::stringstream ss(list);
+    const ThermalResponse resp{};
     while (std::getline(ss, tok, ',')) {
         double v = 0;
         if (!parseF64Strict(tok.c_str(), v) || v <= 0)
             usageError("--ambients wants positive deg C values, got "
                        "'%s'",
                        tok.c_str());
+        if (v < resp.minAmbientC() || v > resp.maxAmbientC())
+            usageError("--ambients value %g is outside the thermal "
+                       "response's resolvable range [%g, %g] deg C",
+                       v, resp.minAmbientC(), resp.maxAmbientC());
         out.push_back(v);
     }
     if (out.empty())
@@ -542,12 +562,16 @@ printRun(const Workload &app, const Args &a)
     SimParams sim;
     sim.refsPerCore = a.refs;
     sim.seed = a.seed;
+    EnergyParams energy = EnergyParams::calibrated();
+    if (a.alt)
+        energy.altModel = 1;
 
     const RunResult base =
-        runOnce(MachineConfig::paperSram(a.cores), app, sim);
+        runOnce(MachineConfig::paperSram(a.cores), app, sim, energy);
     const MachineConfig cfg = machineFor(a);
-    const RunResult r =
-        a.sram && a.decayUs == 0.0 ? base : runOnce(cfg, app, sim);
+    const RunResult r = a.sram && a.decayUs == 0.0
+                            ? base
+                            : runOnce(cfg, app, sim, energy);
     const NormalizedResult n = normalize(r, base);
 
     std::printf("app            %s (class %d)\n", app.name(),
@@ -582,6 +606,18 @@ printRun(const Workload &app, const Args &a)
                 static_cast<unsigned long long>(r.counts.l1Refreshes),
                 static_cast<unsigned long long>(r.counts.l2Refreshes),
                 static_cast<unsigned long long>(r.counts.l3Refreshes));
+    std::printf("breakdown      dyn/leak/ref (mJ)  L1 %.3f/%.3f/%.3f  "
+                "L2 %.3f/%.3f/%.3f  L3 %.3f/%.3f/%.3f\n",
+                r.energy.l1Dyn * 1e3, r.energy.l1Leak * 1e3,
+                r.energy.l1Ref * 1e3, r.energy.l2Dyn * 1e3,
+                r.energy.l2Leak * 1e3, r.energy.l2Ref * 1e3,
+                r.energy.l3Dyn * 1e3, r.energy.l3Leak * 1e3,
+                r.energy.l3Ref * 1e3);
+    if (r.hasAlt)
+        std::printf("alt backend    mem %.3f mJ  sys %.3f mJ  "
+                    "(disagreement %.2f%%)\n",
+                    r.alt.memTotal() * 1e3, r.alt.systemTotal() * 1e3,
+                    energyDisagreement(r) * 100.0);
     if (r.requests > 0)
         std::printf("requests       %.0f   latency p50/p95/p99  "
                     "%.3f / %.3f / %.3f us\n",
@@ -687,9 +723,14 @@ cmdSweepOrFigures(const Args &a, bool figures)
         return runSweepCoordinated(a);
     }
     const bool quiet = stdoutIsMachineReadable(a);
-    const ExperimentPlan plan =
+    ExperimentPlan plan =
         !a.plan.empty() ? ExperimentPlan::loadFile(a.plan)
                         : sweepPlanFor(a, /*announceMachine=*/!quiet);
+    // --alt runs the second-opinion energy backend alongside the
+    // primary; its rows are keyed separately (|en= tag), never
+    // aliasing the default corpus.
+    if (a.alt)
+        plan.energy.altModel = 1;
     SinkSet sinks;
     if (!attachCommonSinks(a, sinks))
         return 1;
@@ -697,9 +738,11 @@ cmdSweepOrFigures(const Args &a, bool figures)
         if (figures)
             sinks.add(std::make_unique<FiguresSink>());
         sinks.add(std::make_unique<HeadlineSink>());
-        // Prints nothing unless the plan held request-serving runs, so
-        // the default sweep output stays byte-identical.
+        // These print nothing unless the plan held request-serving
+        // runs / the alternate backend, so the default sweep output
+        // stays byte-identical.
         sinks.add(std::make_unique<LatencySink>());
+        sinks.add(std::make_unique<DisagreementSink>());
     }
     sessionFor(a)->run(plan, sinks.ptrs);
     return 0;
@@ -929,6 +972,24 @@ cmdCache(const Args &a)
 }
 
 int
+cmdValidate(const Args &a)
+{
+    rejectPositionals(a);
+    // No $REFRINT_CACHE default here: validation targets one corpus
+    // the caller names explicitly, so a forgotten flag is a usage
+    // error rather than a silent scan of an unrelated file.
+    if (a.store.empty() == a.cache.empty())
+        usageError("validate needs exactly one of --store DIR or "
+                   "--cache PATH (the corpus to check)");
+    ValidateOptions opts;
+    opts.cachePath = a.cache;
+    opts.storeDir = a.store;
+    opts.jsonOut = a.out;
+    opts.verbose = a.verbose;
+    return runValidate(opts);
+}
+
+int
 cmdTraceRecord(const Args &a)
 {
     rejectPositionals(a);
@@ -976,6 +1037,10 @@ cmdList(const Args &a)
                 "default 45,65,85\n");
     std::printf("machines: --cores 4..64 (square torus derived), "
                 "--hybrid (SRAM L1/L2 + eDRAM L3)\n");
+    std::printf("validation: 'validate --store DIR' checks a sweep "
+                "corpus against the model\n"
+                "  invariants and the analytic predictor (see 'help "
+                "validate')\n");
     std::printf("\n%s", workloadRegistry().describe(true).c_str());
     return 0;
 }
@@ -1015,7 +1080,9 @@ const Command kCommands[] = {
      "  --decay US       SRAM cache-decay comparator interval\n"
      "  --ambient C      enable the thermal subsystem at C deg C\n"
      "  --cores N        scale the machine to N cores (4..64)\n"
-     "  --hybrid         SRAM L1/L2 over the eDRAM LLC\n",
+     "  --hybrid         SRAM L1/L2 over the eDRAM LLC\n"
+     "  --alt            also compute the alternate energy backend\n"
+     "                   and print the cross-model disagreement\n",
      cmdRun},
     {"sweep", "the paper's Table 5.4 sweep (473 runs at full size)",
      "usage: refrint_cli sweep [options]\n"
@@ -1027,6 +1094,10 @@ const Command kCommands[] = {
      "  --refs N         references per core (default 120000)\n"
      "  --cores N        machine scale (4..64; rows machine-keyed)\n"
      "  --hybrid         SRAM L1/L2 over the eDRAM LLC\n"
+     "  --alt            run the alternate energy backend alongside\n"
+     "                   the primary (rows keyed separately via the\n"
+     "                   plan's energy tag; adds the disagreement\n"
+     "                   table to the report)\n"
      "  --workers N      shard the plan across N worker subprocesses\n"
      "                   (needs --jsonl; merged rows are byte-identical\n"
      "                   to a single-process --jobs 1 run)\n"
@@ -1125,6 +1196,22 @@ const Command kCommands[] = {
      "tails from mid-file corruption, and exits 1 on unrepaired\n"
      "damage.\n",
      cmdCache},
+    {"validate", "check a result corpus against the model invariants",
+     "usage: refrint_cli validate (--store DIR | --cache PATH) "
+     "[options]\n"
+     "  --store DIR      sharded result store to validate\n"
+     "  --cache PATH     legacy single-file cache to validate\n"
+     "  --out FILE       write a machine-readable JSON report\n"
+     "  --verbose        list every finding, not just the summary\n"
+     "\nStreams every row of the corpus and checks row-local\n"
+     "invariants (finite fields, the energy decomposition identity,\n"
+     "latency percentile ladders, the refresh ceiling, the alternate\n"
+     "backend's envelope), the analytic predictor's agreement\n"
+     "envelope, and cross-row invariants (P.all refresh dominance,\n"
+     "All >= Valid >= Dirty refresh ordering, energy monotone along\n"
+     "the retention axis).  Exit codes: 0 clean, 1 violations or an\n"
+     "unreadable corpus, 2 usage error.\n",
+     cmdValidate},
     {"trace-record", "record a workload's reference stream to a file",
      "usage: refrint_cli trace-record --app NAME --out FILE\n"
      "  --refs N --seed S --cores N    recording parameters\n",
